@@ -1,0 +1,115 @@
+//! Criterion benches backing the paper's evaluation tables:
+//!
+//! * `fig5_copy/*` — the single-thread copy kernel (Figure 5) at three
+//!   representative array lengths per scheme;
+//! * `fig6_contention/*` — the multi-thread read loop (Figure 6),
+//!   same-array and different-array, per scheme;
+//! * `tag_table/*` — the acquire/release fast path of the two-tier vs
+//!   global-lock tag tables (the §3.1 microcosm), including a k sweep.
+//!
+//! The harness binaries (`cargo run -p bench --release --bin fig5` etc.)
+//! print the full paper-shaped tables; these benches provide
+//! statistically robust spot measurements of the same code paths.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{copy_kernel, read_loop_kernel, SharingMode};
+use mte4jni::{GlobalLockTable, TagTable, TwoTierTable};
+use mte_sim::{MemoryConfig, MteThread, TaggedMemory, TaggedPtr};
+use workloads::Scheme;
+
+fn fig5_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_copy");
+    group.sample_size(10);
+    for scheme in Scheme::MAIN {
+        for len in [16usize, 256, 4096] {
+            let vm = scheme.build_vm();
+            let thread = vm.attach_thread("bench");
+            let env = vm.env(&thread);
+            let data: Vec<i32> = (0..len as i32).collect();
+            let src = env.new_int_array_from(&data).unwrap();
+            let dst = env.new_int_array(len).unwrap();
+            group.bench_with_input(BenchmarkId::new(scheme.label(), len), &len, |b, _| {
+                b.iter(|| copy_kernel(&env, &src, &dst))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig6_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_contention");
+    group.sample_size(10);
+    let threads = 8usize;
+    let reads = 100u32;
+    for scheme in [
+        Scheme::NoProtection,
+        Scheme::GuardedCopy,
+        Scheme::Mte4JniSync,
+        Scheme::Mte4JniSyncGlobalLock,
+    ] {
+        for (mode, tag) in [
+            (SharingMode::SameArray, "same"),
+            (SharingMode::DifferentArrays, "different"),
+        ] {
+            group.bench_function(BenchmarkId::new(scheme.label(), tag), |b| {
+                b.iter(|| bench::time_multithread_read(scheme, mode, threads, reads, 1024));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn single_thread_read_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_loop_1024");
+    group.sample_size(10);
+    for scheme in Scheme::MAIN {
+        let vm = scheme.build_vm();
+        let thread = vm.attach_thread("bench");
+        let env = vm.env(&thread);
+        let data: Vec<i32> = (0..1024).collect();
+        let a = env.new_int_array_from(&data).unwrap();
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| read_loop_kernel(&env, &a, 10));
+        });
+    }
+    group.finish();
+}
+
+fn tag_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tag_table");
+    group.sample_size(20);
+    let mem = TaggedMemory::new(MemoryConfig::default());
+    mem.mprotect_mte(mem.base(), 1 << 20, true).unwrap();
+    let thread = MteThread::with_seed("bench", 1);
+    let begin = TaggedPtr::from_addr(mem.base());
+    let end = begin.addr() + 1024;
+
+    let tables: Vec<(String, Arc<dyn TagTable>)> = vec![
+        ("two_tier_k16".into(), Arc::new(TwoTierTable::new(16))),
+        ("two_tier_k1".into(), Arc::new(TwoTierTable::new(1))),
+        ("two_tier_k64".into(), Arc::new(TwoTierTable::new(64))),
+        ("global_lock".into(), Arc::new(GlobalLockTable::new())),
+    ];
+    for (name, table) in tables {
+        group.bench_function(BenchmarkId::new("acquire_release", &name), |b| {
+            b.iter(|| {
+                let tag = table.acquire(&mem, &thread, begin, end).unwrap();
+                table.release(&mem, begin, end).unwrap();
+                tag
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig5_copy,
+    fig6_contention,
+    single_thread_read_loop,
+    tag_table
+);
+criterion_main!(benches);

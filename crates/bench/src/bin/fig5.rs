@@ -1,0 +1,71 @@
+//! Regenerates **Figure 5**: single-thread execution time of the
+//! array-copy native method across array lengths 2^1..2^12, under every
+//! scheme, normalized to the no-protection scheme.
+//!
+//! Also prints the §5.3.1 headline averages (paper: guarded copy 26.58×,
+//! MTE4JNI+Sync 2.36×, MTE4JNI+Async 2.24×) and the abstract's
+//! single-thread overhead-reduction factor (paper: ~11×).
+
+use bench::{log_bar_chart, print_environment, ratio, time_copy, Args};
+use workloads::Scheme;
+
+fn main() {
+    let args = Args::parse();
+    let repeats: u32 = args.value("--repeats", 3);
+    let max_pow: u32 = args.value("--max-pow", 12);
+
+    print_environment("Figure 5 — single-thread JNI copy overhead");
+
+    let schemes = [Scheme::GuardedCopy, Scheme::Mte4JniSync, Scheme::Mte4JniAsync];
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>14}",
+        "len(ints)",
+        schemes[0].label(),
+        schemes[1].label(),
+        schemes[2].label()
+    );
+
+    let mut sums = [0.0f64; 3];
+    let mut rows = 0u32;
+    let mut chart_rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for pow in 1..=max_pow {
+        let len = 1usize << pow;
+        // Keep per-cell work roughly constant across lengths.
+        let iters = (1u32 << 14) / len as u32;
+        let iters = iters.clamp(4, 4096);
+        let baseline = time_copy(Scheme::NoProtection, len, iters, repeats);
+        let mut row = [0.0f64; 3];
+        for (i, &scheme) in schemes.iter().enumerate() {
+            row[i] = ratio(time_copy(scheme, len, iters, repeats), baseline);
+            sums[i] += row[i];
+        }
+        rows += 1;
+        println!(
+            "{:>10}  {:>13.2}x  {:>13.2}x  {:>13.2}x",
+            len, row[0], row[1], row[2]
+        );
+        chart_rows.push((len.to_string(), row.to_vec()));
+    }
+
+    let avg: Vec<f64> = sums.iter().map(|s| s / f64::from(rows)).collect();
+    println!();
+    println!(
+        "{:>10}  {:>13.2}x  {:>13.2}x  {:>13.2}x   (paper: 26.58x / 2.36x / 2.24x)",
+        "average", avg[0], avg[1], avg[2]
+    );
+    let reduction_sync = avg[0] / avg[1].max(f64::EPSILON);
+    let reduction_async = avg[0] / avg[2].max(f64::EPSILON);
+    println!(
+        "overhead reduction vs guarded copy: sync {reduction_sync:.1}x, async {reduction_async:.1}x \
+         (paper abstract: ~11x single-threaded)"
+    );
+    println!();
+    println!("Copy time ratios (cf. the paper's Figure 5, log scale):");
+    print!(
+        "{}",
+        log_bar_chart(
+            &[schemes[0].label(), schemes[1].label(), schemes[2].label()],
+            &chart_rows
+        )
+    );
+}

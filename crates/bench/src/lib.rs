@@ -1,0 +1,265 @@
+//! Shared harness code for the figure-regeneration binaries and the
+//! Criterion benches.
+//!
+//! Each binary regenerates one table/figure of the paper (see
+//! `DESIGN.md`'s experiment index):
+//!
+//! * `fig5` — single-thread JNI copy overhead across array lengths,
+//! * `fig6` — 64-thread contention, same-array vs different-array,
+//! * `fig7` / `fig8` — GeekBench-style sub-item ratios, single/multi core,
+//! * `effectiveness` — the §5.2 out-of-bounds detection comparison with
+//!   Figure 4's three report styles.
+
+use std::time::{Duration, Instant};
+
+use art_heap::ArrayRef;
+use jni_rt::{JniEnv, NativeKind, ReleaseMode};
+use workloads::Scheme;
+
+/// Runs `f` once for warm-up, then `repeats` times, returning the
+/// smallest observed duration (robust to scheduler noise).
+pub fn measure(repeats: u32, mut f: impl FnMut()) -> Duration {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// The paper's Figure 5 native method: obtain raw pointers to two int
+/// arrays via `GetPrimitiveArrayCritical`, copy one into the other
+/// element-wise, release both.
+pub fn copy_kernel(env: &JniEnv<'_>, src: &ArrayRef, dst: &ArrayRef) {
+    let len = src.len() as isize;
+    env.call_native("array_copy", NativeKind::Normal, |env| {
+        let s = env.get_primitive_array_critical(src)?;
+        let d = env.get_primitive_array_critical(dst)?;
+        let mem = env.native_mem();
+        for i in 0..len {
+            d.write_i32(&mem, i, s.read_i32(&mem, i)?)?;
+        }
+        env.release_primitive_array_critical(dst, d, ReleaseMode::CopyBack)?;
+        env.release_primitive_array_critical(src, s, ReleaseMode::Abort)?;
+        Ok(())
+    })
+    .expect("in-bounds copy never faults");
+}
+
+/// Times `iters` invocations of the Figure 5 copy for `len`-int arrays on
+/// a fresh VM of the given scheme.
+pub fn time_copy(scheme: Scheme, len: usize, iters: u32, repeats: u32) -> Duration {
+    let vm = scheme.build_vm();
+    let thread = vm.attach_thread("fig5");
+    let env = vm.env(&thread);
+    let data: Vec<i32> = (0..len as i32).collect();
+    let src = env.new_int_array_from(&data).expect("alloc src");
+    let dst = env.new_int_array(len).expect("alloc dst");
+    measure(repeats, || {
+        for _ in 0..iters {
+            copy_kernel(&env, &src, &dst);
+        }
+    })
+}
+
+/// The paper's Figure 6 native method: `reads` iterations of
+/// acquire → sum the whole array → release, on this thread's array.
+pub fn read_loop_kernel(env: &JniEnv<'_>, array: &ArrayRef, reads: u32) -> i64 {
+    let len = array.len() as isize;
+    env.call_native("array_read_loop", NativeKind::Normal, |env| {
+        let mem = env.native_mem();
+        let mut total = 0i64;
+        for _ in 0..reads {
+            let a = env.get_primitive_array_critical(array)?;
+            for i in 0..len {
+                total += i64::from(a.read_i32(&mem, i)?);
+            }
+            env.release_primitive_array_critical(array, a, ReleaseMode::Abort)?;
+        }
+        Ok(total)
+    })
+    .expect("in-bounds reads never fault")
+}
+
+/// Shape of the Figure 6 experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharingMode {
+    /// Every thread hammers the same array (object-lock contention).
+    SameArray,
+    /// Each thread owns a private array (table-lock contention only).
+    DifferentArrays,
+}
+
+/// Runs the Figure 6 multi-thread read test and returns the wall-clock
+/// duration for all threads to finish.
+pub fn time_multithread_read(
+    scheme: Scheme,
+    sharing: SharingMode,
+    threads: usize,
+    reads: u32,
+    array_len: usize,
+) -> Duration {
+    let vm = scheme.build_vm();
+    let setup = vm.attach_thread("fig6-setup");
+    let env = vm.env(&setup);
+    let data: Vec<i32> = (0..array_len as i32).collect();
+    let arrays: Vec<ArrayRef> = match sharing {
+        SharingMode::SameArray => {
+            let one = env.new_int_array_from(&data).expect("alloc");
+            vec![one; threads]
+        }
+        SharingMode::DifferentArrays => (0..threads)
+            .map(|_| env.new_int_array_from(&data).expect("alloc"))
+            .collect(),
+    };
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (i, array) in arrays.iter().enumerate() {
+            let vm = &vm;
+            s.spawn(move || {
+                let thread = vm.attach_thread(format!("fig6-{i}"));
+                let env = vm.env(&thread);
+                read_loop_kernel(&env, array, reads);
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Relative slowdown of `value` against `baseline`.
+pub fn ratio(value: Duration, baseline: Duration) -> f64 {
+    value.as_secs_f64() / baseline.as_secs_f64().max(f64::EPSILON)
+}
+
+/// Renders grouped horizontal bars on a log10 scale — the harnesses'
+/// stand-in for the paper's log-scale figures.
+///
+/// `rows` pairs a label with one value per series; values below 1.0 are
+/// clamped to 1.0 (a zero-length bar).
+pub fn log_bar_chart(series: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    const WIDTH: f64 = 48.0;
+    const FILLS: [char; 4] = ['█', '▒', '░', '·'];
+    let max = rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(1.0f64, f64::max);
+    let scale = WIDTH / max.log10().max(1e-9);
+    let mut out = String::new();
+    for (i, name) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} {}\n",
+            FILLS.get(i).copied().unwrap_or('#'),
+            name
+        ));
+    }
+    for (label, values) in rows {
+        for (i, v) in values.iter().enumerate() {
+            let bar_len = (v.max(1.0).log10() * scale).round() as usize;
+            let fill = FILLS.get(i).copied().unwrap_or('#');
+            let bar: String = std::iter::repeat_n(fill, bar_len.max(1)).collect();
+            let head = if i == 0 { label.as_str() } else { "" };
+            out.push_str(&format!("{head:>10} |{bar} {v:.2}x\n"));
+        }
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(WIDTH as usize)));
+    out.push_str(&format!("{:>12}log scale, 1x .. {max:.0}x\n", ""));
+    out
+}
+
+/// Prints the Table 2 analogue: what this reproduction runs on.
+pub fn print_environment(experiment: &str) {
+    println!("=== MTE4JNI reproduction: {experiment} ===");
+    println!("Substrate        : mte-sim software MTE + art-heap simulated runtime");
+    println!("Paper environment: OPPO Find N2 Flip, Dimensity 9000+, ColorOS 14 (Android 14)");
+    println!("Hash tables (k)  : 16 (paper section 5.1)");
+    println!(
+        "Host parallelism : {} cores",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!();
+}
+
+/// Simple `--key value` / `--flag` argument extraction for the harness
+/// binaries.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Args {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Whether `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the value cannot be parsed.
+    pub fn value<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.raw.iter().position(|a| a == name) {
+            Some(i) => self.raw[i + 1]
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid value for {name}: {e:?}")),
+            None => default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_kernel_copies() {
+        let vm = Scheme::NoProtection.build_vm();
+        let t = vm.attach_thread("t");
+        let env = vm.env(&t);
+        let src = env.new_int_array_from(&[9, 8, 7]).unwrap();
+        let dst = env.new_int_array(3).unwrap();
+        copy_kernel(&env, &src, &dst);
+        assert_eq!(vm.heap().int_array_as_vec(&t, &dst).unwrap(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn read_loop_sums() {
+        let vm = Scheme::Mte4JniSync.build_vm();
+        let t = vm.attach_thread("t");
+        let env = vm.env(&t);
+        let a = env.new_int_array_from(&[1, 2, 3]).unwrap();
+        assert_eq!(read_loop_kernel(&env, &a, 5), 5 * 6);
+    }
+
+    #[test]
+    fn multithread_read_runs_all_schemes_and_modes() {
+        for scheme in [Scheme::NoProtection, Scheme::Mte4JniSync, Scheme::Mte4JniSyncGlobalLock] {
+            for sharing in [SharingMode::SameArray, SharingMode::DifferentArrays] {
+                let d = time_multithread_read(scheme, sharing, 4, 20, 64);
+                assert!(d > Duration::ZERO, "{scheme} {sharing:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn measure_returns_min_of_repeats() {
+        let d = measure(3, || std::thread::sleep(Duration::from_micros(200)));
+        assert!(d >= Duration::from_micros(150));
+    }
+
+    #[test]
+    fn ratio_is_relative() {
+        assert!((ratio(Duration::from_millis(30), Duration::from_millis(10)) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Adler-32, as ART's `GuardedCopy` uses to checksum buffer contents.
+
+const MOD_ADLER: u32 = 65521;
+/// Largest n such that 255 n (n+1) / 2 + (n+1) (MOD_ADLER-1) < 2^32,
+/// letting the inner loop defer the modulo (zlib's NMAX).
+const NMAX: usize = 5552;
+
+/// Computes the Adler-32 checksum of `data`.
+///
+/// ```
+/// use guarded_copy::adler32;
+/// assert_eq!(adler32(b""), 1);
+/// assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+/// ```
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(NMAX) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD_ADLER;
+        b %= MOD_ADLER;
+    }
+    (b << 16) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn sensitive_to_single_byte_change() {
+        let mut data = vec![7u8; 1024];
+        let before = adler32(&data);
+        data[512] ^= 1;
+        assert_ne!(adler32(&data), before);
+    }
+
+    #[test]
+    fn deferred_modulo_matches_naive_on_long_input() {
+        // Worst case for overflow: all 0xFF, longer than NMAX.
+        let data = vec![0xFFu8; 3 * NMAX + 17];
+        let naive = {
+            let (mut a, mut b) = (1u64, 0u64);
+            for &byte in &data {
+                a = (a + u64::from(byte)) % 65521;
+                b = (b + a) % 65521;
+            }
+            ((b as u32) << 16) | a as u32
+        };
+        assert_eq!(adler32(&data), naive);
+    }
+}

@@ -1,0 +1,75 @@
+//! The red-zone canary pattern.
+//!
+//! ART prefills its guard regions with a repeating human-readable string
+//! so that corrupted zones are recognizable in memory dumps; we do the
+//! same (paper §2.3: "two red zones, prefilled with a specific repeating
+//! canary pattern string").
+
+/// The repeating canary text.
+pub const CANARY_PATTERN: &[u8] = b"GuardedCopy red zone canary! ";
+
+/// The canary byte expected at absolute red-zone offset `i`.
+pub fn canary_byte(i: usize) -> u8 {
+    CANARY_PATTERN[i % CANARY_PATTERN.len()]
+}
+
+/// Fills `buf` with the canary pattern, phase-aligned so byte `i` of the
+/// buffer holds [`canary_byte`]`(phase + i)`.
+pub fn fill_canary(buf: &mut [u8], phase: usize) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = canary_byte(phase + i);
+    }
+}
+
+/// Returns the index of the first byte in `buf` that no longer matches the
+/// canary pattern at `phase`, or `None` if the zone is intact.
+pub fn first_corruption(buf: &[u8], phase: usize) -> Option<usize> {
+    buf.iter()
+        .enumerate()
+        .find(|&(i, &b)| b != canary_byte(phase + i))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_then_check_is_clean() {
+        for phase in [0usize, 1, 7, 29, 100] {
+            let mut buf = vec![0u8; 137];
+            fill_canary(&mut buf, phase);
+            assert_eq!(first_corruption(&buf, phase), None, "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_located_exactly() {
+        let mut buf = vec![0u8; 512];
+        fill_canary(&mut buf, 0);
+        buf[137] ^= 0xFF;
+        assert_eq!(first_corruption(&buf, 0), Some(137));
+    }
+
+    #[test]
+    fn earliest_corruption_wins() {
+        let mut buf = vec![0u8; 64];
+        fill_canary(&mut buf, 3);
+        buf[40] ^= 1;
+        buf[12] ^= 1;
+        assert_eq!(first_corruption(&buf, 3), Some(12));
+    }
+
+    #[test]
+    fn phase_mismatch_is_detected() {
+        let mut buf = vec![0u8; 64];
+        fill_canary(&mut buf, 0);
+        // Checking with the wrong phase must not report clean.
+        assert!(first_corruption(&buf, 1).is_some());
+    }
+
+    #[test]
+    fn empty_zone_is_trivially_clean() {
+        assert_eq!(first_corruption(&[], 0), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the guarded-copy baseline.
+
+use std::sync::Arc;
+
+use guarded_copy::{adler32, canary_byte, fill_canary, first_corruption, GuardedCopy, GuardedCopyConfig};
+use jni_rt::{NativeKind, ReleaseMode, Vm};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adler-32 over a concatenation equals the classic incremental
+    /// recurrence applied to the second part (sanity of the modulus
+    /// handling).
+    #[test]
+    fn adler_matches_bytewise_recurrence(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let mut a = 1u32;
+        let mut b = 0u32;
+        for &byte in &data {
+            a = (a + u32::from(byte)) % 65521;
+            b = (b + a) % 65521;
+        }
+        prop_assert_eq!(adler32(&data), (b << 16) | a);
+    }
+
+    /// Any single flipped byte in a canary zone is found at its exact
+    /// offset; untouched zones verify clean for any phase.
+    #[test]
+    fn canary_locates_any_single_flip(
+        len in 1usize..600,
+        phase in 0usize..64,
+        flip in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut zone = vec![0u8; len];
+        fill_canary(&mut zone, phase);
+        prop_assert_eq!(first_corruption(&zone, phase), None);
+        let at = flip.index(len);
+        zone[at] ^= xor;
+        prop_assert_eq!(first_corruption(&zone, phase), Some(at));
+        prop_assert_ne!(zone[at], canary_byte(phase + at));
+    }
+
+    /// End to end: for any array content, a clean get/modify/release
+    /// session copies the native-side writes back exactly.
+    #[test]
+    fn copy_back_is_exact_for_any_content(
+        values in prop::collection::vec(any::<i32>(), 1..64),
+        updates in prop::collection::vec((any::<prop::sample::Index>(), any::<i32>()), 0..16),
+    ) {
+        let vm = Vm::builder().protection(Arc::new(GuardedCopy::new())).build();
+        let thread = vm.attach_thread("prop");
+        let env = vm.env(&thread);
+        let a = env.new_int_array_from(&values).unwrap();
+        let mut expected = values.clone();
+        env.call_native("session", NativeKind::Normal, |env| {
+            let elems = env.get_primitive_array_critical(&a)?;
+            let mem = env.native_mem();
+            for (idx, v) in &updates {
+                let i = idx.index(expected.len());
+                expected[i] = *v;
+                elems.write_i32(&mem, i as isize, *v)?;
+            }
+            env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
+        }).unwrap();
+        prop_assert_eq!(vm.heap().int_array_as_vec(&thread, &a).unwrap(), expected);
+    }
+
+    /// For any red-zone size, a write at any in-zone offset is detected
+    /// and a write beyond both zones is missed — the §2.3 boundary, exact.
+    #[test]
+    fn detection_boundary_is_exactly_the_zone(
+        rz_pow in 4u32..10, // 16..512 bytes
+        beyond in 1usize..64,
+    ) {
+        let rz = 1usize << rz_pow;
+        let scheme = Arc::new(GuardedCopy::with_config(GuardedCopyConfig { red_zone_len: rz }));
+        let vm = Vm::builder().protection(scheme).build();
+        let thread = vm.attach_thread("prop");
+        let env = vm.env(&thread);
+        let a = env.new_byte_array(8).unwrap();
+
+        // Last in-zone byte: detected.
+        let r = env.call_native("inzone", NativeKind::Normal, |env| {
+            let elems = env.get_primitive_array_critical(&a)?;
+            let mem = env.native_mem();
+            let off = (8 + rz - 1) as isize;
+            let old = elems.read_u8(&mem, off)?;
+            elems.write_u8(&mem, off, old ^ 0x5A)?;
+            env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
+        });
+        prop_assert!(r.is_err(), "rz {rz}: last zone byte must be caught");
+
+        // First byte past the zone: missed (fresh array; the previous
+        // session consumed its shadow block).
+        let b = env.new_byte_array(8).unwrap();
+        let r = env.call_native("pastzone", NativeKind::Normal, |env| {
+            let elems = env.get_primitive_array_critical(&b)?;
+            let mem = env.native_mem();
+            elems.write_u8(&mem, (8 + rz + beyond - 1) as isize, 0xEE)?;
+            env.release_primitive_array_critical(&b, elems, ReleaseMode::CopyBack)
+        });
+        prop_assert!(r.is_ok(), "rz {rz}: byte {beyond} past the zone escapes");
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for heap operations.
+
+use std::fmt;
+
+use mte_sim::MemError;
+
+use crate::types::PrimitiveType;
+
+/// Errors produced by [`Heap`] operations.
+///
+/// [`Heap`]: crate::Heap
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeapError {
+    /// The Java heap has no free block large enough.
+    OutOfMemory {
+        /// Requested payload size in bytes.
+        requested: usize,
+    },
+    /// A managed array access was out of bounds — the JVM-side check that
+    /// native code bypasses.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Array length.
+        length: usize,
+    },
+    /// The object has a different element type than the accessor expects.
+    TypeMismatch {
+        /// Type the accessor expected.
+        expected: PrimitiveType,
+        /// Actual element type of the object.
+        actual: PrimitiveType,
+    },
+    /// The handle refers to an object the heap no longer tracks (stale
+    /// handle across a sweep that collected it).
+    StaleHandle {
+        /// Object start address.
+        addr: u64,
+    },
+    /// An underlying simulated-memory error (including tag-check faults).
+    Mem(MemError),
+    /// A string operation encountered invalid modified UTF-8.
+    InvalidUtf8 {
+        /// Byte offset of the offending sequence.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "java heap cannot satisfy an allocation of {requested} bytes")
+            }
+            HeapError::IndexOutOfBounds { index, length } => {
+                write!(f, "index {index} out of bounds for length {length}")
+            }
+            HeapError::TypeMismatch { expected, actual } => {
+                write!(f, "expected {expected} array, found {actual}")
+            }
+            HeapError::StaleHandle { addr } => {
+                write!(f, "handle to {addr:#x} refers to a collected object")
+            }
+            HeapError::Mem(e) => write!(f, "memory error: {e}"),
+            HeapError::InvalidUtf8 { offset } => {
+                write!(f, "invalid modified UTF-8 sequence at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HeapError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for HeapError {
+    fn from(e: MemError) -> Self {
+        HeapError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        let e = HeapError::IndexOutOfBounds { index: 21, length: 18 };
+        assert_eq!(e.to_string(), "index 21 out of bounds for length 18");
+        let e = HeapError::TypeMismatch {
+            expected: PrimitiveType::Int,
+            actual: PrimitiveType::Byte,
+        };
+        assert!(e.to_string().contains("int"));
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn mem_error_converts_and_chains() {
+        use std::error::Error;
+        let e: HeapError = MemError::OutOfRange { addr: 4, len: 2 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HeapError>();
+    }
+}

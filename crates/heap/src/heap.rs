@@ -1,0 +1,835 @@
+//! The simulated Java heap.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use mte_sim::{
+    MemoryConfig, MteThread, NativeAllocator, TagCheckFault, Tag, TaggedMemory, TaggedPtr,
+};
+
+use crate::block_alloc::BlockAllocator;
+use crate::error::HeapError;
+use crate::jstring::utf16_units;
+use crate::object::{ArrayRef, LiveToken, ObjKind, ObjectRef, StringRef};
+use crate::thread::JavaThread;
+use crate::types::PrimitiveType;
+use crate::Result;
+
+/// Size of the simulated object header.
+///
+/// Real ART uses 8-byte headers for arrays (class pointer + monitor) plus a
+/// 4-byte length; we round the whole header to 16 bytes so the payload of a
+/// 16-byte aligned object starts on a granule boundary, which keeps header
+/// tagging and payload tagging independent.
+pub const HEADER_SIZE: usize = 16;
+
+/// Heap construction parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Backing simulated memory geometry.
+    pub memory: MemoryConfig,
+    /// Object alignment: 8 (stock ART) or 16 (MTE4JNI, paper §4.1).
+    pub alignment: usize,
+    /// Whether heap pages are mapped with `PROT_MTE`.
+    pub prot_mte: bool,
+    /// Whether every object is tagged with a random tag at *allocation*
+    /// time (the HWASan/HeMate-style policy from the paper's related
+    /// work, §6.2) rather than at JNI acquisition. Requires `prot_mte`.
+    pub tag_on_alloc: bool,
+}
+
+impl HeapConfig {
+    /// The paper's configuration: 16-byte alignment, `PROT_MTE` heap,
+    /// tags assigned by the JNI interfaces (not at allocation).
+    pub fn mte4jni() -> HeapConfig {
+        HeapConfig {
+            memory: MemoryConfig::default(),
+            alignment: 16,
+            prot_mte: true,
+            tag_on_alloc: false,
+        }
+    }
+
+    /// Stock ART: 8-byte alignment, no `PROT_MTE`.
+    pub fn stock_art() -> HeapConfig {
+        HeapConfig {
+            memory: MemoryConfig::default(),
+            alignment: 8,
+            prot_mte: false,
+            tag_on_alloc: false,
+        }
+    }
+
+    /// Hazard configuration for the §4.1 ablation: `PROT_MTE` heap but
+    /// stock 8-byte alignment, so two objects can share a tag granule.
+    pub fn misaligned_mte() -> HeapConfig {
+        HeapConfig {
+            memory: MemoryConfig::default(),
+            alignment: 8,
+            prot_mte: true,
+            tag_on_alloc: false,
+        }
+    }
+
+    /// HWASan/HeMate-style policy: every object receives a random tag at
+    /// allocation time (related-work comparison point, §6.2).
+    pub fn alloc_tagged() -> HeapConfig {
+        HeapConfig {
+            memory: MemoryConfig::default(),
+            alignment: 16,
+            prot_mte: true,
+            tag_on_alloc: true,
+        }
+    }
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig::mte4jni()
+    }
+}
+
+#[derive(Debug)]
+struct ObjectMeta {
+    block_len: usize,
+    byte_len: usize,
+    live: Weak<LiveToken>,
+}
+
+struct HeapInner {
+    memory: Arc<TaggedMemory>,
+    blocks: BlockAllocator,
+    native: NativeAllocator,
+    config: HeapConfig,
+    objects: Mutex<HashMap<u64, ObjectMeta>>,
+    allocated_total: AtomicU64,
+    swept_total: AtomicU64,
+    sweeps: AtomicU64,
+    /// xorshift state for allocation-time tag generation.
+    tag_rng: AtomicU64,
+}
+
+/// A simulated ART-style Java heap.
+///
+/// Cloning a `Heap` clones a reference to the same heap (it is an
+/// `Arc`-backed handle, like `Runtime::Current()->GetHeap()` in ART).
+///
+/// # Example
+///
+/// ```
+/// use art_heap::{Heap, HeapConfig, JavaThread};
+///
+/// # fn main() -> art_heap::Result<()> {
+/// let heap = Heap::new(HeapConfig::default());
+/// let thread = JavaThread::new("main");
+/// let array = heap.alloc_int_array_from(&[1, 2, 3])?;
+/// assert_eq!(heap.int_at(&thread, &array, 2)?, 3);
+/// heap.set_int_at(&thread, &array, 0, 42)?;
+/// assert_eq!(heap.int_array_as_vec(&thread, &array)?, vec![42, 2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Heap {
+    inner: Arc<HeapInner>,
+}
+
+impl Heap {
+    /// Creates a heap. Three quarters of the simulated memory become the
+    /// Java heap; the last quarter becomes the (never `PROT_MTE`) native
+    /// arena used for guarded-copy shadow buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` is not 8 or 16.
+    pub fn new(config: HeapConfig) -> Heap {
+        assert!(
+            config.alignment == 8 || config.alignment == 16,
+            "object alignment must be 8 or 16"
+        );
+        assert!(
+            !config.tag_on_alloc || config.prot_mte,
+            "allocation-time tagging requires a PROT_MTE heap"
+        );
+        let memory = TaggedMemory::new(config.memory);
+        let heap_len = (memory.size() / 4 * 3) & !(mte_sim::PAGE_SIZE - 1);
+        let heap_start = memory.base();
+        let native_start = heap_start + heap_len as u64;
+        let native_len = memory.size() - heap_len;
+        if config.prot_mte {
+            memory
+                .mprotect_mte(heap_start, heap_len, true)
+                .expect("heap range lies inside the memory");
+        }
+        Heap {
+            inner: Arc::new(HeapInner {
+                blocks: BlockAllocator::new(heap_start, heap_len, config.alignment),
+                native: NativeAllocator::new(Arc::clone(&memory), native_start, native_len),
+                memory,
+                config,
+                objects: Mutex::new(HashMap::new()),
+                allocated_total: AtomicU64::new(0),
+                swept_total: AtomicU64::new(0),
+                sweeps: AtomicU64::new(0),
+                tag_rng: AtomicU64::new(0x2545_F491_4F6C_DD1D),
+            }),
+        }
+    }
+
+    /// The backing simulated memory.
+    pub fn memory(&self) -> &Arc<TaggedMemory> {
+        &self.inner.memory
+    }
+
+    /// The simulated native (`malloc`) allocator, used by the guarded-copy
+    /// baseline for its shadow buffers.
+    pub fn native_alloc(&self) -> &NativeAllocator {
+        &self.inner.native
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> HeapConfig {
+        self.inner.config
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    fn alloc_object(&self, kind: ObjKind, len: usize) -> Result<Arc<LiveToken>> {
+        let byte_len = len * kind.element_type().size();
+        let total = HEADER_SIZE + byte_len;
+        let (addr, block_len) = self
+            .inner
+            .blocks
+            .alloc(total)
+            .ok_or(HeapError::OutOfMemory { requested: total })?;
+        let mem = &self.inner.memory;
+        // Header: class word, monitor word, length, padding.
+        let header = TaggedPtr::from_addr(addr);
+        let class_word = match kind {
+            ObjKind::Array(t) => 0x1000 | t.descriptor() as u32,
+            ObjKind::String => 0x2000,
+        };
+        let mut hdr = [0u8; HEADER_SIZE];
+        hdr[0..4].copy_from_slice(&class_word.to_le_bytes());
+        hdr[8..12].copy_from_slice(&(len as u32).to_le_bytes());
+        mem.write_bytes_unchecked(header, &hdr)?;
+        // Java zero-initializes payloads.
+        mem.fill_unchecked(header.wrapping_add(HEADER_SIZE as u64), byte_len, 0)?;
+        if self.inner.config.tag_on_alloc {
+            let tag = self.next_alloc_tag();
+            mem.set_tag_range(header, addr + block_len as u64, tag)?;
+        }
+        let token = Arc::new(LiveToken { addr, kind, len });
+        self.inner.objects.lock().insert(
+            addr,
+            ObjectMeta {
+                block_len,
+                byte_len,
+                live: Arc::downgrade(&token),
+            },
+        );
+        self.inner.allocated_total.fetch_add(1, Ordering::Relaxed);
+        Ok(token)
+    }
+
+    /// Generates a non-zero allocation tag (xorshift over the shared
+    /// state; tag 0 is reserved for untagged memory).
+    fn next_alloc_tag(&self) -> Tag {
+        loop {
+            let mut x = self.inner.tag_rng.load(Ordering::Relaxed);
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.inner.tag_rng.store(x, Ordering::Relaxed);
+            let tag = Tag::from_low_bits((x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as u8);
+            if !tag.is_untagged() {
+                return tag;
+            }
+        }
+    }
+
+    /// Allocates a zero-filled primitive array.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] when the heap is exhausted.
+    pub fn alloc_array(&self, ty: PrimitiveType, len: usize) -> Result<ArrayRef> {
+        Ok(ArrayRef {
+            token: self.alloc_object(ObjKind::Array(ty), len)?,
+        })
+    }
+
+    /// Allocates a `java.lang.String` holding `s`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] when the heap is exhausted.
+    pub fn alloc_string(&self, s: &str) -> Result<StringRef> {
+        self.alloc_string_from_units(&utf16_units(s))
+    }
+
+    /// Allocates a `java.lang.String` from raw UTF-16 code units — Java
+    /// strings may hold unpaired surrogates that no Rust `&str` can.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] when the heap is exhausted.
+    pub fn alloc_string_from_units(&self, units: &[u16]) -> Result<StringRef> {
+        let token = self.alloc_object(ObjKind::String, units.len())?;
+        let mut bytes = Vec::with_capacity(units.len() * 2);
+        for u in units {
+            bytes.extend_from_slice(&u.to_le_bytes());
+        }
+        self.inner.memory.write_bytes_unchecked(
+            TaggedPtr::from_addr(token.addr + HEADER_SIZE as u64),
+            &bytes,
+        )?;
+        Ok(StringRef { token })
+    }
+
+    /// Reads a string object back into a Rust `String` (managed-side read,
+    /// like `String.toString()` inside the JVM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulated memory errors; lossily maps unpaired
+    /// surrogates like `String.valueOf` would not — this returns an error
+    /// instead.
+    pub fn read_string(&self, s: &StringRef) -> Result<String> {
+        let mut bytes = vec![0u8; s.byte_len()];
+        self.inner
+            .memory
+            .read_bytes_unchecked(TaggedPtr::from_addr(s.data_addr()), &mut bytes)?;
+        let units: Vec<u16> = bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        String::from_utf16(&units).map_err(|_| HeapError::InvalidUtf8 { offset: 0 })
+    }
+
+    // ------------------------------------------------------------------
+    // Managed (JVM-side, bounds-checked) element access
+    // ------------------------------------------------------------------
+
+    fn elem_ptr(&self, a: &ArrayRef, expected: PrimitiveType, index: usize) -> Result<TaggedPtr> {
+        let actual = a.element_type();
+        if actual != expected {
+            return Err(HeapError::TypeMismatch { expected, actual });
+        }
+        if index >= a.len() {
+            return Err(HeapError::IndexOutOfBounds {
+                index,
+                length: a.len(),
+            });
+        }
+        Ok(TaggedPtr::from_addr(
+            a.data_addr() + (index * expected.size()) as u64,
+        ))
+    }
+
+    /// Raw pointer to an object's payload — what the JNI layer tags and
+    /// hands to native code. Untagged.
+    pub fn data_ptr(&self, obj: &ObjectRef) -> TaggedPtr {
+        TaggedPtr::from_addr(obj.data_addr())
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime-internal bulk access (no tag checks; TCO-set equivalent)
+    // ------------------------------------------------------------------
+
+    /// Reads an object's entire payload without tag checks (runtime
+    /// internal, e.g. guarded copy's copy-out).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError::Mem`] range errors.
+    pub fn read_payload(&self, obj: &ObjectRef, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), obj.byte_len());
+        self.inner
+            .memory
+            .read_bytes_unchecked(TaggedPtr::from_addr(obj.data_addr()), buf)?;
+        Ok(())
+    }
+
+    /// Overwrites an object's entire payload without tag checks (runtime
+    /// internal, e.g. guarded copy's copy-back).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError::Mem`] range errors.
+    pub fn write_payload(&self, obj: &ObjectRef, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), obj.byte_len());
+        self.inner
+            .memory
+            .write_bytes_unchecked(TaggedPtr::from_addr(obj.data_addr()), buf)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // GC
+    // ------------------------------------------------------------------
+
+    /// Sweeps dead objects (those with no live handles), returning their
+    /// blocks to the allocator and clearing their memory tags so a stale
+    /// tag can never alias a future allocation.
+    pub fn sweep(&self) -> GcStats {
+        let mut objects = self.inner.objects.lock();
+        let dead: Vec<(u64, usize)> = objects
+            .iter()
+            .filter(|(_, m)| m.live.strong_count() == 0)
+            .map(|(&addr, m)| (addr, m.block_len))
+            .collect();
+        let mut bytes = 0usize;
+        for &(addr, block_len) in &dead {
+            objects.remove(&addr);
+            if self.inner.config.prot_mte {
+                let p = TaggedPtr::from_addr(addr);
+                self.inner
+                    .memory
+                    .set_tag_range(p, addr + block_len as u64, Tag::UNTAGGED)
+                    .expect("heap blocks are PROT_MTE");
+            }
+            self.inner.blocks.free(addr, block_len);
+            bytes += block_len;
+        }
+        let live = objects.len();
+        drop(objects);
+        self.inner.swept_total.fetch_add(dead.len() as u64, Ordering::Relaxed);
+        self.inner.sweeps.fetch_add(1, Ordering::Relaxed);
+        GcStats {
+            swept: dead.len(),
+            bytes_freed: bytes,
+            live,
+        }
+    }
+
+    /// Scans every live object's memory — header and payload — through
+    /// `scanner`, using **untagged** pointers, exactly like a GC marking
+    /// thread that never went through a JNI tagging interface.
+    ///
+    /// With MTE4JNI's thread-level control the scanner has `TCO` set and
+    /// the scan is silent; a naively process-wide MTE enablement makes
+    /// this scan fault on every object currently tagged for native code
+    /// (paper §3.3).
+    pub fn scan_live(&self, scanner: &MteThread) -> ScanOutcome {
+        let tokens: Vec<(u64, usize)> = {
+            let objects = self.inner.objects.lock();
+            objects
+                .iter()
+                .filter(|(_, m)| m.live.strong_count() > 0)
+                .map(|(&addr, m)| (addr, HEADER_SIZE + m.byte_len))
+                .collect()
+        };
+        let mut outcome = ScanOutcome::default();
+        let mut buf = Vec::new();
+        for (addr, len) in tokens {
+            buf.resize(len, 0);
+            let ptr = TaggedPtr::from_addr(addr); // untagged, like a GC root
+            match self.inner.memory.read_bytes(scanner, ptr, &mut buf) {
+                Ok(()) => {}
+                Err(mte_sim::MemError::TagCheck(fault)) => outcome.faults.push(*fault),
+                Err(_) => unreachable!("live objects lie inside the heap"),
+            }
+            outcome.objects += 1;
+            outcome.bytes += len;
+        }
+        // Async-mode scanners latch instead of failing; surface it here the
+        // way the kernel would at the scanner's next syscall.
+        if let Err(fault) = scanner.syscall("madvise") {
+            outcome.faults.push(fault);
+        }
+        outcome
+    }
+
+    /// Number of live (handle-reachable) objects.
+    pub fn live_count(&self) -> usize {
+        self.inner
+            .objects
+            .lock()
+            .values()
+            .filter(|m| m.live.strong_count() > 0)
+            .count()
+    }
+
+    /// Aggregate heap statistics.
+    pub fn stats(&self) -> HeapStats {
+        HeapStats {
+            live_objects: self.live_count(),
+            bytes_in_use: self.inner.blocks.bytes_in_use(),
+            fragmentation_bytes: self.inner.blocks.fragmentation_bytes(),
+            allocated_total: self.inner.allocated_total.load(Ordering::Relaxed),
+            swept_total: self.inner.swept_total.load(Ordering::Relaxed),
+            sweeps: self.inner.sweeps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Heap")
+            .field("config", &self.inner.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Result of one [`Heap::sweep`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Objects collected.
+    pub swept: usize,
+    /// Block bytes returned to the allocator.
+    pub bytes_freed: usize,
+    /// Objects still live after the sweep.
+    pub live: usize,
+}
+
+/// Result of one [`Heap::scan_live`].
+#[derive(Clone, Debug, Default)]
+pub struct ScanOutcome {
+    /// Objects scanned.
+    pub objects: usize,
+    /// Bytes read.
+    pub bytes: usize,
+    /// Tag-check faults the scanner hit (empty for a correctly configured
+    /// runtime thread).
+    pub faults: Vec<TagCheckFault>,
+}
+
+/// Point-in-time heap statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects with live handles.
+    pub live_objects: usize,
+    /// Bytes currently held by object blocks.
+    pub bytes_in_use: u64,
+    /// Cumulative internal fragmentation from alignment rounding.
+    pub fragmentation_bytes: u64,
+    /// Objects ever allocated.
+    pub allocated_total: u64,
+    /// Objects ever swept.
+    pub swept_total: u64,
+    /// Sweep cycles run.
+    pub sweeps: u64,
+}
+
+macro_rules! element_accessors {
+    (
+        $prim:expr, $rust:ty,
+        $alloc:ident, $alloc_from:ident, $at:ident, $set_at:ident, $as_vec:ident,
+        $load:ident, $store:ident, $decode:expr, $encode:expr
+    ) => {
+        impl Heap {
+            #[doc = concat!("Allocates a zero-filled `", stringify!($prim), "` array.")]
+            ///
+            /// # Errors
+            ///
+            /// [`HeapError::OutOfMemory`] when the heap is exhausted.
+            pub fn $alloc(&self, len: usize) -> Result<ArrayRef> {
+                self.alloc_array($prim, len)
+            }
+
+            /// Allocates an array initialized from `values`.
+            ///
+            /// # Errors
+            ///
+            /// [`HeapError::OutOfMemory`] when the heap is exhausted.
+            pub fn $alloc_from(&self, values: &[$rust]) -> Result<ArrayRef> {
+                let a = self.alloc_array($prim, values.len())?;
+                let mut bytes = Vec::with_capacity(a.byte_len());
+                for &v in values {
+                    let enc = $encode(v);
+                    bytes.extend_from_slice(&enc.to_le_bytes());
+                }
+                self.inner
+                    .memory
+                    .write_bytes_unchecked(TaggedPtr::from_addr(a.data_addr()), &bytes)?;
+                Ok(a)
+            }
+
+            /// Managed (bounds- and type-checked) element read — the JVM's
+            /// own safe path.
+            ///
+            /// # Errors
+            ///
+            /// [`HeapError::IndexOutOfBounds`] or [`HeapError::TypeMismatch`]
+            /// on a bad access; [`HeapError::Mem`] on memory errors.
+            pub fn $at(&self, t: &JavaThread, a: &ArrayRef, index: usize) -> Result<$rust> {
+                let p = self.elem_ptr(a, $prim, index)?;
+                let raw = self.inner.memory.$load(t.mte(), p)?;
+                Ok($decode(raw))
+            }
+
+            /// Managed (bounds- and type-checked) element write.
+            ///
+            /// # Errors
+            ///
+            /// See the corresponding read accessor.
+            pub fn $set_at(
+                &self,
+                t: &JavaThread,
+                a: &ArrayRef,
+                index: usize,
+                value: $rust,
+            ) -> Result<()> {
+                let p = self.elem_ptr(a, $prim, index)?;
+                self.inner.memory.$store(t.mte(), p, $encode(value))?;
+                Ok(())
+            }
+
+            /// Copies the whole array out through the managed path.
+            ///
+            /// # Errors
+            ///
+            /// [`HeapError::TypeMismatch`] for the wrong element type;
+            /// [`HeapError::Mem`] on memory errors.
+            pub fn $as_vec(&self, t: &JavaThread, a: &ArrayRef) -> Result<Vec<$rust>> {
+                let mut out = Vec::with_capacity(a.len());
+                for i in 0..a.len() {
+                    out.push(self.$at(t, a, i)?);
+                }
+                Ok(out)
+            }
+        }
+    };
+}
+
+element_accessors!(
+    PrimitiveType::Boolean, bool,
+    alloc_boolean_array, alloc_boolean_array_from, boolean_at, set_boolean_at, boolean_array_as_vec,
+    load_u8, store_u8, |raw: u8| raw != 0, |v: bool| u8::from(v)
+);
+element_accessors!(
+    PrimitiveType::Byte, i8,
+    alloc_byte_array, alloc_byte_array_from, byte_at, set_byte_at, byte_array_as_vec,
+    load_u8, store_u8, |raw: u8| raw as i8, |v: i8| v as u8
+);
+element_accessors!(
+    PrimitiveType::Char, u16,
+    alloc_char_array, alloc_char_array_from, char_at, set_char_at, char_array_as_vec,
+    load_u16, store_u16, |raw: u16| raw, |v: u16| v
+);
+element_accessors!(
+    PrimitiveType::Short, i16,
+    alloc_short_array, alloc_short_array_from, short_at, set_short_at, short_array_as_vec,
+    load_u16, store_u16, |raw: u16| raw as i16, |v: i16| v as u16
+);
+element_accessors!(
+    PrimitiveType::Int, i32,
+    alloc_int_array, alloc_int_array_from, int_at, set_int_at, int_array_as_vec,
+    load_u32, store_u32, |raw: u32| raw as i32, |v: i32| v as u32
+);
+element_accessors!(
+    PrimitiveType::Long, i64,
+    alloc_long_array, alloc_long_array_from, long_at, set_long_at, long_array_as_vec,
+    load_u64, store_u64, |raw: u64| raw as i64, |v: i64| v as u64
+);
+element_accessors!(
+    PrimitiveType::Float, f32,
+    alloc_float_array, alloc_float_array_from, float_at, set_float_at, float_array_as_vec,
+    load_u32, store_u32, f32::from_bits, |v: f32| v.to_bits()
+);
+element_accessors!(
+    PrimitiveType::Double, f64,
+    alloc_double_array, alloc_double_array_from, double_at, set_double_at, double_array_as_vec,
+    load_u64, store_u64, f64::from_bits, |v: f64| v.to_bits()
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig::default())
+    }
+
+    #[test]
+    fn int_array_round_trip() {
+        let h = heap();
+        let t = JavaThread::new("main");
+        let a = h.alloc_int_array_from(&[-1, 0, i32::MAX, i32::MIN]).unwrap();
+        assert_eq!(h.int_array_as_vec(&t, &a).unwrap(), vec![-1, 0, i32::MAX, i32::MIN]);
+        h.set_int_at(&t, &a, 1, 77).unwrap();
+        assert_eq!(h.int_at(&t, &a, 1).unwrap(), 77);
+    }
+
+    #[test]
+    fn all_types_round_trip() {
+        let h = heap();
+        let t = JavaThread::new("main");
+        let b = h.alloc_boolean_array_from(&[true, false, true]).unwrap();
+        assert_eq!(h.boolean_array_as_vec(&t, &b).unwrap(), vec![true, false, true]);
+        let y = h.alloc_byte_array_from(&[-128, 127]).unwrap();
+        assert_eq!(h.byte_array_as_vec(&t, &y).unwrap(), vec![-128, 127]);
+        let c = h.alloc_char_array_from(&[0x0041, 0xFFFF]).unwrap();
+        assert_eq!(h.char_array_as_vec(&t, &c).unwrap(), vec![0x0041, 0xFFFF]);
+        let s = h.alloc_short_array_from(&[-5, 5]).unwrap();
+        assert_eq!(h.short_array_as_vec(&t, &s).unwrap(), vec![-5, 5]);
+        let l = h.alloc_long_array_from(&[i64::MIN, i64::MAX]).unwrap();
+        assert_eq!(h.long_array_as_vec(&t, &l).unwrap(), vec![i64::MIN, i64::MAX]);
+        let f = h.alloc_float_array_from(&[1.5, -0.0]).unwrap();
+        assert_eq!(h.float_array_as_vec(&t, &f).unwrap(), vec![1.5, -0.0]);
+        let d = h.alloc_double_array_from(&[std::f64::consts::PI]).unwrap();
+        assert_eq!(h.double_array_as_vec(&t, &d).unwrap(), vec![std::f64::consts::PI]);
+    }
+
+    #[test]
+    fn fresh_arrays_are_zeroed() {
+        let h = heap();
+        let t = JavaThread::new("main");
+        let a = h.alloc_int_array(16).unwrap();
+        assert_eq!(h.int_array_as_vec(&t, &a).unwrap(), vec![0; 16]);
+    }
+
+    #[test]
+    fn managed_access_bounds_checked() {
+        let h = heap();
+        let t = JavaThread::new("main");
+        let a = h.alloc_int_array(18).unwrap();
+        // The JVM catches what native code would not: index 21 of 18.
+        assert_eq!(
+            h.int_at(&t, &a, 21),
+            Err(HeapError::IndexOutOfBounds { index: 21, length: 18 })
+        );
+        assert!(h.set_int_at(&t, &a, 18, 1).is_err());
+        assert!(h.set_int_at(&t, &a, 17, 1).is_ok());
+    }
+
+    #[test]
+    fn managed_access_type_checked() {
+        let h = heap();
+        let t = JavaThread::new("main");
+        let a = h.alloc_byte_array(4).unwrap();
+        assert!(matches!(
+            h.int_at(&t, &a, 0),
+            Err(HeapError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn alignment_respects_config() {
+        for align in [8usize, 16] {
+            let h = Heap::new(HeapConfig {
+                alignment: align,
+                ..HeapConfig::default()
+            });
+            for len in [1usize, 3, 7, 18] {
+                let a = h.alloc_int_array(len).unwrap();
+                assert_eq!(a.addr() % align as u64, 0, "align {align} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let h = heap();
+        let s = h.alloc_string("Hello, 世界 😀").unwrap();
+        assert_eq!(h.read_string(&s).unwrap(), "Hello, 世界 😀");
+        assert_eq!(s.len(), "Hello, 世界 😀".encode_utf16().count());
+    }
+
+    #[test]
+    fn sweep_collects_only_dead_objects() {
+        let h = heap();
+        let keep = h.alloc_int_array(8).unwrap();
+        {
+            let _drop_me = h.alloc_int_array(8).unwrap();
+        }
+        let stats = h.sweep();
+        assert_eq!(stats.swept, 1);
+        assert_eq!(stats.live, 1);
+        assert_eq!(h.live_count(), 1);
+        drop(keep);
+        assert_eq!(h.sweep().swept, 1);
+        assert_eq!(h.live_count(), 0);
+    }
+
+    #[test]
+    fn sweep_allows_address_reuse() {
+        let h = heap();
+        let addr = {
+            let a = h.alloc_int_array(64).unwrap();
+            a.addr()
+        };
+        h.sweep();
+        let b = h.alloc_int_array(64).unwrap();
+        assert_eq!(b.addr(), addr, "freed block reused first-fit");
+    }
+
+    #[test]
+    fn sweep_clears_stale_tags() {
+        let h = heap();
+        let (addr, end) = {
+            let a = h.alloc_int_array(8).unwrap();
+            let p = TaggedPtr::from_addr(a.addr());
+            h.memory()
+                .set_tag_range(p, a.addr() + 48, Tag::new(0xD).unwrap())
+                .unwrap();
+            (a.addr(), a.addr() + 48)
+        };
+        h.sweep();
+        let mut a = addr;
+        while a < end {
+            assert_eq!(h.memory().raw_tag_at(a).unwrap(), Tag::UNTAGGED);
+            a += 16;
+        }
+    }
+
+    #[test]
+    fn scan_live_reads_everything_quietly_for_runtime_threads() {
+        let h = heap();
+        let _a = h.alloc_int_array(100).unwrap();
+        let _b = h.alloc_string("gc test").unwrap();
+        let scanner = MteThread::new("HeapTaskDaemon"); // TCO set by default
+        let outcome = h.scan_live(&scanner);
+        assert_eq!(outcome.objects, 2);
+        assert!(outcome.faults.is_empty());
+        assert!(outcome.bytes >= 100 * 4 + HEADER_SIZE);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let h = Heap::new(HeapConfig {
+            memory: MemoryConfig {
+                base: 0x7a00_0000_0000,
+                size: 64 << 10,
+            },
+            ..HeapConfig::default()
+        });
+        // Heap region is 48 KiB; this cannot fit.
+        assert!(matches!(
+            h.alloc_byte_array(1 << 20),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn data_starts_after_header_on_granule_boundary() {
+        let h = heap();
+        let a = h.alloc_int_array(4).unwrap();
+        assert_eq!(a.data_addr(), a.addr() + 16);
+        assert_eq!(a.data_addr() % 16, 0);
+    }
+
+    #[test]
+    fn stats_track_allocation_lifecycle() {
+        let h = heap();
+        let _a = h.alloc_int_array(10).unwrap();
+        {
+            let _b = h.alloc_int_array(10).unwrap();
+        }
+        h.sweep();
+        let s = h.stats();
+        assert_eq!(s.allocated_total, 2);
+        assert_eq!(s.swept_total, 1);
+        assert_eq!(s.live_objects, 1);
+        assert_eq!(s.sweeps, 1);
+        assert!(s.bytes_in_use >= 56);
+    }
+}

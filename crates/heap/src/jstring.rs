@@ -1,0 +1,196 @@
+//! Java string encodings: UTF-16 code units and JNI *modified UTF-8*.
+//!
+//! `GetStringChars` exposes the heap's UTF-16 data directly;
+//! `GetStringUTFChars` exposes a modified-UTF-8 transcoding. Modified
+//! UTF-8 differs from standard UTF-8 in two ways (JNI spec §Modified
+//! UTF-8 Strings):
+//!
+//! * `U+0000` is encoded as the two-byte sequence `0xC0 0x80` so the data
+//!   never contains an embedded NUL, and
+//! * supplementary characters are encoded as *two* three-byte sequences,
+//!   one per UTF-16 surrogate (CESU-8 style), never as four-byte UTF-8.
+
+use std::fmt;
+
+/// Error returned by [`decode_modified_utf8`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Utf8Error {
+    /// Byte offset of the offending sequence.
+    pub offset: usize,
+}
+
+impl fmt::Display for Utf8Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid modified UTF-8 at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for Utf8Error {}
+
+/// Converts a Rust string to the UTF-16 code units a Java `String` stores.
+pub fn utf16_units(s: &str) -> Vec<u16> {
+    s.encode_utf16().collect()
+}
+
+/// Encodes UTF-16 code units as JNI modified UTF-8.
+///
+/// Unpaired surrogates are encoded as their individual three-byte
+/// sequences, exactly as HotSpot/ART do (Java strings may contain them).
+///
+/// ```
+/// use art_heap::encode_modified_utf8;
+/// // U+0000 gets the overlong two-byte form.
+/// assert_eq!(encode_modified_utf8(&[0x0000]), vec![0xC0, 0x80]);
+/// // ASCII stays one byte.
+/// assert_eq!(encode_modified_utf8(&[0x41]), vec![0x41]);
+/// ```
+pub fn encode_modified_utf8(units: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(units.len());
+    for &u in units {
+        match u {
+            0x0000 => out.extend_from_slice(&[0xC0, 0x80]),
+            0x0001..=0x007F => out.push(u as u8),
+            0x0080..=0x07FF => {
+                out.push(0xC0 | (u >> 6) as u8);
+                out.push(0x80 | (u & 0x3F) as u8);
+            }
+            _ => {
+                out.push(0xE0 | (u >> 12) as u8);
+                out.push(0x80 | ((u >> 6) & 0x3F) as u8);
+                out.push(0x80 | (u & 0x3F) as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes JNI modified UTF-8 back to UTF-16 code units.
+///
+/// # Errors
+///
+/// Returns [`Utf8Error`] with the offset of the first byte of any sequence
+/// that is not valid modified UTF-8 (including plain-UTF-8 four-byte
+/// sequences, which modified UTF-8 forbids).
+pub fn decode_modified_utf8(bytes: &[u8]) -> Result<Vec<u16>, Utf8Error> {
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b0 = bytes[i];
+        let err = Utf8Error { offset: i };
+        match b0 {
+            // One byte: 0x01..=0x7F. A raw 0x00 is legal input for ART's
+            // decoder but we treat it as the terminator convention and
+            // reject it to catch buffer-length bugs.
+            0x01..=0x7F => {
+                out.push(u16::from(b0));
+                i += 1;
+            }
+            0xC0..=0xDF => {
+                let b1 = *bytes.get(i + 1).ok_or(err)?;
+                if b1 & 0xC0 != 0x80 {
+                    return Err(err);
+                }
+                out.push((u16::from(b0 & 0x1F) << 6) | u16::from(b1 & 0x3F));
+                i += 2;
+            }
+            0xE0..=0xEF => {
+                let b1 = *bytes.get(i + 1).ok_or(err)?;
+                let b2 = *bytes.get(i + 2).ok_or(err)?;
+                if b1 & 0xC0 != 0x80 || b2 & 0xC0 != 0x80 {
+                    return Err(err);
+                }
+                out.push(
+                    (u16::from(b0 & 0x0F) << 12)
+                        | (u16::from(b1 & 0x3F) << 6)
+                        | u16::from(b2 & 0x3F),
+                );
+                i += 3;
+            }
+            _ => return Err(err),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(s: &str) {
+        let units = utf16_units(s);
+        let encoded = encode_modified_utf8(&units);
+        let decoded = decode_modified_utf8(&encoded).unwrap();
+        assert_eq!(decoded, units, "round trip for {s:?}");
+        assert_eq!(String::from_utf16(&decoded).unwrap(), s);
+    }
+
+    #[test]
+    fn ascii_round_trips_identity() {
+        let s = "Hello, JNI!";
+        assert_eq!(encode_modified_utf8(&utf16_units(s)), s.as_bytes());
+        round_trip(s);
+    }
+
+    #[test]
+    fn bmp_characters_round_trip() {
+        round_trip("héllo wörld");
+        round_trip("日本語のテキスト");
+        round_trip("Ω≈ç√∫");
+    }
+
+    #[test]
+    fn supplementary_characters_use_surrogate_pairs() {
+        // U+1F600 GRINNING FACE: UTF-16 D83D DE00 → two 3-byte sequences.
+        let units = utf16_units("😀");
+        assert_eq!(units.len(), 2);
+        let encoded = encode_modified_utf8(&units);
+        assert_eq!(encoded.len(), 6, "CESU-8 style, not 4-byte UTF-8");
+        assert_ne!(encoded, "😀".as_bytes(), "differs from standard UTF-8");
+        round_trip("😀🚀");
+    }
+
+    #[test]
+    fn nul_is_overlong_encoded() {
+        let encoded = encode_modified_utf8(&[0x41, 0x0000, 0x42]);
+        assert_eq!(encoded, vec![0x41, 0xC0, 0x80, 0x42]);
+        assert!(!encoded.contains(&0), "no embedded NUL bytes");
+        assert_eq!(decode_modified_utf8(&encoded).unwrap(), vec![0x41, 0, 0x42]);
+    }
+
+    #[test]
+    fn empty_string() {
+        assert!(encode_modified_utf8(&[]).is_empty());
+        assert!(decode_modified_utf8(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_sequences() {
+        assert_eq!(decode_modified_utf8(&[0xC0]), Err(Utf8Error { offset: 0 }));
+        assert_eq!(decode_modified_utf8(&[0x41, 0xE0, 0x80]), Err(Utf8Error { offset: 1 }));
+    }
+
+    #[test]
+    fn decode_rejects_bad_continuations() {
+        assert!(decode_modified_utf8(&[0xC2, 0x41]).is_err());
+        assert!(decode_modified_utf8(&[0xE0, 0x41, 0x80]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_four_byte_utf8() {
+        // Standard UTF-8 for U+1F600 — forbidden in modified UTF-8.
+        assert!(decode_modified_utf8("😀".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_raw_nul() {
+        assert!(decode_modified_utf8(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn unpaired_surrogate_round_trips() {
+        let units = vec![0xD800u16];
+        let encoded = encode_modified_utf8(&units);
+        assert_eq!(encoded.len(), 3);
+        assert_eq!(decode_modified_utf8(&encoded).unwrap(), units);
+    }
+}

@@ -1,0 +1,246 @@
+//! Handles to Java heap objects.
+//!
+//! A handle is the managed world's *reference*: cloning it models another
+//! reference to the same object, and an object becomes garbage once every
+//! handle to it has been dropped (collected by the next [`Heap::sweep`]).
+//!
+//! [`Heap::sweep`]: crate::Heap::sweep
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::heap::HEADER_SIZE;
+use crate::types::PrimitiveType;
+
+/// What kind of object a handle refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// A primitive array with the given element type.
+    Array(PrimitiveType),
+    /// A `java.lang.String` (UTF-16 payload).
+    String,
+}
+
+impl ObjKind {
+    /// Element type of the payload.
+    pub fn element_type(self) -> PrimitiveType {
+        match self {
+            ObjKind::Array(t) => t,
+            ObjKind::String => PrimitiveType::Char,
+        }
+    }
+}
+
+/// Shared liveness token; the heap holds a `Weak` to it.
+#[derive(Debug)]
+pub(crate) struct LiveToken {
+    pub(crate) addr: u64,
+    pub(crate) kind: ObjKind,
+    pub(crate) len: usize,
+}
+
+/// An untyped reference to any heap object.
+#[derive(Clone)]
+pub struct ObjectRef {
+    pub(crate) token: Arc<LiveToken>,
+}
+
+impl ObjectRef {
+    /// Address of the object header in the simulated heap.
+    pub fn addr(&self) -> u64 {
+        self.token.addr
+    }
+
+    /// Address of the first payload byte.
+    pub fn data_addr(&self) -> u64 {
+        self.token.addr + HEADER_SIZE as u64
+    }
+
+    /// Object kind.
+    pub fn kind(&self) -> ObjKind {
+        self.token.kind
+    }
+
+    /// Element count (array length, or UTF-16 length for strings).
+    pub fn len(&self) -> usize {
+        self.token.len
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.token.len == 0
+    }
+
+    /// Payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.token.len * self.token.kind.element_type().size()
+    }
+
+    /// Downcasts to an array handle if this is a primitive array.
+    pub fn as_array(&self) -> Option<ArrayRef> {
+        matches!(self.token.kind, ObjKind::Array(_)).then(|| ArrayRef {
+            token: Arc::clone(&self.token),
+        })
+    }
+
+    /// Downcasts to a string handle if this is a string.
+    pub fn as_string(&self) -> Option<StringRef> {
+        matches!(self.token.kind, ObjKind::String).then(|| StringRef {
+            token: Arc::clone(&self.token),
+        })
+    }
+}
+
+impl PartialEq for ObjectRef {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.token, &other.token)
+    }
+}
+
+impl Eq for ObjectRef {}
+
+impl fmt::Debug for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectRef({:#x}, {:?}, len {})", self.addr(), self.kind(), self.len())
+    }
+}
+
+macro_rules! typed_handle {
+    ($(#[$doc:meta])* $name:ident, $kind_pat:pat) => {
+        $(#[$doc])*
+        #[derive(Clone)]
+        pub struct $name {
+            pub(crate) token: Arc<LiveToken>,
+        }
+
+        impl $name {
+            /// Address of the object header.
+            pub fn addr(&self) -> u64 {
+                self.token.addr
+            }
+
+            /// Address of the first payload byte.
+            pub fn data_addr(&self) -> u64 {
+                self.token.addr + HEADER_SIZE as u64
+            }
+
+            /// Element count.
+            pub fn len(&self) -> usize {
+                self.token.len
+            }
+
+            /// Whether the payload is empty.
+            pub fn is_empty(&self) -> bool {
+                self.token.len == 0
+            }
+
+            /// Payload size in bytes.
+            pub fn byte_len(&self) -> usize {
+                self.token.len * self.element_type().size()
+            }
+
+            /// Element type of the payload.
+            pub fn element_type(&self) -> PrimitiveType {
+                self.token.kind.element_type()
+            }
+
+            /// Upcasts to an untyped object reference.
+            pub fn as_object(&self) -> ObjectRef {
+                ObjectRef {
+                    token: Arc::clone(&self.token),
+                }
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                Arc::ptr_eq(&self.token, &other.token)
+            }
+        }
+
+        impl Eq for $name {}
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(
+                    f,
+                    concat!(stringify!($name), "({:#x}, {}, len {})"),
+                    self.addr(),
+                    self.element_type(),
+                    self.len()
+                )
+            }
+        }
+
+        impl From<$name> for ObjectRef {
+            fn from(h: $name) -> ObjectRef {
+                ObjectRef { token: h.token }
+            }
+        }
+    };
+}
+
+typed_handle!(
+    /// A reference to a primitive array on the Java heap.
+    ArrayRef,
+    ObjKind::Array(_)
+);
+
+typed_handle!(
+    /// A reference to a `java.lang.String` on the Java heap.
+    StringRef,
+    ObjKind::String
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token(kind: ObjKind, len: usize) -> Arc<LiveToken> {
+        Arc::new(LiveToken { addr: 0x7a00_0000_1000, kind, len })
+    }
+
+    #[test]
+    fn array_handle_geometry() {
+        let a = ArrayRef { token: token(ObjKind::Array(PrimitiveType::Int), 18) };
+        assert_eq!(a.len(), 18);
+        assert_eq!(a.byte_len(), 72);
+        assert_eq!(a.data_addr(), a.addr() + HEADER_SIZE as u64);
+        assert_eq!(a.element_type(), PrimitiveType::Int);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn string_is_char_payload() {
+        let s = StringRef { token: token(ObjKind::String, 5) };
+        assert_eq!(s.element_type(), PrimitiveType::Char);
+        assert_eq!(s.byte_len(), 10);
+    }
+
+    #[test]
+    fn clones_are_equal_distinct_objects_are_not() {
+        let a = ArrayRef { token: token(ObjKind::Array(PrimitiveType::Byte), 4) };
+        let b = a.clone();
+        assert_eq!(a, b);
+        let c = ArrayRef { token: token(ObjKind::Array(PrimitiveType::Byte), 4) };
+        assert_ne!(a, c, "equality is identity, not structure");
+    }
+
+    #[test]
+    fn downcasts_respect_kind() {
+        let o = ObjectRef { token: token(ObjKind::Array(PrimitiveType::Long), 2) };
+        assert!(o.as_array().is_some());
+        assert!(o.as_string().is_none());
+        let s = ObjectRef { token: token(ObjKind::String, 2) };
+        assert!(s.as_string().is_some());
+        assert!(s.as_array().is_none());
+    }
+
+    #[test]
+    fn upcast_round_trips() {
+        let a = ArrayRef { token: token(ObjKind::Array(PrimitiveType::Int), 1) };
+        let o = a.as_object();
+        assert_eq!(o.as_array().unwrap(), a);
+        assert_eq!(o.byte_len(), a.byte_len());
+    }
+}

@@ -1,0 +1,131 @@
+//! Java threads and their managed↔native state.
+
+use std::cell::Cell;
+use std::fmt;
+
+use mte_sim::{MteThread, TcfMode};
+
+/// The two thread states relevant to JNI transitions.
+///
+/// Real ART has a richer state machine (`kRunnable`, `kNative`,
+/// `kSuspended`, …); the trampoline logic the paper modifies only cares
+/// about the managed↔native edge, so only that edge is modelled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ThreadState {
+    /// Executing managed (Java) code; heap accesses go through JVM checks.
+    #[default]
+    Managed,
+    /// Executing native code behind a JNI call.
+    Native,
+}
+
+impl fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadState::Managed => f.write_str("managed"),
+            ThreadState::Native => f.write_str("native"),
+        }
+    }
+}
+
+/// A simulated Java application thread.
+///
+/// Owns the per-thread MTE state; the JNI trampolines flip the `TCO`
+/// register around native code sections so tag checking is scoped to
+/// exactly the code that holds JNI raw pointers (paper §3.3).
+pub struct JavaThread {
+    mte: MteThread,
+    state: Cell<ThreadState>,
+}
+
+impl JavaThread {
+    /// Creates a thread in the managed state with tag checking fully
+    /// disabled (no process-level MTE).
+    pub fn new(name: impl Into<std::sync::Arc<str>>) -> JavaThread {
+        JavaThread {
+            mte: MteThread::new(name),
+            state: Cell::new(ThreadState::Managed),
+        }
+    }
+
+    /// Creates a thread whose process has MTE enabled in `mode` (the
+    /// `prctl(PR_SET_TAGGED_ADDR_CTRL)` analogue). The thread still starts
+    /// managed, with `TCO` set, so no checks fire until a trampoline
+    /// clears `TCO`.
+    pub fn with_mode(name: impl Into<std::sync::Arc<str>>, mode: TcfMode) -> JavaThread {
+        let t = JavaThread::new(name);
+        t.mte.set_mode(mode);
+        t
+    }
+
+    /// The thread's name.
+    pub fn name(&self) -> &str {
+        self.mte.name()
+    }
+
+    /// The per-thread MTE state.
+    pub fn mte(&self) -> &MteThread {
+        &self.mte
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ThreadState {
+        self.state.get()
+    }
+
+    /// Transitions into native code (called by trampolines on JNI entry).
+    pub fn transition_to_native(&self) {
+        self.state.set(ThreadState::Native);
+    }
+
+    /// Transitions back to managed code (called by trampolines on return).
+    pub fn transition_to_managed(&self) {
+        self.state.set(ThreadState::Managed);
+    }
+}
+
+impl fmt::Debug for JavaThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JavaThread")
+            .field("name", &self.name())
+            .field("state", &self.state.get())
+            .field("mode", &self.mte.mode())
+            .field("tco", &self.mte.tco())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_managed_with_checks_off() {
+        let t = JavaThread::new("main");
+        assert_eq!(t.state(), ThreadState::Managed);
+        assert!(!t.mte().checks_enabled());
+    }
+
+    #[test]
+    fn with_mode_sets_process_mode_but_not_tco() {
+        let t = JavaThread::with_mode("main", TcfMode::Sync);
+        assert_eq!(t.mte().mode(), TcfMode::Sync);
+        assert!(t.mte().tco(), "TCO stays set until a trampoline clears it");
+        assert!(!t.mte().checks_enabled());
+    }
+
+    #[test]
+    fn transitions_flip_state() {
+        let t = JavaThread::new("worker");
+        t.transition_to_native();
+        assert_eq!(t.state(), ThreadState::Native);
+        t.transition_to_managed();
+        assert_eq!(t.state(), ThreadState::Managed);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(ThreadState::Managed.to_string(), "managed");
+        assert_eq!(ThreadState::Native.to_string(), "native");
+    }
+}

@@ -1,0 +1,109 @@
+//! Java primitive types as seen by the JNI array interfaces.
+
+use std::fmt;
+
+/// The eight Java primitive element types (paper Table 1's `*` wildcard,
+/// plus `boolean`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrimitiveType {
+    /// `jboolean` — 1 byte.
+    Boolean,
+    /// `jbyte` — 1 byte.
+    Byte,
+    /// `jchar` — 2 bytes (UTF-16 code unit).
+    Char,
+    /// `jshort` — 2 bytes.
+    Short,
+    /// `jint` — 4 bytes.
+    Int,
+    /// `jlong` — 8 bytes.
+    Long,
+    /// `jfloat` — 4 bytes.
+    Float,
+    /// `jdouble` — 8 bytes.
+    Double,
+}
+
+impl PrimitiveType {
+    /// All primitive types, in JVM descriptor order.
+    pub const ALL: [PrimitiveType; 8] = [
+        PrimitiveType::Boolean,
+        PrimitiveType::Byte,
+        PrimitiveType::Char,
+        PrimitiveType::Short,
+        PrimitiveType::Int,
+        PrimitiveType::Long,
+        PrimitiveType::Float,
+        PrimitiveType::Double,
+    ];
+
+    /// Element size in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            PrimitiveType::Boolean | PrimitiveType::Byte => 1,
+            PrimitiveType::Char | PrimitiveType::Short => 2,
+            PrimitiveType::Int | PrimitiveType::Float => 4,
+            PrimitiveType::Long | PrimitiveType::Double => 8,
+        }
+    }
+
+    /// The JVM type descriptor character (`I` for `int`, …).
+    pub fn descriptor(self) -> char {
+        match self {
+            PrimitiveType::Boolean => 'Z',
+            PrimitiveType::Byte => 'B',
+            PrimitiveType::Char => 'C',
+            PrimitiveType::Short => 'S',
+            PrimitiveType::Int => 'I',
+            PrimitiveType::Long => 'J',
+            PrimitiveType::Float => 'F',
+            PrimitiveType::Double => 'D',
+        }
+    }
+}
+
+impl fmt::Display for PrimitiveType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PrimitiveType::Boolean => "boolean",
+            PrimitiveType::Byte => "byte",
+            PrimitiveType::Char => "char",
+            PrimitiveType::Short => "short",
+            PrimitiveType::Int => "int",
+            PrimitiveType::Long => "long",
+            PrimitiveType::Float => "float",
+            PrimitiveType::Double => "double",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_jvm_spec() {
+        assert_eq!(PrimitiveType::Boolean.size(), 1);
+        assert_eq!(PrimitiveType::Byte.size(), 1);
+        assert_eq!(PrimitiveType::Char.size(), 2);
+        assert_eq!(PrimitiveType::Short.size(), 2);
+        assert_eq!(PrimitiveType::Int.size(), 4);
+        assert_eq!(PrimitiveType::Float.size(), 4);
+        assert_eq!(PrimitiveType::Long.size(), 8);
+        assert_eq!(PrimitiveType::Double.size(), 8);
+    }
+
+    #[test]
+    fn descriptors_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for t in PrimitiveType::ALL {
+            assert!(seen.insert(t.descriptor()), "duplicate descriptor for {t}");
+        }
+    }
+
+    #[test]
+    fn display_names_are_java_keywords() {
+        assert_eq!(PrimitiveType::Int.to_string(), "int");
+        assert_eq!(PrimitiveType::Double.to_string(), "double");
+    }
+}

@@ -1,0 +1,147 @@
+//! Label-resolving method assembler.
+
+use std::collections::HashMap;
+
+use crate::error::InterpError;
+use crate::method::{Method, Op};
+use crate::Result;
+
+enum Pending {
+    Op(Op),
+    Jmp(String),
+    Jz(String),
+    Jnz(String),
+}
+
+/// Builds a [`Method`], resolving symbolic branch labels to op indices.
+///
+/// See the crate-level example for typical use.
+pub struct MethodBuilder {
+    name: String,
+    num_args: u8,
+    pending: Vec<Pending>,
+    labels: HashMap<String, usize>,
+}
+
+impl MethodBuilder {
+    /// Starts a method taking `num_args` arguments (locals 0..num_args).
+    pub fn new(name: impl Into<String>, num_args: u8) -> MethodBuilder {
+        MethodBuilder {
+            name: name.into(),
+            num_args,
+            pending: Vec::new(),
+            labels: HashMap::new(),
+        }
+    }
+
+    /// Appends a non-branching op.
+    #[must_use]
+    pub fn op(mut self, op: Op) -> MethodBuilder {
+        self.pending.push(Pending::Op(op));
+        self
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    #[must_use]
+    pub fn label(mut self, name: impl Into<String>) -> MethodBuilder {
+        let name = name.into();
+        let prev = self.labels.insert(name.clone(), self.pending.len());
+        assert!(prev.is_none(), "label {name:?} defined twice");
+        self
+    }
+
+    /// Appends an unconditional jump to `label`.
+    #[must_use]
+    pub fn jmp(mut self, label: impl Into<String>) -> MethodBuilder {
+        self.pending.push(Pending::Jmp(label.into()));
+        self
+    }
+
+    /// Appends a jump-if-zero to `label`.
+    #[must_use]
+    pub fn jz(mut self, label: impl Into<String>) -> MethodBuilder {
+        self.pending.push(Pending::Jz(label.into()));
+        self
+    }
+
+    /// Appends a jump-if-non-zero to `label`.
+    #[must_use]
+    pub fn jnz(mut self, label: impl Into<String>) -> MethodBuilder {
+        self.pending.push(Pending::Jnz(label.into()));
+        self
+    }
+
+    /// Resolves labels and verifies the method.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::UnknownLabel`] for a branch to an undefined label.
+    pub fn build(self) -> Result<Method> {
+        let resolve = |l: &str| -> Result<usize> {
+            self.labels
+                .get(l)
+                .copied()
+                .ok_or_else(|| InterpError::UnknownLabel(l.to_owned()))
+        };
+        let mut ops = Vec::with_capacity(self.pending.len());
+        for p in &self.pending {
+            ops.push(match p {
+                Pending::Op(op) => *op,
+                Pending::Jmp(l) => Op::Jmp(resolve(l)?),
+                Pending::Jz(l) => Op::Jz(resolve(l)?),
+                Pending::Jnz(l) => Op::Jnz(resolve(l)?),
+            });
+        }
+        // A label may point one past the last op (fall-through exit).
+        for (pc, op) in ops.iter().enumerate() {
+            if let Op::Jmp(t) | Op::Jz(t) | Op::Jnz(t) = op {
+                if *t > ops.len() {
+                    return Err(InterpError::BadJump { target: *t });
+                }
+                let _ = pc;
+            }
+        }
+        Ok(Method {
+            name: self.name,
+            num_args: self.num_args,
+            ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let m = MethodBuilder::new("loops", 0)
+            .label("top")
+            .op(Op::Const(0))
+            .jz("exit")
+            .jmp("top")
+            .label("exit")
+            .op(Op::Const(9))
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        assert_eq!(m.ops()[1], Op::Jz(3));
+        assert_eq!(m.ops()[2], Op::Jmp(0));
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let err = MethodBuilder::new("bad", 0).jmp("nowhere").build().unwrap_err();
+        assert!(matches!(err, InterpError::UnknownLabel(l) if l == "nowhere"));
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let _ = MethodBuilder::new("dup", 0).label("a").label("a");
+    }
+}

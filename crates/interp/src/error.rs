@@ -1,0 +1,132 @@
+//! Interpreter errors — the managed world's exceptions.
+
+use std::fmt;
+
+use jni_rt::JniError;
+
+/// Errors raised during method construction or execution.
+///
+/// The crucial variant is [`InterpError::ArrayIndexOutOfBounds`]: the
+/// managed world turns a bad index into a clean exception *before* any
+/// memory is touched, which is exactly the safety net native code lacks.
+#[derive(Debug)]
+pub enum InterpError {
+    /// An operation popped more values than the stack held.
+    StackUnderflow {
+        /// Program counter of the offending op.
+        pc: usize,
+    },
+    /// An operand had the wrong kind (e.g. arithmetic on an array ref).
+    TypeMismatch {
+        /// Program counter of the offending op.
+        pc: usize,
+        /// What the op needed.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// The managed bounds check fired — `ArrayIndexOutOfBoundsException`.
+    ArrayIndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The array length.
+        length: usize,
+    },
+    /// Integer division or remainder by zero — `ArithmeticException`.
+    ArithmeticException,
+    /// A negative array length — `NegativeArraySizeException`.
+    NegativeArraySize {
+        /// The requested length.
+        length: i64,
+    },
+    /// Load/store of a local slot beyond the frame.
+    BadLocal {
+        /// The slot index.
+        slot: u8,
+    },
+    /// A jump target outside the method (caught at build time normally).
+    BadJump {
+        /// The target program counter.
+        target: usize,
+    },
+    /// `CallNative` referenced an unregistered method index.
+    UnknownNative {
+        /// The method index.
+        index: u16,
+    },
+    /// The native method failed — including MTE tag-check faults and
+    /// CheckJNI aborts, which propagate here unchanged.
+    Native(JniError),
+    /// The step budget ran out (runaway loop guard).
+    FuelExhausted,
+    /// A branch referenced an undefined label (build time).
+    UnknownLabel(String),
+    /// The heap could not satisfy an allocation.
+    OutOfMemory,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StackUnderflow { pc } => write!(f, "operand stack underflow at pc {pc}"),
+            InterpError::TypeMismatch { pc, expected, found } => {
+                write!(f, "expected {expected} but found {found} at pc {pc}")
+            }
+            InterpError::ArrayIndexOutOfBounds { index, length } => write!(
+                f,
+                "java.lang.ArrayIndexOutOfBoundsException: index {index} out of bounds for length {length}"
+            ),
+            InterpError::ArithmeticException => {
+                write!(f, "java.lang.ArithmeticException: / by zero")
+            }
+            InterpError::NegativeArraySize { length } => {
+                write!(f, "java.lang.NegativeArraySizeException: {length}")
+            }
+            InterpError::BadLocal { slot } => write!(f, "local slot {slot} out of frame"),
+            InterpError::BadJump { target } => write!(f, "jump target {target} out of method"),
+            InterpError::UnknownNative { index } => {
+                write!(f, "no native method registered at index {index}")
+            }
+            InterpError::Native(e) => write!(f, "native method failed: {e}"),
+            InterpError::FuelExhausted => write!(f, "execution budget exhausted"),
+            InterpError::UnknownLabel(l) => write!(f, "undefined label {l:?}"),
+            InterpError::OutOfMemory => write!(f, "java.lang.OutOfMemoryError"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InterpError::Native(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JniError> for InterpError {
+    fn from(e: JniError) -> Self {
+        InterpError::Native(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceptions_render_like_java() {
+        let e = InterpError::ArrayIndexOutOfBounds { index: 21, length: 18 };
+        assert_eq!(
+            e.to_string(),
+            "java.lang.ArrayIndexOutOfBoundsException: index 21 out of bounds for length 18"
+        );
+        assert!(InterpError::ArithmeticException.to_string().contains("/ by zero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InterpError>();
+    }
+}

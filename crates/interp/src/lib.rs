@@ -1,0 +1,65 @@
+//! A miniature managed-code interpreter over the simulated runtime.
+//!
+//! The paper's setting is a *managed* language whose safety checks vanish
+//! the moment execution crosses the JNI boundary (§1). This crate makes
+//! that boundary executable end to end: a small stack-machine bytecode
+//! stands in for dex/Java bytecode, every array access it performs goes
+//! through the heap's **bounds-checked managed accessors** (an
+//! out-of-bounds index raises a catch-able
+//! [`InterpError::ArrayIndexOutOfBounds`], never memory corruption), and
+//! [`Op::CallNative`] transfers control through the real JNI trampolines
+//! into registered native methods — where only the active protection
+//! scheme stands between a bad pointer and the heap.
+//!
+//! # Example
+//!
+//! ```
+//! use dex_interp::{Machine, MethodBuilder, Op, Value};
+//! use jni_rt::Vm;
+//!
+//! # fn main() -> Result<(), dex_interp::InterpError> {
+//! let vm = Vm::builder().build();
+//! let mut machine = Machine::new(&vm, "main");
+//!
+//! // int sum(int n) { int acc = 0; for (i = n; i > 0; i--) acc += i; }
+//! let sum = MethodBuilder::new("sum", 1)
+//!     .op(Op::Const(0))      // acc
+//!     .op(Op::Load(0))       // n (loop counter in local 1)
+//!     .op(Op::Store(1))
+//!     .label("loop")
+//!     .op(Op::Load(1))
+//!     .jz("done")
+//!     .op(Op::Load(1))
+//!     .op(Op::Add)           // acc += i
+//!     .op(Op::Load(1))
+//!     .op(Op::Const(1))
+//!     .op(Op::Sub)
+//!     .op(Op::Store(1))      // i -= 1
+//!     .jmp("loop")
+//!     .label("done")
+//!     .op(Op::Return)
+//!     .build()?;
+//!
+//! let result = machine.run(&sum, &[Value::Int(10)])?;
+//! assert_eq!(result, Value::Int(55));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod machine;
+mod method;
+mod value;
+
+pub use builder::MethodBuilder;
+pub use error::InterpError;
+pub use machine::{Machine, NativeCall, NativeMethod};
+pub use method::{Method, Op};
+pub use value::Value;
+
+/// Convenience alias for results whose error type is [`InterpError`].
+pub type Result<T> = std::result::Result<T, InterpError>;

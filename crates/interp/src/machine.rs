@@ -1,0 +1,519 @@
+//! The execution engine.
+
+use std::fmt;
+
+use art_heap::HeapError;
+use jni_rt::{JniEnv, JniError, NativeKind, Vm};
+
+use crate::error::InterpError;
+use crate::method::{Method, Op};
+use crate::value::Value;
+use crate::Result;
+
+/// What a registered native method receives: the real [`JniEnv`] (inside
+/// an active trampoline, with the thread state transitioned and — under
+/// MTE schemes — `TCO` cleared) plus its popped arguments.
+pub struct NativeCall<'c, 'e> {
+    /// The JNI environment of the calling thread.
+    pub env: &'c JniEnv<'e>,
+    /// Arguments, in declaration order.
+    pub args: &'c [Value],
+}
+
+impl fmt::Debug for NativeCall<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeCall").field("args", &self.args.len()).finish()
+    }
+}
+
+type NativeFn = Box<dyn Fn(NativeCall<'_, '_>) -> jni_rt::Result<Value> + Send + Sync>;
+
+/// A registered native method.
+pub struct NativeMethod {
+    name: &'static str,
+    kind: NativeKind,
+    arity: u8,
+    body: NativeFn,
+}
+
+impl NativeMethod {
+    /// Wraps a Rust closure as a native method of the given annotation
+    /// kind and arity.
+    pub fn new(
+        name: &'static str,
+        kind: NativeKind,
+        arity: u8,
+        body: impl Fn(NativeCall<'_, '_>) -> jni_rt::Result<Value> + Send + Sync + 'static,
+    ) -> NativeMethod {
+        NativeMethod {
+            name,
+            kind,
+            arity,
+            body: Box::new(body),
+        }
+    }
+
+    /// The method name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Debug for NativeMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeMethod")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("arity", &self.arity)
+            .finish()
+    }
+}
+
+const LOCAL_SLOTS: usize = 16;
+const DEFAULT_FUEL: u64 = 10_000_000;
+
+/// A managed-code execution engine bound to one VM thread.
+pub struct Machine<'vm> {
+    vm: &'vm Vm,
+    thread: art_heap::JavaThread,
+    natives: Vec<NativeMethod>,
+    fuel: u64,
+}
+
+impl<'vm> Machine<'vm> {
+    /// Attaches a new thread to `vm` and creates a machine on it.
+    pub fn new(vm: &'vm Vm, thread_name: &str) -> Machine<'vm> {
+        Machine {
+            vm,
+            thread: vm.attach_thread(thread_name.to_owned()),
+            natives: Vec::new(),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Sets the per-run step budget (runaway-loop guard).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Registers a native method; returns the index for
+    /// [`Op::CallNative`].
+    pub fn register_native(&mut self, method: NativeMethod) -> u16 {
+        self.natives.push(method);
+        (self.natives.len() - 1) as u16
+    }
+
+    /// The machine's Java thread.
+    pub fn thread(&self) -> &art_heap::JavaThread {
+        &self.thread
+    }
+
+    /// Executes `method` with `args`, returning the value passed to
+    /// [`Op::Return`].
+    ///
+    /// # Errors
+    ///
+    /// Managed exceptions ([`InterpError::ArrayIndexOutOfBounds`], …),
+    /// verification failures, or [`InterpError::Native`] when a native
+    /// method fails — including MTE tag-check faults.
+    pub fn run(&mut self, method: &Method, args: &[Value]) -> Result<Value> {
+        assert_eq!(
+            args.len(),
+            method.num_args() as usize,
+            "argument count must match the method arity"
+        );
+        let env = self.vm.env(&self.thread);
+        let mut locals: Vec<Value> = args.to_vec();
+        locals.resize(LOCAL_SLOTS, Value::Int(0));
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc = 0usize;
+        let mut fuel = self.fuel;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(InterpError::StackUnderflow { pc })?
+            };
+        }
+        macro_rules! pop_int {
+            () => {
+                match pop!() {
+                    Value::Int(v) => v,
+                    other => {
+                        return Err(InterpError::TypeMismatch {
+                            pc,
+                            expected: "int",
+                            found: other.kind(),
+                        })
+                    }
+                }
+            };
+        }
+        macro_rules! pop_array {
+            () => {
+                match pop!() {
+                    Value::Array(a) => a,
+                    other => {
+                        return Err(InterpError::TypeMismatch {
+                            pc,
+                            expected: "array",
+                            found: other.kind(),
+                        })
+                    }
+                }
+            };
+        }
+
+        while pc < method.ops().len() {
+            fuel = fuel.checked_sub(1).ok_or(InterpError::FuelExhausted)?;
+            let op = method.ops()[pc];
+            // `pc` keeps pointing at the executing op so error reports
+            // name it; `next` carries the successor (or jump target).
+            let mut next = pc + 1;
+            match op {
+                Op::Const(v) => stack.push(Value::Int(v)),
+                Op::Dup => {
+                    let v = pop!();
+                    stack.push(v.clone());
+                    stack.push(v);
+                }
+                Op::Pop => {
+                    let _ = pop!();
+                }
+                Op::Swap => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(b);
+                    stack.push(a);
+                }
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::CmpLt | Op::CmpEq => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    let v = match op {
+                        Op::Add => a.wrapping_add(b),
+                        Op::Sub => a.wrapping_sub(b),
+                        Op::Mul => a.wrapping_mul(b),
+                        Op::Div => {
+                            if b == 0 {
+                                return Err(InterpError::ArithmeticException);
+                            }
+                            a.wrapping_div(b)
+                        }
+                        Op::Rem => {
+                            if b == 0 {
+                                return Err(InterpError::ArithmeticException);
+                            }
+                            a.wrapping_rem(b)
+                        }
+                        Op::CmpLt => i64::from(a < b),
+                        Op::CmpEq => i64::from(a == b),
+                        _ => unreachable!(),
+                    };
+                    stack.push(Value::Int(v));
+                }
+                Op::Neg => {
+                    let a = pop_int!();
+                    stack.push(Value::Int(a.wrapping_neg()));
+                }
+                Op::Jmp(t) => next = t,
+                Op::Jz(t) => {
+                    if pop_int!() == 0 {
+                        next = t;
+                    }
+                }
+                Op::Jnz(t) => {
+                    if pop_int!() != 0 {
+                        next = t;
+                    }
+                }
+                Op::Load(slot) => {
+                    let v = locals
+                        .get(slot as usize)
+                        .ok_or(InterpError::BadLocal { slot })?
+                        .clone();
+                    stack.push(v);
+                }
+                Op::Store(slot) => {
+                    let v = pop!();
+                    *locals
+                        .get_mut(slot as usize)
+                        .ok_or(InterpError::BadLocal { slot })? = v;
+                }
+                Op::NewIntArray => {
+                    let len = pop_int!();
+                    if len < 0 {
+                        return Err(InterpError::NegativeArraySize { length: len });
+                    }
+                    let a = self
+                        .vm
+                        .heap()
+                        .alloc_int_array(len as usize)
+                        .map_err(|_| InterpError::OutOfMemory)?;
+                    stack.push(Value::Array(a));
+                }
+                Op::ArrayLen => {
+                    let a = pop_array!();
+                    stack.push(Value::Int(a.len() as i64));
+                }
+                Op::AGet => {
+                    let index = pop_int!();
+                    let a = pop_array!();
+                    let v = usize::try_from(index)
+                        .ok()
+                        .map(|i| self.vm.heap().int_at(&self.thread, &a, i))
+                        .unwrap_or(Err(HeapError::IndexOutOfBounds {
+                            index: usize::MAX,
+                            length: a.len(),
+                        }));
+                    match v {
+                        Ok(v) => stack.push(Value::Int(i64::from(v))),
+                        Err(HeapError::IndexOutOfBounds { length, .. }) => {
+                            return Err(InterpError::ArrayIndexOutOfBounds { index, length })
+                        }
+                        Err(e) => return Err(JniError::Heap(e).into()),
+                    }
+                }
+                Op::APut => {
+                    let value = pop_int!();
+                    let index = pop_int!();
+                    let a = pop_array!();
+                    let r = usize::try_from(index)
+                        .ok()
+                        .map(|i| self.vm.heap().set_int_at(&self.thread, &a, i, value as i32))
+                        .unwrap_or(Err(HeapError::IndexOutOfBounds {
+                            index: usize::MAX,
+                            length: a.len(),
+                        }));
+                    match r {
+                        Ok(()) => {}
+                        Err(HeapError::IndexOutOfBounds { length, .. }) => {
+                            return Err(InterpError::ArrayIndexOutOfBounds { index, length })
+                        }
+                        Err(e) => return Err(JniError::Heap(e).into()),
+                    }
+                }
+                Op::CallNative(idx) => {
+                    let native = self
+                        .natives
+                        .get(idx as usize)
+                        .ok_or(InterpError::UnknownNative { index: idx })?;
+                    let mut call_args = Vec::with_capacity(native.arity as usize);
+                    for _ in 0..native.arity {
+                        call_args.push(pop!());
+                    }
+                    call_args.reverse();
+                    // Through the real trampoline: state transition, TCO,
+                    // frame for fault reports, async-fault surfacing.
+                    let result = env.call_native(native.name, native.kind, |env| {
+                        (native.body)(NativeCall { env, args: &call_args })
+                    })?;
+                    stack.push(result);
+                }
+                Op::Return => {
+                    return Ok(pop!());
+                }
+            }
+            pc = next;
+        }
+        // Falling off the end returns int 0, like a void method.
+        Ok(Value::Int(0))
+    }
+}
+
+impl fmt::Debug for Machine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("thread", &self.thread.name())
+            .field("natives", &self.natives.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+
+    fn machine(vm: &Vm) -> Machine<'_> {
+        Machine::new(vm, "interp")
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let vm = Vm::builder().build();
+        let mut m = machine(&vm);
+        // gcd(a, b) by subtraction.
+        let gcd = MethodBuilder::new("gcd", 2)
+            .label("top")
+            .op(Op::Load(0))
+            .op(Op::Load(1))
+            .op(Op::CmpEq)
+            .jnz("done")
+            .op(Op::Load(0))
+            .op(Op::Load(1))
+            .op(Op::CmpLt)
+            .jnz("b_bigger")
+            .op(Op::Load(0))
+            .op(Op::Load(1))
+            .op(Op::Sub)
+            .op(Op::Store(0))
+            .jmp("top")
+            .label("b_bigger")
+            .op(Op::Load(1))
+            .op(Op::Load(0))
+            .op(Op::Sub)
+            .op(Op::Store(1))
+            .jmp("top")
+            .label("done")
+            .op(Op::Load(0))
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        let r = m.run(&gcd, &[Value::Int(48), Value::Int(18)]).unwrap();
+        assert_eq!(r, Value::Int(6));
+    }
+
+    #[test]
+    fn managed_array_ops_are_bounds_checked() {
+        let vm = Vm::builder().build();
+        let mut m = machine(&vm);
+        // int[] a = new int[18]; a[21] = 7;  → AIOOBE, not corruption.
+        let bad = MethodBuilder::new("bad", 0)
+            .op(Op::Const(18))
+            .op(Op::NewIntArray)
+            .op(Op::Const(21))
+            .op(Op::Const(7))
+            .op(Op::APut)
+            .op(Op::Const(0))
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        let err = m.run(&bad, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            InterpError::ArrayIndexOutOfBounds { index: 21, length: 18 }
+        ));
+    }
+
+    #[test]
+    fn negative_index_and_size_raise_java_exceptions() {
+        let vm = Vm::builder().build();
+        let mut m = machine(&vm);
+        let neg_size = MethodBuilder::new("neg_size", 0)
+            .op(Op::Const(-4))
+            .op(Op::NewIntArray)
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            m.run(&neg_size, &[]).unwrap_err(),
+            InterpError::NegativeArraySize { length: -4 }
+        ));
+
+        let neg_index = MethodBuilder::new("neg_index", 0)
+            .op(Op::Const(4))
+            .op(Op::NewIntArray)
+            .op(Op::Const(-1))
+            .op(Op::AGet)
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            m.run(&neg_index, &[]).unwrap_err(),
+            InterpError::ArrayIndexOutOfBounds { index: -1, .. }
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_raises() {
+        let vm = Vm::builder().build();
+        let mut m = machine(&vm);
+        let div = MethodBuilder::new("div", 2)
+            .op(Op::Load(0))
+            .op(Op::Load(1))
+            .op(Op::Div)
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        assert_eq!(m.run(&div, &[Value::Int(7), Value::Int(2)]).unwrap(), Value::Int(3));
+        assert!(matches!(
+            m.run(&div, &[Value::Int(7), Value::Int(0)]).unwrap_err(),
+            InterpError::ArithmeticException
+        ));
+    }
+
+    #[test]
+    fn fuel_guards_infinite_loops() {
+        let vm = Vm::builder().build();
+        let mut m = machine(&vm);
+        m.set_fuel(1000);
+        let spin = MethodBuilder::new("spin", 0)
+            .label("top")
+            .jmp("top")
+            .build()
+            .unwrap();
+        assert!(matches!(m.run(&spin, &[]).unwrap_err(), InterpError::FuelExhausted));
+    }
+
+    #[test]
+    fn native_methods_receive_args_and_push_results() {
+        let vm = Vm::builder().build();
+        let mut m = machine(&vm);
+        let add3 = m.register_native(NativeMethod::new(
+            "add3",
+            NativeKind::CriticalNative,
+            3,
+            |call| {
+                let sum: i64 = call
+                    .args
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) => *i,
+                        Value::Array(_) => 0,
+                    })
+                    .sum();
+                Ok(Value::Int(sum))
+            },
+        ));
+        let prog = MethodBuilder::new("caller", 0)
+            .op(Op::Const(1))
+            .op(Op::Const(2))
+            .op(Op::Const(3))
+            .op(Op::CallNative(add3))
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        assert_eq!(m.run(&prog, &[]).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn stack_and_type_errors_are_reported_with_pc() {
+        let vm = Vm::builder().build();
+        let mut m = machine(&vm);
+        let underflow = MethodBuilder::new("under", 0).op(Op::Add).build().unwrap();
+        assert!(matches!(
+            m.run(&underflow, &[]).unwrap_err(),
+            InterpError::StackUnderflow { pc: 0 }
+        ));
+
+        let confuse = MethodBuilder::new("confuse", 0)
+            .op(Op::Const(4))
+            .op(Op::NewIntArray)
+            .op(Op::Const(1))
+            .op(Op::Add) // array + int
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            m.run(&confuse, &[]).unwrap_err(),
+            InterpError::TypeMismatch { expected: "int", found: "array", .. }
+        ));
+    }
+
+    #[test]
+    fn falling_off_the_end_returns_zero() {
+        let vm = Vm::builder().build();
+        let mut m = machine(&vm);
+        let empty = MethodBuilder::new("void", 0).build().unwrap();
+        assert_eq!(m.run(&empty, &[]).unwrap(), Value::Int(0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Bytecode and methods.
+
+use std::fmt;
+
+/// One bytecode operation.
+///
+/// The machine is a classic operand-stack design; all managed array
+/// accesses ([`Op::AGet`], [`Op::APut`]) are bounds checked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Push a constant.
+    Const(i64),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two top values.
+    Swap,
+    /// Pop `b`, `a`; push `a + b` (wrapping).
+    Add,
+    /// Pop `b`, `a`; push `a - b` (wrapping).
+    Sub,
+    /// Pop `b`, `a`; push `a * b` (wrapping).
+    Mul,
+    /// Pop `b`, `a`; push `a / b`; zero divisor raises
+    /// `ArithmeticException`.
+    Div,
+    /// Pop `b`, `a`; push `a % b`; zero divisor raises
+    /// `ArithmeticException`.
+    Rem,
+    /// Negate the top of stack.
+    Neg,
+    /// Pop `b`, `a`; push `1` if `a < b` else `0`.
+    CmpLt,
+    /// Pop `b`, `a`; push `1` if `a == b` else `0`.
+    CmpEq,
+    /// Unconditional jump to the op index.
+    Jmp(usize),
+    /// Pop; jump if zero.
+    Jz(usize),
+    /// Pop; jump if non-zero.
+    Jnz(usize),
+    /// Push local slot.
+    Load(u8),
+    /// Pop into local slot.
+    Store(u8),
+    /// Pop a length; push a fresh zero-filled `int[]` heap object.
+    NewIntArray,
+    /// Pop an array; push its length.
+    ArrayLen,
+    /// Pop `index`, `array`; push `array[index]` (bounds checked).
+    AGet,
+    /// Pop `value`, `index`, `array`; store (bounds checked).
+    APut,
+    /// Invoke the registered native method with this index through the
+    /// JNI trampoline; pops its declared arity, pushes its return value.
+    CallNative(u16),
+    /// Pop the return value and leave the method.
+    Return,
+}
+
+/// A verified method: name, arity, and bytecode with in-range jumps.
+#[derive(Clone, Debug)]
+pub struct Method {
+    pub(crate) name: String,
+    pub(crate) num_args: u8,
+    pub(crate) ops: Vec<Op>,
+}
+
+impl Method {
+    /// The method name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of argument slots.
+    pub fn num_args(&self) -> u8 {
+        self.num_args
+    }
+
+    /// The bytecode.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "method {}/{} {{", self.name, self.num_args)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            writeln!(f, "  {i:>4}: {op:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_ops_with_pcs() {
+        let m = Method {
+            name: "probe".into(),
+            num_args: 0,
+            ops: vec![Op::Const(1), Op::Return],
+        };
+        let s = m.to_string();
+        assert!(s.contains("method probe/0"));
+        assert!(s.contains("0: Const(1)"));
+        assert!(s.contains("1: Return"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Runtime values of the interpreter.
+
+use std::fmt;
+
+use art_heap::ArrayRef;
+
+/// A value on the operand stack or in a local slot.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A 64-bit integer (the interpreter's only numeric type; `int`
+    /// semantics are obtained by the program itself).
+    Int(i64),
+    /// A reference to an `int[]` on the simulated Java heap.
+    Array(ArrayRef),
+}
+
+impl Value {
+    /// Kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Array(a) => write!(f, "int[{}]@{:#x}", a.len(), a.addr()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<ArrayRef> for Value {
+    fn from(a: ArrayRef) -> Self {
+        Value::Array(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_equality() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Int(4));
+        assert_eq!(Value::Int(3).kind(), "int");
+        assert_eq!(Value::from(7i64), Value::Int(7));
+    }
+}

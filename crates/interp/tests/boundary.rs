@@ -1,0 +1,212 @@
+//! The managed↔native safety boundary, end to end: the same buggy
+//! program behaves completely differently depending on which side of the
+//! JNI boundary it runs on and which protection scheme is active —
+//! the paper's §1 motivation as an executable test.
+
+use dex_interp::{InterpError, Machine, MethodBuilder, NativeCall, NativeMethod, Op, Value};
+use jni_rt::{NativeKind, ReleaseMode, Vm};
+use std::sync::Arc;
+
+/// The buggy native method: `GetPrimitiveArrayCritical`, then write
+/// index 21 of what the caller believes is an 18-element array.
+fn buggy_native() -> NativeMethod {
+    NativeMethod::new("test_ofb", NativeKind::Normal, 1, |call: NativeCall<'_, '_>| {
+        let Value::Array(a) = &call.args[0] else {
+            unreachable!("callers pass an array");
+        };
+        let elems = call.env.get_primitive_array_critical(a)?;
+        let mem = call.env.native_mem();
+        elems.write_i32(&mem, 21, 0x0BAD_F00D)?;
+        call.env
+            .release_primitive_array_critical(a, elems, ReleaseMode::CopyBack)?;
+        Ok(Value::Int(0))
+    })
+}
+
+/// Managed bytecode with the same bug: `a[21] = 0x0BADF00D` on int[18].
+fn buggy_managed() -> dex_interp::Method {
+    MethodBuilder::new("buggy_managed", 1)
+        .op(Op::Load(0))
+        .op(Op::Const(21))
+        .op(Op::Const(0x0BAD_F00D))
+        .op(Op::APut)
+        .op(Op::Const(0))
+        .op(Op::Return)
+        .build()
+        .unwrap()
+}
+
+/// Driver: allocate victim + neighbour, run `body_idx` as native (or the
+/// managed method), return what happened and the neighbour's first word.
+fn caller_program(native_idx: u16) -> dex_interp::Method {
+    MethodBuilder::new("caller", 1)
+        .op(Op::Load(0))
+        .op(Op::CallNative(native_idx))
+        .op(Op::Return)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn managed_code_gets_a_clean_exception() {
+    let vm = Vm::builder().build();
+    let mut machine = Machine::new(&vm, "managed");
+    let victim = vm.heap().alloc_int_array(18).unwrap();
+    let err = machine
+        .run(&buggy_managed(), &[Value::Array(victim)])
+        .unwrap_err();
+    assert!(
+        matches!(err, InterpError::ArrayIndexOutOfBounds { index: 21, length: 18 }),
+        "the JVM's bounds check fires before memory is touched: {err}"
+    );
+}
+
+#[test]
+fn native_code_without_protection_corrupts_the_neighbour_silently() {
+    let vm = Vm::builder().build(); // no protection, stock 8-byte heap
+    let mut machine = Machine::new(&vm, "native");
+    let idx = machine.register_native(buggy_native());
+    let victim = vm.heap().alloc_int_array(18).unwrap();
+    let neighbour = vm.heap().alloc_int_array(8).unwrap();
+    assert_eq!(vm.heap().int_at(machine.thread(), &neighbour, 0).unwrap(), 0);
+
+    let r = machine.run(&caller_program(idx), &[Value::Array(victim.clone())]);
+    assert!(r.is_ok(), "the very same bug sails through natively");
+
+    // The write at victim[21] landed 12 bytes past the payload — inside
+    // the neighbour's allocation (victim block: 16 hdr + 72 payload = 88
+    // → 88-byte block at 8-byte alignment; offset 84 is the neighbour's
+    // header/first bytes region).
+    let mut smashed = false;
+    for i in 0..neighbour.len() {
+        if vm.heap().int_at(machine.thread(), &neighbour, i).unwrap() != 0 {
+            smashed = true;
+        }
+    }
+    let hdr_smashed = {
+        // Or the neighbour's header took the hit: read it raw.
+        let mut hdr = [0u8; 16];
+        vm.heap()
+            .memory()
+            .read_bytes_unchecked(mte_sim_ptr(neighbour.addr()), &mut hdr)
+            .unwrap();
+        hdr.iter().any(|&b| b == 0x0D || b == 0xF0 || b == 0xAD)
+    };
+    assert!(
+        smashed || hdr_smashed,
+        "the out-of-bounds write must have corrupted the neighbour somewhere"
+    );
+}
+
+fn mte_sim_ptr(addr: u64) -> mte_sim::TaggedPtr {
+    mte_sim::TaggedPtr::from_addr(addr)
+}
+
+#[test]
+fn native_code_under_mte4jni_faults_at_the_write() {
+    let vm = mte4jni::mte4jni_vm(mte_sim::TcfMode::Sync, Default::default());
+    let mut machine = Machine::new(&vm, "protected");
+    let idx = machine.register_native(buggy_native());
+    let victim = vm.heap().alloc_int_array(18).unwrap();
+    let neighbour = vm.heap().alloc_int_array(8).unwrap();
+
+    let err = machine
+        .run(&caller_program(idx), &[Value::Array(victim)])
+        .unwrap_err();
+    let InterpError::Native(jni_err) = err else {
+        panic!("expected a native failure, got {err}");
+    };
+    let fault = jni_err.as_tag_check().expect("MTE tag-check fault");
+    assert!(fault.is_precise());
+    assert!(fault.backtrace.top().unwrap().label.starts_with("test_ofb"));
+
+    // And the neighbour is intact.
+    for i in 0..neighbour.len() {
+        assert_eq!(vm.heap().int_at(machine.thread(), &neighbour, i).unwrap(), 0);
+    }
+}
+
+#[test]
+fn native_code_under_guarded_copy_aborts_at_release_but_neighbour_survives() {
+    let vm = Vm::builder()
+        .protection(Arc::new(guarded_copy::GuardedCopy::new()))
+        .build();
+    let mut machine = Machine::new(&vm, "guarded");
+    let idx = machine.register_native(buggy_native());
+    let victim = vm.heap().alloc_int_array(18).unwrap();
+    let neighbour = vm.heap().alloc_int_array(8).unwrap();
+
+    let err = machine
+        .run(&caller_program(idx), &[Value::Array(victim)])
+        .unwrap_err();
+    let InterpError::Native(jni_err) = err else {
+        panic!("expected a native failure, got {err}");
+    };
+    assert!(jni_err.as_abort().is_some(), "CheckJNI abort at release time");
+    // The write hit the shadow buffer's red zone, not the heap.
+    for i in 0..neighbour.len() {
+        assert_eq!(vm.heap().int_at(machine.thread(), &neighbour, i).unwrap(), 0);
+    }
+}
+
+#[test]
+fn managed_and_native_compute_identically_when_correct() {
+    // A correct mixed program: managed loop fills an array, native method
+    // sums it via JNI, managed code post-processes the sum.
+    let vm = mte4jni::mte4jni_vm(mte_sim::TcfMode::Sync, Default::default());
+    let mut machine = Machine::new(&vm, "mixed");
+    let sum_native = machine.register_native(NativeMethod::new(
+        "sum_array",
+        NativeKind::Normal,
+        1,
+        |call: NativeCall<'_, '_>| {
+            let Value::Array(a) = &call.args[0] else { unreachable!() };
+            let elems = call.env.get_primitive_array_critical(a)?;
+            let mem = call.env.native_mem();
+            let mut sum = 0i64;
+            for i in 0..elems.len() as isize {
+                sum += i64::from(elems.read_i32(&mem, i)?);
+            }
+            call.env
+                .release_primitive_array_critical(a, elems, ReleaseMode::Abort)?;
+            Ok(Value::Int(sum))
+        },
+    ));
+
+    // int[] a = new int[n]; for (i) a[i] = i*i; return sum_native(a) * 2;
+    let program = MethodBuilder::new("mixed", 1)
+        .op(Op::Load(0))
+        .op(Op::NewIntArray)
+        .op(Op::Store(1)) // a
+        .op(Op::Const(0))
+        .op(Op::Store(2)) // i
+        .label("loop")
+        .op(Op::Load(2))
+        .op(Op::Load(0))
+        .op(Op::CmpLt)
+        .jz("done")
+        .op(Op::Load(1))
+        .op(Op::Load(2))
+        .op(Op::Load(2))
+        .op(Op::Load(2))
+        .op(Op::Mul)
+        .op(Op::APut) // a[i] = i*i
+        .op(Op::Load(2))
+        .op(Op::Const(1))
+        .op(Op::Add)
+        .op(Op::Store(2))
+        .jmp("loop")
+        .label("done")
+        .op(Op::Load(1))
+        .op(Op::CallNative(sum_native))
+        .op(Op::Const(2))
+        .op(Op::Mul)
+        .op(Op::Return)
+        .build()
+        .unwrap();
+
+    let n = 10i64;
+    let expected: i64 = 2 * (0..n).map(|i| i * i).sum::<i64>();
+    let got = machine.run(&program, &[Value::Int(n)]).unwrap();
+    assert_eq!(got, Value::Int(expected));
+}

@@ -1,0 +1,202 @@
+//! CheckJNI-style usage validation.
+//!
+//! ART's CheckJNI detects more than buffer overflows: it catches JNI
+//! *usage* errors such as releasing a pointer through the wrong interface
+//! or forgetting to release at all (paper §6.3). This module implements
+//! that bookkeeping as an opt-in per-environment ledger
+//! ([`VmBuilder::check_jni`]).
+//!
+//! [`VmBuilder::check_jni`]: crate::VmBuilder::check_jni
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use mte_sim::{Backtrace, TaggedPtr};
+
+use crate::error::{AbortReport, JniError};
+use crate::Result;
+
+/// Which get/release family a pointer belongs to — releases must use the
+/// matching interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InterfaceKind {
+    /// `Get/ReleasePrimitiveArrayCritical`.
+    PrimitiveArrayCritical,
+    /// `Get/ReleaseStringCritical`.
+    StringCritical,
+    /// `Get/ReleaseStringChars`.
+    StringChars,
+    /// `Get/ReleaseStringUTFChars`.
+    StringUtfChars,
+    /// `Get/Release<Type>ArrayElements`.
+    ArrayElements,
+}
+
+impl InterfaceKind {
+    /// The `Get*` interface name, for reports.
+    pub fn get_name(self) -> &'static str {
+        match self {
+            InterfaceKind::PrimitiveArrayCritical => "GetPrimitiveArrayCritical",
+            InterfaceKind::StringCritical => "GetStringCritical",
+            InterfaceKind::StringChars => "GetStringChars",
+            InterfaceKind::StringUtfChars => "GetStringUTFChars",
+            InterfaceKind::ArrayElements => "Get<Type>ArrayElements",
+        }
+    }
+
+    /// The matching `Release*` interface name.
+    pub fn release_name(self) -> &'static str {
+        match self {
+            InterfaceKind::PrimitiveArrayCritical => "ReleasePrimitiveArrayCritical",
+            InterfaceKind::StringCritical => "ReleaseStringCritical",
+            InterfaceKind::StringChars => "ReleaseStringChars",
+            InterfaceKind::StringUtfChars => "ReleaseStringUTFChars",
+            InterfaceKind::ArrayElements => "Release<Type>ArrayElements",
+        }
+    }
+}
+
+/// One outstanding (acquired, not yet released) JNI pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outstanding {
+    /// The raw pointer handed to native code.
+    pub pointer: u64,
+    /// The interface family it came from.
+    pub interface: InterfaceKind,
+}
+
+/// Per-environment acquisition ledger. Disabled ledgers cost nothing.
+#[derive(Debug, Default)]
+pub(crate) struct Ledger {
+    enabled: bool,
+    entries: RefCell<HashMap<u64, InterfaceKind>>,
+}
+
+impl Ledger {
+    pub(crate) fn new(enabled: bool) -> Ledger {
+        Ledger {
+            enabled,
+            entries: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Records a successful acquisition.
+    pub(crate) fn record(&self, ptr: TaggedPtr, interface: InterfaceKind) {
+        if self.enabled {
+            self.entries.borrow_mut().insert(ptr.raw(), interface);
+        }
+    }
+
+    /// Validates a release: the pointer must have been acquired through
+    /// the same interface family. Unknown pointers are left to the
+    /// protection scheme (which reports a stale release where it can).
+    ///
+    /// When `keep` is true (a `JNI_COMMIT` release) the entry stays open.
+    pub(crate) fn verify(
+        &self,
+        ptr: TaggedPtr,
+        interface: InterfaceKind,
+        keep: bool,
+    ) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let mut entries = self.entries.borrow_mut();
+        match entries.get(&ptr.raw()) {
+            Some(&recorded) if recorded != interface => {
+                Err(JniError::CheckJniAbort(Box::new(AbortReport {
+                    message: format!(
+                        "pointer {:#x} was acquired with {} but released with {}",
+                        ptr.raw(),
+                        recorded.get_name(),
+                        interface.release_name(),
+                    ),
+                    corruption_offset: None,
+                    backtrace: Backtrace::default(),
+                })))
+            }
+            Some(_) => {
+                if !keep {
+                    entries.remove(&ptr.raw());
+                }
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Acquisitions that were never released.
+    pub(crate) fn outstanding(&self) -> Vec<Outstanding> {
+        self.entries
+            .borrow()
+            .iter()
+            .map(|(&pointer, &interface)| Outstanding { pointer, interface })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(addr: u64) -> TaggedPtr {
+        TaggedPtr::from_addr(addr)
+    }
+
+    #[test]
+    fn disabled_ledger_accepts_everything() {
+        let ledger = Ledger::new(false);
+        ledger.record(ptr(0x10), InterfaceKind::StringChars);
+        assert!(ledger.verify(ptr(0x10), InterfaceKind::ArrayElements, false).is_ok());
+        assert!(ledger.outstanding().is_empty());
+    }
+
+    #[test]
+    fn matched_release_closes_the_entry() {
+        let ledger = Ledger::new(true);
+        ledger.record(ptr(0x10), InterfaceKind::ArrayElements);
+        assert_eq!(ledger.outstanding().len(), 1);
+        ledger.verify(ptr(0x10), InterfaceKind::ArrayElements, false).unwrap();
+        assert!(ledger.outstanding().is_empty());
+    }
+
+    #[test]
+    fn commit_keeps_the_entry_open() {
+        let ledger = Ledger::new(true);
+        ledger.record(ptr(0x10), InterfaceKind::ArrayElements);
+        ledger.verify(ptr(0x10), InterfaceKind::ArrayElements, true).unwrap();
+        assert_eq!(ledger.outstanding().len(), 1);
+    }
+
+    #[test]
+    fn mismatched_interface_is_an_abort() {
+        let ledger = Ledger::new(true);
+        ledger.record(ptr(0x20), InterfaceKind::StringCritical);
+        let err = ledger
+            .verify(ptr(0x20), InterfaceKind::StringChars, false)
+            .unwrap_err();
+        let report = err.as_abort().expect("check-jni abort");
+        assert!(report.message.contains("GetStringCritical"));
+        assert!(report.message.contains("ReleaseStringChars"));
+        // The entry survives the failed release, like ART (which aborts).
+        assert_eq!(ledger.outstanding().len(), 1);
+    }
+
+    #[test]
+    fn unknown_pointers_are_deferred_to_the_scheme() {
+        let ledger = Ledger::new(true);
+        assert!(ledger.verify(ptr(0x30), InterfaceKind::ArrayElements, false).is_ok());
+    }
+
+    #[test]
+    fn interface_names_render() {
+        assert_eq!(
+            InterfaceKind::PrimitiveArrayCritical.get_name(),
+            "GetPrimitiveArrayCritical"
+        );
+        assert_eq!(
+            InterfaceKind::StringUtfChars.release_name(),
+            "ReleaseStringUTFChars"
+        );
+    }
+}

@@ -1,0 +1,817 @@
+//! The per-thread JNI environment.
+
+use std::cell::Cell;
+use std::fmt;
+
+use art_heap::{ArrayRef, HeapError, JavaThread, PrimitiveType, StringRef};
+use art_heap::{encode_modified_utf8, Heap};
+use mte_sim::TaggedPtr;
+
+use crate::checkjni::{InterfaceKind, Ledger, Outstanding};
+use crate::error::JniError;
+use crate::native::{NativeArray, NativeMem, NativeUtf};
+use crate::protection::{JniContext, ReleaseMode};
+use crate::trampoline::NativeKind;
+use crate::vm::Vm;
+use crate::Result;
+
+/// The JNI environment for one thread — the `JNIEnv*` native code
+/// receives.
+///
+/// Implements every interface from the paper's Table 1. The `Get*`
+/// methods route through the VM's [`Protection`] scheme before exposing a
+/// raw pointer; the `Release*` methods route through it again.
+///
+/// Create one per thread with [`Vm::env`] and reuse it: the critical
+/// section depth lives here, as it does in ART's per-thread `JNIEnvExt`.
+///
+/// [`Protection`]: crate::Protection
+pub struct JniEnv<'a> {
+    vm: &'a Vm,
+    thread: &'a JavaThread,
+    critical_depth: Cell<u32>,
+    ledger: Ledger,
+}
+
+impl<'a> JniEnv<'a> {
+    pub(crate) fn new(vm: &'a Vm, thread: &'a JavaThread) -> JniEnv<'a> {
+        JniEnv {
+            vm,
+            thread,
+            critical_depth: Cell::new(0),
+            ledger: Ledger::new(vm.config().check_jni),
+        }
+    }
+
+    /// CheckJNI: acquisitions on this environment that were never
+    /// released — what ART warns about when a thread detaches.
+    pub fn outstanding_acquisitions(&self) -> Vec<Outstanding> {
+        self.ledger.outstanding()
+    }
+
+    /// The owning VM.
+    pub fn vm(&self) -> &'a Vm {
+        self.vm
+    }
+
+    /// The thread this environment belongs to.
+    pub fn thread(&self) -> &'a JavaThread {
+        self.thread
+    }
+
+    /// The Java heap.
+    pub fn heap(&self) -> &'a Heap {
+        self.vm.heap()
+    }
+
+    /// The native-code memory view for this thread.
+    pub fn native_mem(&self) -> NativeMem<'_> {
+        NativeMem::new(self.vm.heap().memory(), self.thread.mte())
+    }
+
+    /// Current `Get*Critical` nesting depth.
+    pub fn critical_depth(&self) -> u32 {
+        self.critical_depth.get()
+    }
+
+    fn cx(&self) -> JniContext<'_> {
+        JniContext {
+            heap: self.vm.heap(),
+            thread: self.thread,
+        }
+    }
+
+    fn ensure_not_critical(&self, what: &str) -> Result<()> {
+        if self.critical_depth.get() > 0 {
+            Err(JniError::CriticalViolation { what: what.to_owned() })
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Object creation and introspection
+    // ------------------------------------------------------------------
+
+    /// `NewString`: allocates a Java string.
+    ///
+    /// # Errors
+    ///
+    /// Heap exhaustion, or use inside a critical section.
+    pub fn new_string(&self, s: &str) -> Result<StringRef> {
+        self.ensure_not_critical("NewString")?;
+        Ok(self.vm.heap().alloc_string(s)?)
+    }
+
+    /// `GetArrayLength`.
+    pub fn get_array_length(&self, a: &ArrayRef) -> usize {
+        a.len()
+    }
+
+    /// `GetStringLength` (UTF-16 code units).
+    pub fn get_string_length(&self, s: &StringRef) -> usize {
+        s.len()
+    }
+
+    /// `GetStringUTFLength`: length in modified-UTF-8 bytes, excluding the
+    /// terminator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulated memory errors.
+    pub fn get_string_utf_length(&self, s: &StringRef) -> Result<usize> {
+        Ok(encode_modified_utf8(&self.string_units(s)?).len())
+    }
+
+    /// `NewStringUTF`: creates a string from modified UTF-8 bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidUtf8`] on malformed input; heap exhaustion;
+    /// use inside a critical section.
+    pub fn new_string_utf(&self, bytes: &[u8]) -> Result<StringRef> {
+        self.ensure_not_critical("NewStringUTF")?;
+        let units = art_heap::decode_modified_utf8(bytes)
+            .map_err(|e| HeapError::InvalidUtf8 { offset: e.offset })?;
+        Ok(self.vm.heap().alloc_string_from_units(&units)?)
+    }
+
+    /// `GetStringRegion`: bounds-checked copy of UTF-16 code units — the
+    /// safe alternative to the raw-pointer string interfaces.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::IndexOutOfBounds`] (the JVM's
+    /// `StringIndexOutOfBoundsException`) when the region exceeds the
+    /// string.
+    pub fn get_string_region(&self, s: &StringRef, start: usize, out: &mut [u16]) -> Result<()> {
+        self.ensure_not_critical("GetStringRegion")?;
+        let end = start.checked_add(out.len());
+        if end.is_none_or(|e| e > s.len()) {
+            return Err(JniError::Heap(HeapError::IndexOutOfBounds {
+                index: start.saturating_add(out.len()),
+                length: s.len(),
+            }));
+        }
+        let mut bytes = vec![0u8; out.len() * 2];
+        let ptr = TaggedPtr::from_addr(s.data_addr() + (start * 2) as u64);
+        self.vm
+            .heap()
+            .memory()
+            .read_bytes_unchecked(ptr, &mut bytes)
+            .map_err(HeapError::from)?;
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            out[i] = u16::from_le_bytes([chunk[0], chunk[1]]);
+        }
+        Ok(())
+    }
+
+    /// `GetStringUTFRegion`: bounds-checked modified-UTF-8 transcoding of
+    /// a UTF-16 range.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::get_string_region`].
+    pub fn get_string_utf_region(&self, s: &StringRef, start: usize, len: usize) -> Result<Vec<u8>> {
+        let mut units = vec![0u16; len];
+        self.get_string_region(s, start, &mut units)?;
+        Ok(encode_modified_utf8(&units))
+    }
+
+    fn string_units(&self, s: &StringRef) -> Result<Vec<u16>> {
+        let obj = s.as_object();
+        let mut bytes = vec![0u8; obj.byte_len()];
+        self.vm.heap().read_payload(&obj, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Critical interfaces (paper Table 1, rows 1–2)
+    // ------------------------------------------------------------------
+
+    /// `GetPrimitiveArrayCritical`: exposes the array payload as a raw
+    /// pointer. Until the matching release, other JNI calls on this
+    /// environment are forbidden.
+    ///
+    /// # Errors
+    ///
+    /// Scheme-specific acquisition failures.
+    pub fn get_primitive_array_critical(&self, a: &ArrayRef) -> Result<NativeArray> {
+        let out = self.vm.protection().on_acquire(&self.cx(), &a.as_object())?;
+        self.ledger.record(out.ptr, InterfaceKind::PrimitiveArrayCritical);
+        self.critical_depth.set(self.critical_depth.get() + 1);
+        Ok(NativeArray::new(out.ptr, a.len(), a.element_type(), out.is_copy))
+    }
+
+    /// `ReleasePrimitiveArrayCritical`.
+    ///
+    /// # Errors
+    ///
+    /// [`JniError::CheckJniAbort`] if the scheme detects corruption;
+    /// [`JniError::StaleRelease`] for a pointer that was never acquired.
+    pub fn release_primitive_array_critical(
+        &self,
+        a: &ArrayRef,
+        elems: NativeArray,
+        mode: ReleaseMode,
+    ) -> Result<()> {
+        self.ledger.verify(
+            elems.ptr(),
+            InterfaceKind::PrimitiveArrayCritical,
+            mode == ReleaseMode::Commit,
+        )?;
+        let result = self
+            .vm
+            .protection()
+            .on_release(&self.cx(), &a.as_object(), elems.ptr(), mode);
+        if mode != ReleaseMode::Commit {
+            self.critical_depth
+                .set(self.critical_depth.get().saturating_sub(1));
+        }
+        result
+    }
+
+    /// `GetStringCritical`: exposes the string's UTF-16 payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::get_primitive_array_critical`].
+    pub fn get_string_critical(&self, s: &StringRef) -> Result<NativeArray> {
+        let out = self.vm.protection().on_acquire(&self.cx(), &s.as_object())?;
+        self.ledger.record(out.ptr, InterfaceKind::StringCritical);
+        self.critical_depth.set(self.critical_depth.get() + 1);
+        Ok(NativeArray::new(out.ptr, s.len(), PrimitiveType::Char, out.is_copy))
+    }
+
+    /// `ReleaseStringCritical`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::release_primitive_array_critical`].
+    pub fn release_string_critical(&self, s: &StringRef, chars: NativeArray) -> Result<()> {
+        self.ledger
+            .verify(chars.ptr(), InterfaceKind::StringCritical, false)?;
+        let result = self.vm.protection().on_release(
+            &self.cx(),
+            &s.as_object(),
+            chars.ptr(),
+            ReleaseMode::Abort, // strings are immutable: never copy back
+        );
+        self.critical_depth
+            .set(self.critical_depth.get().saturating_sub(1));
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // String chars interfaces (Table 1, rows 3–4)
+    // ------------------------------------------------------------------
+
+    /// `GetStringChars`: exposes the UTF-16 payload (non-critical).
+    ///
+    /// # Errors
+    ///
+    /// Scheme acquisition failure, or use inside a critical section.
+    pub fn get_string_chars(&self, s: &StringRef) -> Result<NativeArray> {
+        self.ensure_not_critical("GetStringChars")?;
+        let out = self.vm.protection().on_acquire(&self.cx(), &s.as_object())?;
+        self.ledger.record(out.ptr, InterfaceKind::StringChars);
+        Ok(NativeArray::new(out.ptr, s.len(), PrimitiveType::Char, out.is_copy))
+    }
+
+    /// `ReleaseStringChars`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::release_primitive_array_critical`].
+    pub fn release_string_chars(&self, s: &StringRef, chars: NativeArray) -> Result<()> {
+        self.ensure_not_critical("ReleaseStringChars")?;
+        self.ledger
+            .verify(chars.ptr(), InterfaceKind::StringChars, false)?;
+        self.vm
+            .protection()
+            .on_release(&self.cx(), &s.as_object(), chars.ptr(), ReleaseMode::Abort)
+    }
+
+    /// `GetStringUTFChars`: transcodes to modified UTF-8 in a heap-side
+    /// buffer (plus NUL terminator) and exposes that buffer through the
+    /// protection scheme.
+    ///
+    /// # Errors
+    ///
+    /// Heap exhaustion, scheme acquisition failure, or use inside a
+    /// critical section.
+    pub fn get_string_utf_chars(&self, s: &StringRef) -> Result<NativeUtf> {
+        self.ensure_not_critical("GetStringUTFChars")?;
+        let mut utf = encode_modified_utf8(&self.string_units(s)?);
+        let utf_len = utf.len();
+        utf.push(0); // C string terminator
+        let heap = self.vm.heap();
+        let backing = heap.alloc_byte_array(utf.len())?;
+        heap.write_payload(&backing.as_object(), &utf)?;
+        let out = self.vm.protection().on_acquire(&self.cx(), &backing.as_object())?;
+        self.ledger.record(out.ptr, InterfaceKind::StringUtfChars);
+        Ok(NativeUtf::new(out.ptr, utf_len, out.is_copy, backing))
+    }
+
+    /// `ReleaseStringUTFChars`: verifies/releases through the scheme and
+    /// frees the transcoding buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::release_primitive_array_critical`].
+    pub fn release_string_utf_chars(&self, _s: &StringRef, utf: NativeUtf) -> Result<()> {
+        self.ensure_not_critical("ReleaseStringUTFChars")?;
+        self.ledger
+            .verify(utf.ptr(), InterfaceKind::StringUtfChars, false)?;
+        let backing = utf.backing.clone();
+        let result = self.vm.protection().on_release(
+            &self.cx(),
+            &backing.as_object(),
+            utf.ptr(),
+            ReleaseMode::Abort,
+        );
+        drop(utf); // the buffer becomes garbage for the next sweep
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Trampolines (paper §3.3 / §4.3)
+    // ------------------------------------------------------------------
+
+    /// Invokes a native method through the simulated trampoline.
+    ///
+    /// The trampoline (1) pushes a stack frame for fault reports, (2)
+    /// performs the managed→native state transition for [`NativeKind::Normal`]
+    /// methods, (3) clears `TCO` when the protection scheme requests
+    /// thread-level MTE (except for `@CriticalNative`), and undoes all of
+    /// it on return. A latched asynchronous fault surfaces at the return
+    /// transition, the first kernel entry after the corrupting access.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `body` returns, or the surfaced asynchronous
+    /// [`mte_sim::TagCheckFault`].
+    pub fn call_native<R>(
+        &self,
+        name: &'static str,
+        kind: NativeKind,
+        body: impl FnOnce(&JniEnv<'a>) -> Result<R>,
+    ) -> Result<R> {
+        let mte = self.thread.mte();
+        let frame = mte.push_frame(name, "libapp.so");
+        let tco_control = self.vm.protection().uses_thread_mte() && kind.wants_mte_checking();
+        if kind.transitions_state() {
+            self.thread.transition_to_native();
+        }
+        if tco_control {
+            mte.set_tco(false); // enable tag checking for the native section
+        }
+        let result = body(self);
+        if tco_control {
+            mte.set_tco(true); // back to unchecked managed execution
+        }
+        if kind.transitions_state() {
+            self.thread.transition_to_managed();
+        }
+        drop(frame);
+        // The return transition is the first kernel entry after native
+        // code ran: surface any latched asynchronous fault here.
+        let pending = mte.syscall("art_jni_method_end");
+        match (result, pending) {
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(fault)) => Err(fault.into()),
+            (Ok(v), Ok(())) => Ok(v),
+        }
+    }
+
+    /// Writes to the simulated logcat — a syscall, and therefore the
+    /// surfacing point for latched asynchronous faults (Figure 4c shows
+    /// the `getuid` call inside `LogdWrite`).
+    ///
+    /// # Errors
+    ///
+    /// The surfaced asynchronous fault, if one was latched.
+    pub fn log(&self, _message: &str) -> Result<()> {
+        let mte = self.thread.mte();
+        let _frame = mte.push_frame("LogdWrite+180", "liblog.so");
+        mte.syscall("getuid")?;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for JniEnv<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JniEnv")
+            .field("thread", &self.thread.name())
+            .field("scheme", &self.vm.protection().name())
+            .field("critical_depth", &self.critical_depth.get())
+            .finish()
+    }
+}
+
+macro_rules! typed_array_interfaces {
+    (
+        $prim:expr, $rust:ty, $size:expr,
+        $new:ident, $new_from:ident,
+        $get_elems:ident, $release_elems:ident,
+        $get_region:ident, $set_region:ident,
+        $heap_alloc:ident, $heap_alloc_from:ident,
+        $get_name:literal
+    ) => {
+        impl<'a> JniEnv<'a> {
+            #[doc = concat!("`New", $get_name, "Array`: allocates a zero-filled array.")]
+            ///
+            /// # Errors
+            ///
+            /// Heap exhaustion, or use inside a critical section.
+            pub fn $new(&self, len: usize) -> Result<ArrayRef> {
+                self.ensure_not_critical(concat!("New", $get_name, "Array"))?;
+                Ok(self.vm.heap().$heap_alloc(len)?)
+            }
+
+            /// Allocates an array initialized from `values` (managed-side
+            /// convenience, equivalent to `New…Array` + `Set…ArrayRegion`).
+            ///
+            /// # Errors
+            ///
+            /// Heap exhaustion, or use inside a critical section.
+            pub fn $new_from(&self, values: &[$rust]) -> Result<ArrayRef> {
+                self.ensure_not_critical(concat!("New", $get_name, "Array"))?;
+                Ok(self.vm.heap().$heap_alloc_from(values)?)
+            }
+
+            #[doc = concat!("`Get", $get_name, "ArrayElements` (Table 1, row 5).")]
+            ///
+            /// # Errors
+            ///
+            /// [`JniError::WrongObjectType`] for a mismatched element type;
+            /// scheme acquisition failures; use inside a critical section.
+            pub fn $get_elems(&self, a: &ArrayRef) -> Result<NativeArray> {
+                self.ensure_not_critical(concat!("Get", $get_name, "ArrayElements"))?;
+                if a.element_type() != $prim {
+                    return Err(JniError::WrongObjectType {
+                        interface: concat!("Get", $get_name, "ArrayElements"),
+                    });
+                }
+                let out = self.vm.protection().on_acquire(&self.cx(), &a.as_object())?;
+                self.ledger.record(out.ptr, InterfaceKind::ArrayElements);
+                Ok(NativeArray::new(out.ptr, a.len(), $prim, out.is_copy))
+            }
+
+            #[doc = concat!("`Release", $get_name, "ArrayElements`.")]
+            ///
+            /// # Errors
+            ///
+            /// See [`Self::release_primitive_array_critical`].
+            pub fn $release_elems(
+                &self,
+                a: &ArrayRef,
+                elems: NativeArray,
+                mode: ReleaseMode,
+            ) -> Result<()> {
+                self.ensure_not_critical(concat!("Release", $get_name, "ArrayElements"))?;
+                self.ledger.verify(
+                    elems.ptr(),
+                    InterfaceKind::ArrayElements,
+                    mode == ReleaseMode::Commit,
+                )?;
+                self.vm
+                    .protection()
+                    .on_release(&self.cx(), &a.as_object(), elems.ptr(), mode)
+            }
+
+            #[doc = concat!("`Get", $get_name, "ArrayRegion` (Table 1, row 6): bounds-checked copy out.")]
+            ///
+            /// # Errors
+            ///
+            /// [`HeapError::IndexOutOfBounds`] (the JVM-side
+            /// `ArrayIndexOutOfBoundsException`) when the region exceeds the
+            /// array; [`JniError::WrongObjectType`] for a wrong element type.
+            pub fn $get_region(
+                &self,
+                a: &ArrayRef,
+                start: usize,
+                out: &mut [$rust],
+            ) -> Result<()> {
+                self.ensure_not_critical(concat!("Get", $get_name, "ArrayRegion"))?;
+                self.region_bounds(a, $prim, start, out.len(), concat!("Get", $get_name, "ArrayRegion"))?;
+                let mut bytes = vec![0u8; out.len() * $size];
+                let ptr = TaggedPtr::from_addr(a.data_addr() + (start * $size) as u64);
+                self.vm
+                    .heap()
+                    .memory()
+                    .read_bytes_unchecked(ptr, &mut bytes)
+                    .map_err(HeapError::from)?;
+                for (i, chunk) in bytes.chunks_exact($size).enumerate() {
+                    out[i] = <$rust>::from_le_bytes(chunk.try_into().expect("chunk size"));
+                }
+                Ok(())
+            }
+
+            #[doc = concat!("`Set", $get_name, "ArrayRegion`: bounds-checked copy in.")]
+            ///
+            /// # Errors
+            ///
+            /// See the corresponding region read.
+            pub fn $set_region(
+                &self,
+                a: &ArrayRef,
+                start: usize,
+                values: &[$rust],
+            ) -> Result<()> {
+                self.ensure_not_critical(concat!("Set", $get_name, "ArrayRegion"))?;
+                self.region_bounds(a, $prim, start, values.len(), concat!("Set", $get_name, "ArrayRegion"))?;
+                let mut bytes = Vec::with_capacity(values.len() * $size);
+                for v in values {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                let ptr = TaggedPtr::from_addr(a.data_addr() + (start * $size) as u64);
+                self.vm
+                    .heap()
+                    .memory()
+                    .write_bytes_unchecked(ptr, &bytes)
+                    .map_err(HeapError::from)?;
+                Ok(())
+            }
+        }
+    };
+}
+
+impl JniEnv<'_> {
+    fn region_bounds(
+        &self,
+        a: &ArrayRef,
+        expected: PrimitiveType,
+        start: usize,
+        len: usize,
+        interface: &'static str,
+    ) -> Result<()> {
+        if a.element_type() != expected {
+            return Err(JniError::WrongObjectType { interface });
+        }
+        let end = start.checked_add(len);
+        match end {
+            Some(end) if end <= a.len() => Ok(()),
+            _ => Err(JniError::Heap(HeapError::IndexOutOfBounds {
+                index: start.saturating_add(len),
+                length: a.len(),
+            })),
+        }
+    }
+}
+
+// i8/u8/u16/... `to_le_bytes`/`from_le_bytes` exist on all of these.
+typed_array_interfaces!(
+    PrimitiveType::Byte, i8, 1,
+    new_byte_array, new_byte_array_from,
+    get_byte_array_elements, release_byte_array_elements,
+    get_byte_array_region, set_byte_array_region,
+    alloc_byte_array, alloc_byte_array_from, "Byte"
+);
+typed_array_interfaces!(
+    PrimitiveType::Char, u16, 2,
+    new_char_array, new_char_array_from,
+    get_char_array_elements, release_char_array_elements,
+    get_char_array_region, set_char_array_region,
+    alloc_char_array, alloc_char_array_from, "Char"
+);
+typed_array_interfaces!(
+    PrimitiveType::Short, i16, 2,
+    new_short_array, new_short_array_from,
+    get_short_array_elements, release_short_array_elements,
+    get_short_array_region, set_short_array_region,
+    alloc_short_array, alloc_short_array_from, "Short"
+);
+typed_array_interfaces!(
+    PrimitiveType::Int, i32, 4,
+    new_int_array, new_int_array_from,
+    get_int_array_elements, release_int_array_elements,
+    get_int_array_region, set_int_array_region,
+    alloc_int_array, alloc_int_array_from, "Int"
+);
+typed_array_interfaces!(
+    PrimitiveType::Long, i64, 8,
+    new_long_array, new_long_array_from,
+    get_long_array_elements, release_long_array_elements,
+    get_long_array_region, set_long_array_region,
+    alloc_long_array, alloc_long_array_from, "Long"
+);
+typed_array_interfaces!(
+    PrimitiveType::Float, f32, 4,
+    new_float_array, new_float_array_from,
+    get_float_array_elements, release_float_array_elements,
+    get_float_array_region, set_float_array_region,
+    alloc_float_array, alloc_float_array_from, "Float"
+);
+typed_array_interfaces!(
+    PrimitiveType::Double, f64, 8,
+    new_double_array, new_double_array_from,
+    get_double_array_elements, release_double_array_elements,
+    get_double_array_region, set_double_array_region,
+    alloc_double_array, alloc_double_array_from, "Double"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protection::ReleaseMode;
+
+    fn vm() -> Vm {
+        Vm::builder().build()
+    }
+
+    #[test]
+    fn critical_round_trip_no_protection() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array_from(&[10, 20, 30]).unwrap();
+        let elems = env.get_primitive_array_critical(&a).unwrap();
+        assert_eq!(env.critical_depth(), 1);
+        assert!(!elems.is_copy());
+        let mem = env.native_mem();
+        assert_eq!(elems.read_i32(&mem, 1).unwrap(), 20);
+        elems.write_i32(&mem, 1, 99).unwrap();
+        env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
+            .unwrap();
+        assert_eq!(env.critical_depth(), 0);
+        assert_eq!(vm.heap().int_at(&t, &a, 1).unwrap(), 99);
+    }
+
+    #[test]
+    fn jni_calls_forbidden_inside_critical_section() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array(4).unwrap();
+        let elems = env.get_primitive_array_critical(&a).unwrap();
+        assert!(matches!(
+            env.new_int_array(4),
+            Err(JniError::CriticalViolation { .. })
+        ));
+        assert!(matches!(
+            env.get_int_array_elements(&a),
+            Err(JniError::CriticalViolation { .. })
+        ));
+        env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
+            .unwrap();
+        assert!(env.new_int_array(4).is_ok());
+    }
+
+    #[test]
+    fn elements_type_checked() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_byte_array(4).unwrap();
+        assert!(matches!(
+            env.get_int_array_elements(&a),
+            Err(JniError::WrongObjectType { .. })
+        ));
+        let elems = env.get_byte_array_elements(&a).unwrap();
+        env.release_byte_array_elements(&a, elems, ReleaseMode::Abort)
+            .unwrap();
+    }
+
+    #[test]
+    fn regions_are_bounds_checked_copies() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array_from(&[1, 2, 3, 4, 5]).unwrap();
+        let mut out = [0i32; 3];
+        env.get_int_array_region(&a, 1, &mut out).unwrap();
+        assert_eq!(out, [2, 3, 4]);
+        env.set_int_array_region(&a, 2, &[70, 80]).unwrap();
+        assert_eq!(vm.heap().int_array_as_vec(&t, &a).unwrap(), vec![1, 2, 70, 80, 5]);
+        // Region past the end: caught by the JVM, unlike raw pointers.
+        let mut big = [0i32; 6];
+        assert!(matches!(
+            env.get_int_array_region(&a, 0, &mut big),
+            Err(JniError::Heap(HeapError::IndexOutOfBounds { .. }))
+        ));
+        assert!(env.set_int_array_region(&a, 4, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn region_overflow_does_not_wrap() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array(4).unwrap();
+        let mut out = [0i32; 2];
+        assert!(env.get_int_array_region(&a, usize::MAX, &mut out).is_err());
+    }
+
+    #[test]
+    fn string_chars_round_trip() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let s = env.new_string("héllo").unwrap();
+        assert_eq!(env.get_string_length(&s), 5);
+        let chars = env.get_string_chars(&s).unwrap();
+        let mem = env.native_mem();
+        let units: Vec<u16> = (0..5).map(|i| chars.read_u16(&mem, i).unwrap()).collect();
+        assert_eq!(String::from_utf16(&units).unwrap(), "héllo");
+        env.release_string_chars(&s, chars).unwrap();
+    }
+
+    #[test]
+    fn string_utf_chars_is_nul_terminated_modified_utf8() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let s = env.new_string("aé😀").unwrap();
+        let utf = env.get_string_utf_chars(&s).unwrap();
+        assert_eq!(env.get_string_utf_length(&s).unwrap(), utf.utf_len());
+        let mem = env.native_mem();
+        let bytes = utf.read_c_string(&mem).unwrap();
+        assert_eq!(bytes.len(), utf.utf_len());
+        assert_eq!(bytes, art_heap::encode_modified_utf8(&art_heap::utf16_units("aé😀")));
+        env.release_string_utf_chars(&s, utf).unwrap();
+        // The hidden transcoding buffer becomes garbage.
+        vm.heap().sweep();
+    }
+
+    #[test]
+    fn string_critical_reads_utf16_payload() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let s = env.new_string("AB").unwrap();
+        let chars = env.get_string_critical(&s).unwrap();
+        assert_eq!(env.critical_depth(), 1);
+        let mem = env.native_mem();
+        assert_eq!(chars.read_u16(&mem, 0).unwrap(), u16::from(b'A'));
+        env.release_string_critical(&s, chars).unwrap();
+        assert_eq!(env.critical_depth(), 0);
+    }
+
+    #[test]
+    fn call_native_transitions_and_restores_state() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        env.call_native("probe", NativeKind::Normal, |env| {
+            assert_eq!(env.thread().state(), art_heap::ThreadState::Native);
+            assert_eq!(env.thread().mte().backtrace().len(), 1);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(t.state(), art_heap::ThreadState::Managed);
+        assert!(t.mte().backtrace().is_empty());
+    }
+
+    #[test]
+    fn fast_native_skips_state_transition() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        env.call_native("probe", NativeKind::FastNative, |env| {
+            assert_eq!(env.thread().state(), art_heap::ThreadState::Managed);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn native_oob_write_succeeds_silently_without_protection() {
+        // The §5.2 scenario under "no protection": an 18-int array written
+        // at index 21 corrupts memory and nobody notices.
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array(18).unwrap();
+        env.call_native("test_ofb", NativeKind::Normal, |env| {
+            let elems = env.get_primitive_array_critical(&a)?;
+            let mem = env.native_mem();
+            elems.write_i32(&mem, 21, 0xBAD)?; // out of bounds, undetected
+            env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn commit_keeps_critical_section_open() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array(4).unwrap();
+        let elems = env.get_primitive_array_critical(&a).unwrap();
+        let ptr_copy = elems.ptr();
+        env.release_primitive_array_critical(&a, elems, ReleaseMode::Commit)
+            .unwrap();
+        assert_eq!(env.critical_depth(), 1, "JNI_COMMIT does not end the borrow");
+        env.release_primitive_array_critical(
+            &a,
+            NativeArray::new(ptr_copy, 4, PrimitiveType::Int, false),
+            ReleaseMode::CopyBack,
+        )
+        .unwrap();
+        assert_eq!(env.critical_depth(), 0);
+    }
+}

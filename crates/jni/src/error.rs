@@ -1,0 +1,172 @@
+//! JNI-layer errors, including CheckJNI-style aborts.
+
+use std::fmt;
+
+use art_heap::HeapError;
+use mte_sim::{Backtrace, MemError, TagCheckFault};
+
+/// The report produced when a protection scheme detects corruption at
+/// release time and aborts the runtime (ART's `CheckJNI` behaviour,
+/// Figure 4a).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbortReport {
+    /// Human-readable description of what was detected.
+    pub message: String,
+    /// Byte offset of the first corrupted byte relative to the object
+    /// payload, when known. Negative offsets are before the payload.
+    pub corruption_offset: Option<isize>,
+    /// Backtrace at the abort site — inside the runtime's release path,
+    /// far from the code that actually corrupted memory.
+    pub backtrace: Backtrace,
+}
+
+impl fmt::Display for AbortReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "JNI DETECTED ERROR IN APPLICATION: {}", self.message)?;
+        if let Some(off) = self.corruption_offset {
+            writeln!(f, "    first corrupted byte at payload offset {off}")?;
+        }
+        writeln!(f, "    abort() called from the release interface")?;
+        write!(f, "    {}", self.backtrace)
+    }
+}
+
+/// Errors surfaced through the JNI layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JniError {
+    /// Underlying heap error (allocation failure, managed bounds check…).
+    Heap(HeapError),
+    /// Simulated memory error, including synchronous MTE tag-check faults
+    /// raised while native code used a raw pointer.
+    Mem(MemError),
+    /// A protection scheme detected corruption at release time and
+    /// aborted (guarded copy).
+    CheckJniAbort(Box<AbortReport>),
+    /// A `Release*` was called with a pointer that was never acquired, or
+    /// acquired through a different interface.
+    StaleRelease {
+        /// The pointer passed to the release interface.
+        pointer: u64,
+    },
+    /// A forbidden operation was attempted inside a critical section
+    /// (between `Get*Critical` and `Release*Critical`).
+    CriticalViolation {
+        /// Description of the violated rule.
+        what: String,
+    },
+    /// The object passed has the wrong type for the interface (e.g. a
+    /// string passed to an int-array interface).
+    WrongObjectType {
+        /// The interface that rejected the object.
+        interface: &'static str,
+    },
+}
+
+impl JniError {
+    /// Returns the tag-check fault if this error wraps one.
+    pub fn as_tag_check(&self) -> Option<&TagCheckFault> {
+        match self {
+            JniError::Mem(m) => m.as_tag_check(),
+            JniError::Heap(HeapError::Mem(m)) => m.as_tag_check(),
+            _ => None,
+        }
+    }
+
+    /// Returns the CheckJNI abort report if this error is one.
+    pub fn as_abort(&self) -> Option<&AbortReport> {
+        match self {
+            JniError::CheckJniAbort(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for JniError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JniError::Heap(e) => write!(f, "heap error: {e}"),
+            JniError::Mem(e) => write!(f, "memory error: {e}"),
+            JniError::CheckJniAbort(r) => write!(f, "check-jni abort: {}", r.message),
+            JniError::StaleRelease { pointer } => {
+                write!(f, "release of pointer {pointer:#x} that was never acquired")
+            }
+            JniError::CriticalViolation { what } => {
+                write!(f, "forbidden operation inside a critical section: {what}")
+            }
+            JniError::WrongObjectType { interface } => {
+                write!(f, "object has the wrong type for {interface}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JniError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JniError::Heap(e) => Some(e),
+            JniError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeapError> for JniError {
+    fn from(e: HeapError) -> Self {
+        JniError::Heap(e)
+    }
+}
+
+impl From<MemError> for JniError {
+    fn from(e: MemError) -> Self {
+        JniError::Mem(e)
+    }
+}
+
+impl From<TagCheckFault> for JniError {
+    fn from(f: TagCheckFault) -> Self {
+        JniError::Mem(MemError::from(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_report_renders_like_logcat() {
+        let r = AbortReport {
+            message: "use of released array".into(),
+            corruption_offset: Some(12),
+            backtrace: Backtrace::default(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("JNI DETECTED ERROR"));
+        assert!(s.contains("offset 12"));
+        assert!(s.contains("abort()"));
+    }
+
+    #[test]
+    fn tag_check_extraction_traverses_wrappers() {
+        use mte_sim::{AccessKind, FaultKind, Tag, TaggedPtr};
+        let fault = TagCheckFault {
+            kind: FaultKind::Sync,
+            pointer: TaggedPtr::from_addr(0x100),
+            pointer_tag: Tag::UNTAGGED,
+            memory_tag: Tag::new(1).unwrap(),
+            access: AccessKind::Read,
+            thread: "t".into(),
+            backtrace: Backtrace::default(),
+        };
+        let e: JniError = fault.clone().into();
+        assert_eq!(e.as_tag_check(), Some(&fault));
+        let e2 = JniError::Heap(HeapError::Mem(MemError::from(fault.clone())));
+        assert_eq!(e2.as_tag_check(), Some(&fault));
+        assert!(JniError::StaleRelease { pointer: 0 }.as_tag_check().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<JniError>();
+    }
+}

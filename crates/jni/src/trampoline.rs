@@ -1,0 +1,66 @@
+//! Native-method kinds and the trampoline policy (paper §4.3).
+
+use std::fmt;
+
+/// How a native method is annotated, which determines which trampoline
+/// ART routes it through and therefore where MTE4JNI inserts its `TCO`
+/// manipulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum NativeKind {
+    /// A regular native method: the trampoline performs a full Java
+    /// thread-state transition, so the `TCO` flip lives in the transition
+    /// function.
+    #[default]
+    Normal,
+    /// `@FastNative`: no thread-state transition; the `TCO` flip is
+    /// inserted directly in the (specifically compiled and generic)
+    /// trampolines.
+    FastNative,
+    /// `@CriticalNative`: may not access Java heap objects at all, so no
+    /// `TCO` manipulation is needed or performed.
+    CriticalNative,
+}
+
+impl NativeKind {
+    /// Whether this kind performs a managed↔native state transition.
+    pub fn transitions_state(self) -> bool {
+        self == NativeKind::Normal
+    }
+
+    /// Whether MTE4JNI enables tag checking around this kind of method.
+    pub fn wants_mte_checking(self) -> bool {
+        self != NativeKind::CriticalNative
+    }
+}
+
+impl fmt::Display for NativeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NativeKind::Normal => "normal",
+            NativeKind::FastNative => "@FastNative",
+            NativeKind::CriticalNative => "@CriticalNative",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_matrix_matches_section_4_3() {
+        assert!(NativeKind::Normal.transitions_state());
+        assert!(NativeKind::Normal.wants_mte_checking());
+        assert!(!NativeKind::FastNative.transitions_state());
+        assert!(NativeKind::FastNative.wants_mte_checking());
+        assert!(!NativeKind::CriticalNative.transitions_state());
+        assert!(!NativeKind::CriticalNative.wants_mte_checking());
+    }
+
+    #[test]
+    fn display_uses_annotation_names() {
+        assert_eq!(NativeKind::FastNative.to_string(), "@FastNative");
+        assert_eq!(NativeKind::CriticalNative.to_string(), "@CriticalNative");
+        assert_eq!(NativeKind::Normal.to_string(), "normal");
+    }
+}

@@ -1,0 +1,224 @@
+//! The simulated runtime instance.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use art_heap::{GcScanner, GcScannerConfig, Heap, HeapConfig, JavaThread};
+use mte_sim::TcfMode;
+
+use crate::env::JniEnv;
+use crate::protection::{NoProtection, Protection};
+
+/// Runtime configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Heap geometry, alignment and `PROT_MTE` mapping.
+    pub heap: HeapConfig,
+    /// Process-wide MTE check mode, applied to every attached thread
+    /// (the `prctl(PR_SET_TAGGED_ADDR_CTRL, PR_MTE_TCF_*)` analogue).
+    pub check_mode: TcfMode,
+    /// Whether CheckJNI usage validation (acquisition ledgers, interface
+    /// pairing) is enabled on every environment.
+    pub check_jni: bool,
+}
+
+impl Default for VmConfig {
+    /// Stock configuration: default heap, checking disabled.
+    fn default() -> Self {
+        VmConfig {
+            heap: HeapConfig::stock_art(),
+            check_mode: TcfMode::None,
+            check_jni: false,
+        }
+    }
+}
+
+/// A simulated Android Runtime: heap + protection scheme + MTE mode.
+///
+/// # Example
+///
+/// ```
+/// use jni_rt::{Vm, NativeKind};
+///
+/// # fn main() -> jni_rt::Result<()> {
+/// let vm = Vm::builder().build(); // no protection
+/// let thread = vm.attach_thread("main");
+/// let env = vm.env(&thread);
+/// let array = env.new_int_array_from(&[1, 2, 3])?;
+/// let sum = env.call_native("sum_native", NativeKind::Normal, |env| {
+///     let elems = env.get_primitive_array_critical(&array)?;
+///     let mem = env.native_mem();
+///     let mut sum = 0;
+///     for i in 0..elems.len() as isize {
+///         sum += elems.read_i32(&mem, i)?;
+///     }
+///     env.release_primitive_array_critical(&array, elems, Default::default())?;
+///     Ok(sum)
+/// })?;
+/// assert_eq!(sum, 6);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Vm {
+    heap: Heap,
+    protection: Arc<dyn Protection>,
+    config: VmConfig,
+}
+
+impl Vm {
+    /// Starts building a VM.
+    pub fn builder() -> VmBuilder {
+        VmBuilder::new()
+    }
+
+    /// The Java heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The active protection scheme.
+    pub fn protection(&self) -> &Arc<dyn Protection> {
+        &self.protection
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> VmConfig {
+        self.config
+    }
+
+    /// Attaches a new Java thread: managed state, process-wide check mode
+    /// inherited, `TCO` set (checks dormant until a trampoline clears it).
+    pub fn attach_thread(&self, name: impl Into<Arc<str>>) -> JavaThread {
+        JavaThread::with_mode(name, self.config.check_mode)
+    }
+
+    /// Creates the JNI environment for `thread`.
+    pub fn env<'a>(&'a self, thread: &'a JavaThread) -> JniEnv<'a> {
+        JniEnv::new(self, thread)
+    }
+
+    /// Starts a correctly configured background GC scanner: it inherits
+    /// the process check mode but keeps `TCO` set, as a runtime-internal
+    /// thread must under MTE4JNI.
+    pub fn start_gc(&self, interval: Duration) -> GcScanner {
+        GcScanner::start(
+            &self.heap,
+            GcScannerConfig {
+                interval,
+                mode: self.config.check_mode,
+                tco: true,
+                ..GcScannerConfig::default()
+            },
+        )
+    }
+}
+
+impl fmt::Debug for Vm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("scheme", &self.protection.name())
+            .field("check_mode", &self.config.check_mode)
+            .field("heap", &self.config.heap)
+            .finish()
+    }
+}
+
+/// Builder for [`Vm`].
+#[derive(Debug)]
+pub struct VmBuilder {
+    heap: HeapConfig,
+    check_mode: TcfMode,
+    check_jni: bool,
+    protection: Option<Arc<dyn Protection>>,
+}
+
+impl VmBuilder {
+    fn new() -> VmBuilder {
+        VmBuilder {
+            heap: HeapConfig::stock_art(),
+            check_mode: TcfMode::None,
+            check_jni: false,
+            protection: None,
+        }
+    }
+
+    /// Sets the heap configuration.
+    pub fn heap_config(mut self, heap: HeapConfig) -> VmBuilder {
+        self.heap = heap;
+        self
+    }
+
+    /// Sets the process-wide MTE check mode.
+    pub fn check_mode(mut self, mode: TcfMode) -> VmBuilder {
+        self.check_mode = mode;
+        self
+    }
+
+    /// Enables CheckJNI usage validation (acquisition ledgers, release
+    /// interface pairing — paper §6.3).
+    pub fn check_jni(mut self, enabled: bool) -> VmBuilder {
+        self.check_jni = enabled;
+        self
+    }
+
+    /// Installs the protection scheme (default: [`NoProtection`]).
+    pub fn protection(mut self, protection: Arc<dyn Protection>) -> VmBuilder {
+        self.protection = Some(protection);
+        self
+    }
+
+    /// Builds the VM.
+    pub fn build(self) -> Vm {
+        Vm {
+            heap: Heap::new(self.heap),
+            protection: self.protection.unwrap_or_else(|| Arc::new(NoProtection)),
+            config: VmConfig {
+                heap: self.heap,
+                check_mode: self.check_mode,
+                check_jni: self.check_jni,
+            },
+        }
+    }
+}
+
+impl Default for VmBuilder {
+    fn default() -> Self {
+        VmBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_vm_has_no_protection() {
+        let vm = Vm::builder().build();
+        assert_eq!(vm.protection().name(), "no-protection");
+        assert_eq!(vm.config().check_mode, TcfMode::None);
+    }
+
+    #[test]
+    fn attached_threads_inherit_check_mode() {
+        let vm = Vm::builder().check_mode(TcfMode::Sync).build();
+        let t = vm.attach_thread("worker");
+        assert_eq!(t.mte().mode(), TcfMode::Sync);
+        assert!(t.mte().tco(), "dormant until a trampoline clears TCO");
+    }
+
+    #[test]
+    fn gc_scanner_on_protected_vm_never_faults() {
+        let vm = Vm::builder()
+            .heap_config(HeapConfig::mte4jni())
+            .check_mode(TcfMode::Sync)
+            .build();
+        let _a = vm.heap().alloc_int_array(128).unwrap();
+        let gc = vm.start_gc(Duration::from_micros(200));
+        while gc.cycles() < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let report = gc.stop();
+        assert!(report.faults.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Systematic coverage of every Table-1 interface for every primitive
+//! type, plus the string-region interfaces.
+
+use jni_rt::{JniError, NativeKind, ReleaseMode, Vm};
+
+fn vm() -> Vm {
+    Vm::builder().build()
+}
+
+macro_rules! elements_round_trip {
+    ($test:ident, $new_from:ident, $get:ident, $release:ident, $read:ident, $write:ident, $vals:expr, $update:expr) => {
+        #[test]
+        fn $test() {
+            let vm = vm();
+            let t = vm.attach_thread("t");
+            let env = vm.env(&t);
+            let vals = $vals;
+            let a = env.$new_from(&vals).unwrap();
+            env.call_native("elements", NativeKind::Normal, |env| {
+                let elems = env.$get(&a)?;
+                let mem = env.native_mem();
+                // Read every element back through the raw pointer.
+                for (i, &v) in vals.iter().enumerate() {
+                    let got = elems.$read(&mem, i as isize)?;
+                    // Compare bit patterns so NaN round trips count.
+                    assert_eq!(format!("{got:?}"), format!("{v:?}"));
+                }
+                // Update element 0 and commit.
+                elems.$write(&mem, 0, $update)?;
+                env.$release(&a, elems, ReleaseMode::CopyBack)
+            })
+            .unwrap();
+        }
+    };
+}
+
+elements_round_trip!(
+    byte_elements, new_byte_array_from, get_byte_array_elements,
+    release_byte_array_elements, read_i8, write_i8,
+    vec![-1i8, 0, 127, -128], 42i8
+);
+elements_round_trip!(
+    char_elements, new_char_array_from, get_char_array_elements,
+    release_char_array_elements, read_u16, write_u16,
+    vec![0u16, 0xFFFF, 0xD800], 7u16
+);
+elements_round_trip!(
+    short_elements, new_short_array_from, get_short_array_elements,
+    release_short_array_elements, read_i16, write_i16,
+    vec![i16::MIN, -1, 0, i16::MAX], 9i16
+);
+elements_round_trip!(
+    int_elements, new_int_array_from, get_int_array_elements,
+    release_int_array_elements, read_i32, write_i32,
+    vec![i32::MIN, -1, 0, i32::MAX], 11i32
+);
+elements_round_trip!(
+    long_elements, new_long_array_from, get_long_array_elements,
+    release_long_array_elements, read_i64, write_i64,
+    vec![i64::MIN, -1, 0, i64::MAX], 13i64
+);
+elements_round_trip!(
+    float_elements, new_float_array_from, get_float_array_elements,
+    release_float_array_elements, read_f32, write_f32,
+    vec![f32::MIN, -0.0, 1.5, f32::INFINITY], 2.5f32
+);
+elements_round_trip!(
+    double_elements, new_double_array_from, get_double_array_elements,
+    release_double_array_elements, read_f64, write_f64,
+    vec![f64::MIN, -0.0, 1.5, f64::NAN], 2.5f64
+);
+
+macro_rules! region_round_trip {
+    ($test:ident, $new:ident, $get_region:ident, $set_region:ident, $ty:ty, $vals:expr) => {
+        #[test]
+        fn $test() {
+            let vm = vm();
+            let t = vm.attach_thread("t");
+            let env = vm.env(&t);
+            let vals: Vec<$ty> = $vals;
+            let a = env.$new(vals.len() + 2).unwrap();
+            env.$set_region(&a, 1, &vals).unwrap();
+            let mut out = vec![Default::default(); vals.len()];
+            env.$get_region(&a, 1, &mut out).unwrap();
+            for (x, y) in out.iter().zip(vals.iter()) {
+                assert!(x == y || (format!("{x:?}") == format!("{y:?}")), "{x:?} vs {y:?}");
+            }
+            // Out-of-bounds start is rejected.
+            assert!(env.$get_region(&a, vals.len() + 2, &mut out).is_err());
+        }
+    };
+}
+
+region_round_trip!(byte_regions, new_byte_array, get_byte_array_region, set_byte_array_region, i8, vec![1, -2, 3]);
+region_round_trip!(char_regions, new_char_array, get_char_array_region, set_char_array_region, u16, vec![1, 2, 0xFFFF]);
+region_round_trip!(short_regions, new_short_array, get_short_array_region, set_short_array_region, i16, vec![1, -2, 3]);
+region_round_trip!(int_regions, new_int_array, get_int_array_region, set_int_array_region, i32, vec![1, -2, 3]);
+region_round_trip!(long_regions, new_long_array, get_long_array_region, set_long_array_region, i64, vec![1, -2, 3]);
+region_round_trip!(float_regions, new_float_array, get_float_array_region, set_float_array_region, f32, vec![1.0, -2.5, 3.25]);
+region_round_trip!(double_regions, new_double_array, get_double_array_region, set_double_array_region, f64, vec![1.0, f64::NAN, 3.25]);
+
+#[test]
+fn new_string_utf_round_trips() {
+    let vm = vm();
+    let t = vm.attach_thread("t");
+    let env = vm.env(&t);
+    let original = env.new_string("naïve 😀 text").unwrap();
+    let utf = env.get_string_utf_chars(&original).unwrap();
+    let mem = env.native_mem();
+    let bytes = utf.read_c_string(&mem).unwrap();
+    env.release_string_utf_chars(&original, utf).unwrap();
+
+    let rebuilt = env.new_string_utf(&bytes).unwrap();
+    assert_eq!(vm.heap().read_string(&rebuilt).unwrap(), "naïve 😀 text");
+}
+
+#[test]
+fn new_string_utf_rejects_bad_bytes() {
+    let vm = vm();
+    let t = vm.attach_thread("t");
+    let env = vm.env(&t);
+    assert!(matches!(
+        env.new_string_utf(&[0x41, 0xC0]), // truncated sequence
+        Err(JniError::Heap(art_heap::HeapError::InvalidUtf8 { offset: 1 }))
+    ));
+    assert!(matches!(
+        env.new_string_utf("😀".as_bytes()), // 4-byte UTF-8 is forbidden
+        Err(JniError::Heap(art_heap::HeapError::InvalidUtf8 { .. }))
+    ));
+}
+
+#[test]
+fn string_regions_are_bounds_checked() {
+    let vm = vm();
+    let t = vm.attach_thread("t");
+    let env = vm.env(&t);
+    let s = env.new_string("hello world").unwrap();
+    let mut units = [0u16; 5];
+    env.get_string_region(&s, 6, &mut units).unwrap();
+    assert_eq!(String::from_utf16(&units).unwrap(), "world");
+
+    let utf = env.get_string_utf_region(&s, 0, 5).unwrap();
+    assert_eq!(utf, b"hello");
+
+    let mut too_long = [0u16; 12];
+    assert!(env.get_string_region(&s, 0, &mut too_long).is_err());
+    assert!(env.get_string_utf_region(&s, 7, 5).is_err());
+    assert!(env.get_string_region(&s, usize::MAX, &mut units).is_err());
+}
+
+#[test]
+fn string_region_of_supplementary_chars_is_surrogate_exact() {
+    let vm = vm();
+    let t = vm.attach_thread("t");
+    let env = vm.env(&t);
+    let s = env.new_string("😀").unwrap(); // two UTF-16 units
+    assert_eq!(env.get_string_length(&s), 2);
+    // Slicing one surrogate is legal at the UTF-16 level.
+    let utf = env.get_string_utf_region(&s, 0, 1).unwrap();
+    assert_eq!(utf.len(), 3, "lone surrogate encodes as one 3-byte unit");
+}
+
+#[test]
+fn empty_arrays_and_strings_work_through_every_interface() {
+    let vm = vm();
+    let t = vm.attach_thread("t");
+    let env = vm.env(&t);
+    let a = env.new_int_array(0).unwrap();
+    assert_eq!(env.get_array_length(&a), 0);
+    let elems = env.get_primitive_array_critical(&a).unwrap();
+    assert!(elems.is_empty());
+    env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
+        .unwrap();
+
+    let s = env.new_string("").unwrap();
+    assert_eq!(env.get_string_length(&s), 0);
+    assert_eq!(env.get_string_utf_length(&s).unwrap(), 0);
+    let utf = env.get_string_utf_chars(&s).unwrap();
+    assert_eq!(utf.utf_len(), 0);
+    let mem = env.native_mem();
+    assert_eq!(utf.read_byte(&mem, 0).unwrap(), 0, "just the NUL terminator");
+    env.release_string_utf_chars(&s, utf).unwrap();
+}

@@ -1,0 +1,235 @@
+//! Tag-check fault descriptions and logcat-style reports.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::pointer::TaggedPtr;
+use crate::tag::Tag;
+
+/// Whether a fault was raised synchronously (at the access) or
+/// asynchronously (latched and surfaced at a later checkpoint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Detected immediately at the faulting access; the backtrace names the
+    /// exact faulting code (paper Figure 4b).
+    Sync,
+    /// Detected at the first syscall / context switch after the corrupting
+    /// access; the backtrace names the checkpoint, far from the fault
+    /// (paper Figure 4c).
+    Async,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Sync => f.write_str("synchronous"),
+            FaultKind::Async => f.write_str("asynchronous"),
+        }
+    }
+}
+
+/// The direction of the faulting access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("READ"),
+            AccessKind::Write => f.write_str("WRITE"),
+        }
+    }
+}
+
+/// One simulated stack frame.
+///
+/// Harness code pushes frames via [`MteThread::push_frame`] so that fault
+/// reports can show where the processor was when the fault surfaced —
+/// the key qualitative difference between the schemes in Figure 4.
+///
+/// [`MteThread::push_frame`]: crate::MteThread::push_frame
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// Function-like label, e.g. `"test_ofb+124"`.
+    pub label: Cow<'static, str>,
+    /// Image/library the frame belongs to, e.g. `"libmtetest.so"`.
+    pub image: Cow<'static, str>,
+}
+
+impl Frame {
+    /// Creates a frame with the given function label and image name.
+    /// Static labels are stored without allocating, keeping frame pushes
+    /// cheap on the trampoline hot path.
+    pub fn new(
+        label: impl Into<Cow<'static, str>>,
+        image: impl Into<Cow<'static, str>>,
+    ) -> Frame {
+        Frame {
+            label: label.into(),
+            image: image.into(),
+        }
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.image, self.label)
+    }
+}
+
+/// A captured simulated backtrace, innermost frame first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Backtrace {
+    frames: Vec<Frame>,
+}
+
+impl Backtrace {
+    /// Creates a backtrace from frames ordered innermost-first.
+    pub fn from_frames(frames: Vec<Frame>) -> Backtrace {
+        Backtrace { frames }
+    }
+
+    /// Frames, innermost first.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The innermost frame, if any.
+    pub fn top(&self) -> Option<&Frame> {
+        self.frames.first()
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the backtrace has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+impl fmt::Display for Backtrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "backtrace:")?;
+        for (i, frame) in self.frames.iter().enumerate() {
+            writeln!(f, "      #{i:02} pc {:016x}  {frame}", 0x1f000 + i * 0x8c)?;
+        }
+        Ok(())
+    }
+}
+
+/// A tag-check failure: the pointer tag did not match the memory tag of the
+/// accessed granule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TagCheckFault {
+    /// Sync or async detection.
+    pub kind: FaultKind,
+    /// The faulting pointer (tag bits included).
+    pub pointer: TaggedPtr,
+    /// The tag carried by the pointer.
+    pub pointer_tag: Tag,
+    /// The tag stored on the accessed granule.
+    pub memory_tag: Tag,
+    /// Load or store.
+    pub access: AccessKind,
+    /// Name of the faulting thread.
+    pub thread: Arc<str>,
+    /// Backtrace at the point the fault *surfaced* (the access for sync,
+    /// the checkpoint for async).
+    pub backtrace: Backtrace,
+}
+
+impl TagCheckFault {
+    /// Distance in frames from the report site to the true faulting code.
+    ///
+    /// For synchronous faults this is 0 by construction. For asynchronous
+    /// faults the true faulting frame is generally absent entirely; callers
+    /// can compare [`Self::backtrace`] against a known-good trace.
+    pub fn is_precise(&self) -> bool {
+        self.kind == FaultKind::Sync
+    }
+}
+
+impl fmt::Display for TagCheckFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "signal 11 (SIGSEGV), code 9 (SEGV_MTE{}), fault addr {:#014x}",
+            match self.kind {
+                FaultKind::Sync => "SERR",
+                FaultKind::Async => "AERR",
+            },
+            self.pointer.addr(),
+        )?;
+        writeln!(
+            f,
+            "    {} tag check fault on {} of thread \"{}\": pointer tag {}, memory tag {}",
+            self.kind, self.access, self.thread, self.pointer_tag, self.memory_tag
+        )?;
+        write!(f, "    {}", self.backtrace)
+    }
+}
+
+impl std::error::Error for TagCheckFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_fault(kind: FaultKind) -> TagCheckFault {
+        TagCheckFault {
+            kind,
+            pointer: TaggedPtr::from_addr(0x7a00_0000_1000).with_tag(Tag::new(5).unwrap()),
+            pointer_tag: Tag::new(5).unwrap(),
+            memory_tag: Tag::new(9).unwrap(),
+            access: AccessKind::Write,
+            thread: "worker".into(),
+            backtrace: Backtrace::from_frames(vec![
+                Frame::new("test_ofb+124", "libmtetest.so"),
+                Frame::new("Java_MainActivity_mteTest+40", "libmtetest.so"),
+            ]),
+        }
+    }
+
+    #[test]
+    fn sync_fault_is_precise() {
+        assert!(sample_fault(FaultKind::Sync).is_precise());
+        assert!(!sample_fault(FaultKind::Async).is_precise());
+    }
+
+    #[test]
+    fn display_contains_mte_signal_code() {
+        let sync = sample_fault(FaultKind::Sync).to_string();
+        assert!(sync.contains("SEGV_MTESERR"), "{sync}");
+        assert!(sync.contains("pointer tag 0x5"), "{sync}");
+        assert!(sync.contains("memory tag 0x9"), "{sync}");
+        let async_ = sample_fault(FaultKind::Async).to_string();
+        assert!(async_.contains("SEGV_MTEAERR"), "{async_}");
+    }
+
+    #[test]
+    fn backtrace_orders_innermost_first() {
+        let bt = sample_fault(FaultKind::Sync).backtrace;
+        assert_eq!(bt.len(), 2);
+        assert_eq!(&*bt.top().unwrap().label, "test_ofb+124");
+        let rendered = bt.to_string();
+        let pos_inner = rendered.find("test_ofb").unwrap();
+        let pos_outer = rendered.find("Java_MainActivity").unwrap();
+        assert!(pos_inner < pos_outer);
+    }
+
+    #[test]
+    fn empty_backtrace_renders_header() {
+        let bt = Backtrace::default();
+        assert!(bt.is_empty());
+        assert!(bt.to_string().contains("backtrace:"));
+    }
+}

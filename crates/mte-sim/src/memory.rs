@@ -1,0 +1,924 @@
+//! The simulated tagged physical memory.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crate::error::MemError;
+use crate::fault::{AccessKind, FaultKind, TagCheckFault};
+use crate::pointer::TaggedPtr;
+use crate::stats::MteStats;
+use crate::tag::{Tag, TagExclusion, GRANULE, PAGE_SIZE};
+use crate::thread::{MteThread, TcfMode};
+use crate::Result;
+
+/// Configuration for a [`TaggedMemory`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Virtual base address of the simulated region. Must be granule
+    /// aligned and below 2^56.
+    pub base: u64,
+    /// Region size in bytes; rounded up to a whole number of pages.
+    pub size: usize,
+}
+
+impl Default for MemoryConfig {
+    /// 64 MiB at `0x7a00_0000_0000` — enough for every experiment in the
+    /// paper's evaluation at the default scales.
+    fn default() -> Self {
+        MemoryConfig {
+            base: 0x7a00_0000_0000,
+            size: 64 << 20,
+        }
+    }
+}
+
+/// A flat byte-addressable memory with a 4-bit tag per 16-byte granule and
+/// page-granular `PROT_MTE` tracking.
+///
+/// All access methods take the accessing [`MteThread`] so the simulated
+/// hardware can apply that thread's check mode and `TCO` state — the
+/// mechanism MTE4JNI uses to let GC threads scan tagged memory with
+/// untagged pointers while native-code threads are fully checked.
+///
+/// Data and tag storage use relaxed atomics, so a `TaggedMemory` can be
+/// shared across simulated threads exactly like physical RAM. (Racy
+/// simulated programs observe racy — but memory-safe — results, as on real
+/// hardware.)
+pub struct TaggedMemory {
+    base: u64,
+    size: usize,
+    data: Box<[AtomicU8]>,
+    /// One tag per granule, stored in the low 4 bits.
+    tags: Box<[AtomicU8]>,
+    /// One byte per page; bit 0 = `PROT_MTE`.
+    prot: Box<[AtomicU8]>,
+    stats: MteStats,
+}
+
+fn zeroed(len: usize) -> Box<[AtomicU8]> {
+    (0..len).map(|_| AtomicU8::new(0)).collect()
+}
+
+impl TaggedMemory {
+    /// Creates a new zero-filled, untagged memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base address is not granule aligned or the region
+    /// would extend past the 56-bit address space.
+    pub fn new(config: MemoryConfig) -> Arc<TaggedMemory> {
+        assert_eq!(
+            config.base % GRANULE as u64,
+            0,
+            "base address must be granule aligned"
+        );
+        let size = config.size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        assert!(
+            config.base.checked_add(size as u64).is_some_and(|end| end < (1 << 56)),
+            "region must fit below 2^56"
+        );
+        Arc::new(TaggedMemory {
+            base: config.base,
+            size,
+            data: zeroed(size),
+            tags: zeroed(size / GRANULE),
+            prot: zeroed(size / PAGE_SIZE),
+            stats: MteStats::default(),
+        })
+    }
+
+    /// Virtual base address of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Region size in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// One past the last valid address.
+    pub fn end(&self) -> u64 {
+        self.base + self.size as u64
+    }
+
+    /// Whether `[addr, addr + len)` lies entirely inside the region.
+    pub fn contains(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr.checked_add(len as u64).is_some_and(|e| e <= self.end())
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &MteStats {
+        &self.stats
+    }
+
+    fn offset_of(&self, addr: u64, len: usize) -> Result<usize> {
+        if self.contains(addr, len) {
+            Ok((addr - self.base) as usize)
+        } else {
+            Err(MemError::OutOfRange { addr, len })
+        }
+    }
+
+    fn page_is_mte(&self, offset: usize) -> bool {
+        self.prot[offset / PAGE_SIZE].load(Ordering::Relaxed) & 1 != 0
+    }
+
+    /// Applies or removes `PROT_MTE` over the pages covering
+    /// `[addr, addr + len)`. The range is widened to page boundaries, as
+    /// `mprotect(2)` requires page granularity.
+    ///
+    /// Removing `PROT_MTE` leaves stored tags in place but makes them
+    /// inert: accesses to the page are no longer checked and `ldg` reads
+    /// zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range leaves the region.
+    pub fn mprotect_mte(&self, addr: u64, len: usize, enable: bool) -> Result<()> {
+        let offset = self.offset_of(addr, len)?;
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len.max(1) - 1) / PAGE_SIZE;
+        for page in first..=last {
+            if enable {
+                self.prot[page].fetch_or(1, Ordering::Relaxed);
+            } else {
+                self.prot[page].fetch_and(!1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the page containing `addr` is mapped with `PROT_MTE`.
+    pub fn is_prot_mte(&self, addr: u64) -> bool {
+        self.contains(addr, 1) && self.page_is_mte((addr - self.base) as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // Tag checking
+    // ------------------------------------------------------------------
+
+    /// Performs the hardware tag check for an access of `len` bytes at
+    /// `ptr` by thread `t`. Called on every data access; a no-op when the
+    /// thread's checks are disabled or the page lacks `PROT_MTE`.
+    #[inline]
+    fn check_access(
+        &self,
+        t: &MteThread,
+        ptr: TaggedPtr,
+        offset: usize,
+        len: usize,
+        access: AccessKind,
+    ) -> Result<()> {
+        if !t.checks_enabled() {
+            return Ok(());
+        }
+        let ptag = ptr.tag();
+        let first = offset / GRANULE;
+        let last = (offset + len.max(1) - 1) / GRANULE;
+        for g in first..=last {
+            if !self.page_is_mte(g * GRANULE) {
+                continue;
+            }
+            let mtag = Tag::from_low_bits(self.tags[g].load(Ordering::Relaxed));
+            if mtag != ptag {
+                // Asymmetric mode resolves per access direction.
+                let effective = match (t.mode(), access) {
+                    (TcfMode::Asymm, AccessKind::Read) => TcfMode::Sync,
+                    (TcfMode::Asymm, AccessKind::Write) => TcfMode::Async,
+                    (m, _) => m,
+                };
+                match effective {
+                    TcfMode::Sync => {
+                        self.stats.count_sync_fault();
+                        let fault_addr =
+                            self.base + (g * GRANULE).max(offset) as u64;
+                        return Err(MemError::TagCheck(Box::new(TagCheckFault {
+                            kind: FaultKind::Sync,
+                            pointer: TaggedPtr::from_addr(fault_addr).with_tag(ptag),
+                            pointer_tag: ptag,
+                            memory_tag: mtag,
+                            access,
+                            thread: t.name_arc(),
+                            backtrace: t.backtrace(),
+                        })));
+                    }
+                    TcfMode::Async => {
+                        self.stats.count_async_fault();
+                        t.latch_async_fault(ptr, mtag, access);
+                        // Execution continues: async mode only logs.
+                    }
+                    TcfMode::None | TcfMode::Asymm => unreachable!("resolved above"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data access (checked)
+    // ------------------------------------------------------------------
+
+    /// Loads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the region;
+    /// [`MemError::TagCheck`] on a synchronous tag mismatch.
+    #[inline]
+    pub fn load_u8(&self, t: &MteThread, ptr: TaggedPtr) -> Result<u8> {
+        let offset = self.offset_of(ptr.addr(), 1)?;
+        self.check_access(t, ptr, offset, 1, AccessKind::Read)?;
+        Ok(self.data[offset].load(Ordering::Relaxed))
+    }
+
+    /// Stores one byte.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    #[inline]
+    pub fn store_u8(&self, t: &MteThread, ptr: TaggedPtr, value: u8) -> Result<()> {
+        let offset = self.offset_of(ptr.addr(), 1)?;
+        self.check_access(t, ptr, offset, 1, AccessKind::Write)?;
+        self.data[offset].store(value, Ordering::Relaxed);
+        Ok(())
+    }
+
+    #[inline]
+    fn load_le(&self, t: &MteThread, ptr: TaggedPtr, len: usize) -> Result<u64> {
+        let offset = self.offset_of(ptr.addr(), len)?;
+        self.check_access(t, ptr, offset, len, AccessKind::Read)?;
+        let mut v = 0u64;
+        for i in (0..len).rev() {
+            v = (v << 8) | u64::from(self.data[offset + i].load(Ordering::Relaxed));
+        }
+        Ok(v)
+    }
+
+    #[inline]
+    fn store_le(&self, t: &MteThread, ptr: TaggedPtr, len: usize, value: u64) -> Result<()> {
+        let offset = self.offset_of(ptr.addr(), len)?;
+        self.check_access(t, ptr, offset, len, AccessKind::Write)?;
+        let mut v = value;
+        for i in 0..len {
+            self.data[offset + i].store((v & 0xFF) as u8, Ordering::Relaxed);
+            v >>= 8;
+        }
+        Ok(())
+    }
+
+    /// Loads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    #[inline]
+    pub fn load_u16(&self, t: &MteThread, ptr: TaggedPtr) -> Result<u16> {
+        self.load_le(t, ptr, 2).map(|v| v as u16)
+    }
+
+    /// Stores a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    #[inline]
+    pub fn store_u16(&self, t: &MteThread, ptr: TaggedPtr, value: u16) -> Result<()> {
+        self.store_le(t, ptr, 2, u64::from(value))
+    }
+
+    /// Loads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    #[inline]
+    pub fn load_u32(&self, t: &MteThread, ptr: TaggedPtr) -> Result<u32> {
+        self.load_le(t, ptr, 4).map(|v| v as u32)
+    }
+
+    /// Stores a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    #[inline]
+    pub fn store_u32(&self, t: &MteThread, ptr: TaggedPtr, value: u32) -> Result<()> {
+        self.store_le(t, ptr, 4, u64::from(value))
+    }
+
+    /// Loads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    #[inline]
+    pub fn load_u64(&self, t: &MteThread, ptr: TaggedPtr) -> Result<u64> {
+        self.load_le(t, ptr, 8)
+    }
+
+    /// Stores a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    #[inline]
+    pub fn store_u64(&self, t: &MteThread, ptr: TaggedPtr, value: u64) -> Result<()> {
+        self.store_le(t, ptr, 8, value)
+    }
+
+    /// Reads `buf.len()` bytes starting at `ptr`, tag-checking every
+    /// granule touched.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    pub fn read_bytes(&self, t: &MteThread, ptr: TaggedPtr, buf: &mut [u8]) -> Result<()> {
+        let offset = self.offset_of(ptr.addr(), buf.len())?;
+        self.check_access(t, ptr, offset, buf.len(), AccessKind::Read)?;
+        self.stats.count_load();
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.data[offset + i].load(Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `ptr`, tag-checking every granule touched.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    pub fn write_bytes(&self, t: &MteThread, ptr: TaggedPtr, buf: &[u8]) -> Result<()> {
+        let offset = self.offset_of(ptr.addr(), buf.len())?;
+        self.check_access(t, ptr, offset, buf.len(), AccessKind::Write)?;
+        self.stats.count_store();
+        for (i, &b) in buf.iter().enumerate() {
+            self.data[offset + i].store(b, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes starting at `ptr` with `value`, tag-checked.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_u8`].
+    pub fn fill(&self, t: &MteThread, ptr: TaggedPtr, len: usize, value: u8) -> Result<()> {
+        let offset = self.offset_of(ptr.addr(), len)?;
+        self.check_access(t, ptr, offset, len, AccessKind::Write)?;
+        self.stats.count_store();
+        for i in 0..len {
+            self.data[offset + i].store(value, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data access (unchecked — runtime-internal, equivalent to TCO set)
+    // ------------------------------------------------------------------
+
+    /// Reads bytes without any tag check — how runtime-internal code (the
+    /// allocator, the GC with `TCO` set) touches memory.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the region.
+    pub fn read_bytes_unchecked(&self, ptr: TaggedPtr, buf: &mut [u8]) -> Result<()> {
+        let offset = self.offset_of(ptr.addr(), buf.len())?;
+        self.stats.count_load();
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.data[offset + i].load(Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Writes bytes without any tag check.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the region.
+    pub fn write_bytes_unchecked(&self, ptr: TaggedPtr, buf: &[u8]) -> Result<()> {
+        let offset = self.offset_of(ptr.addr(), buf.len())?;
+        self.stats.count_store();
+        for (i, &b) in buf.iter().enumerate() {
+            self.data[offset + i].store(b, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Fills bytes without any tag check.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the region.
+    pub fn fill_unchecked(&self, ptr: TaggedPtr, len: usize, value: u8) -> Result<()> {
+        let offset = self.offset_of(ptr.addr(), len)?;
+        self.stats.count_store();
+        for i in 0..len {
+            self.data[offset + i].store(value, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Tag instructions
+    // ------------------------------------------------------------------
+
+    /// The `irg` instruction with operation counting; delegates to the
+    /// thread's random source.
+    pub fn irg(&self, t: &MteThread, exclusion: TagExclusion) -> Tag {
+        self.stats.count_irg();
+        t.irg(exclusion)
+    }
+
+    /// The `ldg` instruction: loads the memory tag of the granule
+    /// containing `ptr`. Reads zero from pages without `PROT_MTE`, as on
+    /// Linux.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the region.
+    pub fn ldg(&self, ptr: TaggedPtr) -> Result<Tag> {
+        let offset = self.offset_of(ptr.granule_base(), GRANULE)?;
+        self.stats.count_ldg();
+        if !self.page_is_mte(offset) {
+            return Ok(Tag::UNTAGGED);
+        }
+        Ok(Tag::from_low_bits(self.tags[offset / GRANULE].load(Ordering::Relaxed)))
+    }
+
+    /// The `stg` instruction: stores `tag` on the granule containing `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NotProtMte`] if the page is not mapped with `PROT_MTE`;
+    /// [`MemError::OutOfRange`] outside the region.
+    pub fn stg(&self, ptr: TaggedPtr, tag: Tag) -> Result<()> {
+        let offset = self.offset_of(ptr.granule_base(), GRANULE)?;
+        if !self.page_is_mte(offset) {
+            return Err(MemError::NotProtMte { addr: ptr.addr() });
+        }
+        self.stats.count_stg(1);
+        self.tags[offset / GRANULE].store(tag.value(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The `st2g` instruction: tags the granule containing `ptr` and the
+    /// next one.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::stg`].
+    pub fn st2g(&self, ptr: TaggedPtr, tag: Tag) -> Result<()> {
+        self.stg(ptr, tag)?;
+        self.stg(ptr.wrapping_add(GRANULE as u64), tag)
+    }
+
+    /// The `stzg` instruction: tags the granule and zeroes its data.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::stg`].
+    pub fn stzg(&self, ptr: TaggedPtr, tag: Tag) -> Result<()> {
+        self.stg(ptr, tag)?;
+        let offset = self.offset_of(ptr.granule_base(), GRANULE)?;
+        for i in 0..GRANULE {
+            self.data[offset + i].store(0, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Tags every granule covering `[begin, end)` with `tag`, using `st2g`
+    /// for pairs and `stg` for a trailing odd granule — the loop Algorithm 1
+    /// describes ("apply new tags to memory from begin to end using st2g and
+    /// stg instructions").
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::stg`].
+    pub fn set_tag_range(&self, begin: TaggedPtr, end: u64, tag: Tag) -> Result<()> {
+        let start = begin.granule_base();
+        if start >= end {
+            return Ok(());
+        }
+        let len = (end - start) as usize;
+        let offset = self.offset_of(start, len)?;
+        let first = offset / GRANULE;
+        let last = (offset + len - 1) / GRANULE;
+        for g in first..=last {
+            if !self.page_is_mte(g * GRANULE) {
+                return Err(MemError::NotProtMte {
+                    addr: self.base + (g * GRANULE) as u64,
+                });
+            }
+            self.tags[g].store(tag.value(), Ordering::Relaxed);
+        }
+        self.stats.count_stg((last - first + 1) as u64);
+        Ok(())
+    }
+
+    /// Renders the tag map of `[addr, addr + len)` as hex digits, one per
+    /// granule, 64 granules per line, with `.` for untagged granules —
+    /// a debugging view of who tagged what.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the region.
+    pub fn tag_map(&self, addr: u64, len: usize) -> Result<String> {
+        let start = addr & !(GRANULE as u64 - 1);
+        let offset = self.offset_of(start, len.max(1))?;
+        let granules = (len.max(1)).div_ceil(GRANULE);
+        let mut out = String::with_capacity(granules + granules / 64 + 16);
+        for (i, g) in (offset / GRANULE..offset / GRANULE + granules).enumerate() {
+            if i > 0 && i % 64 == 0 {
+                out.push('\n');
+            }
+            let tag = Tag::from_low_bits(self.tags[g].load(Ordering::Relaxed));
+            if tag.is_untagged() {
+                out.push('.');
+            } else {
+                out.push(char::from_digit(u32::from(tag.value()), 16).expect("tag < 16"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads the stored memory tag at `addr` without counting as an `ldg`
+    /// (test/debug helper; ignores `PROT_MTE`).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the region.
+    pub fn raw_tag_at(&self, addr: u64) -> Result<Tag> {
+        let offset = self.offset_of(addr & !(GRANULE as u64 - 1), GRANULE)?;
+        Ok(Tag::from_low_bits(self.tags[offset / GRANULE].load(Ordering::Relaxed)))
+    }
+}
+
+impl fmt::Debug for TaggedMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaggedMemory")
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Arc<TaggedMemory> {
+        TaggedMemory::new(MemoryConfig {
+            base: 0x7a00_0000_0000,
+            size: 1 << 20,
+        })
+    }
+
+    fn checked_thread(mode: TcfMode) -> MteThread {
+        let t = MteThread::with_seed("test", 99);
+        t.set_mode(mode);
+        t.set_tco(false);
+        t
+    }
+
+    #[test]
+    fn size_rounds_up_to_pages() {
+        let m = TaggedMemory::new(MemoryConfig {
+            base: 0x1000,
+            size: 100,
+        });
+        assert_eq!(m.size(), PAGE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "granule aligned")]
+    fn unaligned_base_panics() {
+        let _ = TaggedMemory::new(MemoryConfig { base: 0x8, size: 4096 });
+    }
+
+    #[test]
+    fn round_trip_all_widths() {
+        let m = mem();
+        let t = MteThread::new("t");
+        let p = TaggedPtr::from_addr(m.base() + 0x100);
+        m.store_u8(&t, p, 0xAB).unwrap();
+        assert_eq!(m.load_u8(&t, p).unwrap(), 0xAB);
+        m.store_u16(&t, p, 0xBEEF).unwrap();
+        assert_eq!(m.load_u16(&t, p).unwrap(), 0xBEEF);
+        m.store_u32(&t, p, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.load_u32(&t, p).unwrap(), 0xDEAD_BEEF);
+        m.store_u64(&t, p, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.load_u64(&t, p).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn multibyte_values_are_little_endian() {
+        let m = mem();
+        let t = MteThread::new("t");
+        let p = TaggedPtr::from_addr(m.base());
+        m.store_u32(&t, p, 0x0102_0304).unwrap();
+        assert_eq!(m.load_u8(&t, p).unwrap(), 0x04);
+        assert_eq!(m.load_u8(&t, p.wrapping_add(3)).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn out_of_range_access_errors() {
+        let m = mem();
+        let t = MteThread::new("t");
+        let below = TaggedPtr::from_addr(m.base() - 1);
+        let beyond = TaggedPtr::from_addr(m.end());
+        let straddle = TaggedPtr::from_addr(m.end() - 2);
+        assert!(matches!(m.load_u8(&t, below), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(m.load_u8(&t, beyond), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(m.load_u32(&t, straddle), Err(MemError::OutOfRange { .. })));
+        assert!(m.load_u16(&t, straddle).is_ok());
+    }
+
+    #[test]
+    fn stg_requires_prot_mte() {
+        let m = mem();
+        let p = TaggedPtr::from_addr(m.base());
+        assert!(matches!(m.stg(p, Tag::new(3).unwrap()), Err(MemError::NotProtMte { .. })));
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        m.stg(p, Tag::new(3).unwrap()).unwrap();
+        assert_eq!(m.ldg(p).unwrap().value(), 3);
+    }
+
+    #[test]
+    fn ldg_reads_zero_without_prot_mte() {
+        let m = mem();
+        let p = TaggedPtr::from_addr(m.base());
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        m.stg(p, Tag::new(5).unwrap()).unwrap();
+        m.mprotect_mte(m.base(), PAGE_SIZE, false).unwrap();
+        assert_eq!(m.ldg(p).unwrap(), Tag::UNTAGGED, "prot removed hides tags");
+        assert_eq!(m.raw_tag_at(m.base()).unwrap().value(), 5, "raw storage keeps them");
+    }
+
+    #[test]
+    fn granule_shares_one_tag() {
+        let m = mem();
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let p = TaggedPtr::from_addr(m.base() + 0x20);
+        m.stg(p, Tag::new(7).unwrap()).unwrap();
+        for off in 0..GRANULE as u64 {
+            assert_eq!(m.ldg(p.wrapping_add(off)).unwrap().value(), 7);
+        }
+        assert_eq!(m.ldg(p.wrapping_add(GRANULE as u64)).unwrap(), Tag::UNTAGGED);
+    }
+
+    #[test]
+    fn st2g_tags_two_granules() {
+        let m = mem();
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let p = TaggedPtr::from_addr(m.base() + 0x40);
+        m.st2g(p, Tag::new(9).unwrap()).unwrap();
+        assert_eq!(m.ldg(p).unwrap().value(), 9);
+        assert_eq!(m.ldg(p.wrapping_add(16)).unwrap().value(), 9);
+        assert_eq!(m.ldg(p.wrapping_add(32)).unwrap(), Tag::UNTAGGED);
+    }
+
+    #[test]
+    fn stzg_zeroes_data() {
+        let m = mem();
+        let t = MteThread::new("t");
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let p = TaggedPtr::from_addr(m.base());
+        m.store_u64(&t, p, u64::MAX).unwrap();
+        m.stzg(p, Tag::new(2).unwrap()).unwrap();
+        assert_eq!(m.load_u64(&t, p.with_tag(Tag::new(2).unwrap())).unwrap(), 0);
+    }
+
+    #[test]
+    fn set_tag_range_covers_odd_granule_counts() {
+        let m = mem();
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let tag = Tag::new(0xC).unwrap();
+        for granules in 1..=5u64 {
+            let begin = TaggedPtr::from_addr(m.base() + 0x200 * granules);
+            let end = begin.addr() + granules * GRANULE as u64;
+            m.set_tag_range(begin, end, tag).unwrap();
+            for g in 0..granules {
+                assert_eq!(m.ldg(begin.wrapping_add(g * 16)).unwrap(), tag);
+            }
+            assert_eq!(m.ldg(begin.wrapping_add(granules * 16)).unwrap(), Tag::UNTAGGED);
+        }
+    }
+
+    #[test]
+    fn sync_check_faults_on_mismatch() {
+        let m = mem();
+        let t = checked_thread(TcfMode::Sync);
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let tag = Tag::new(4).unwrap();
+        let p = TaggedPtr::from_addr(m.base()).with_tag(tag);
+        m.stg(p, tag).unwrap();
+
+        assert!(m.load_u32(&t, p).is_ok(), "matching tags pass");
+        let oob = p.wrapping_add(GRANULE as u64);
+        let err = m.load_u32(&t, oob).unwrap_err();
+        let fault = err.as_tag_check().expect("tag check fault");
+        assert_eq!(fault.kind, FaultKind::Sync);
+        assert_eq!(fault.pointer_tag, tag);
+        assert_eq!(fault.memory_tag, Tag::UNTAGGED);
+        assert_eq!(fault.access, AccessKind::Read);
+    }
+
+    #[test]
+    fn async_check_latches_and_continues() {
+        let m = mem();
+        let t = checked_thread(TcfMode::Async);
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let tag = Tag::new(4).unwrap();
+        let p = TaggedPtr::from_addr(m.base()).with_tag(tag);
+        m.stg(p, tag).unwrap();
+
+        let oob = p.wrapping_add(GRANULE as u64);
+        // Write proceeds despite the mismatch...
+        m.store_u32(&t, oob, 1234).unwrap();
+        assert_eq!(m.load_u32(&MteThread::new("x"), oob.untagged()).unwrap(), 1234);
+        // ...and the fault surfaces at the next syscall.
+        let fault = t.syscall("getuid").unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Async);
+        assert_eq!(fault.access, AccessKind::Write);
+    }
+
+    #[test]
+    fn tco_suppresses_checks() {
+        let m = mem();
+        let t = checked_thread(TcfMode::Sync);
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        m.stg(TaggedPtr::from_addr(m.base()), Tag::new(8).unwrap()).unwrap();
+        let untagged = TaggedPtr::from_addr(m.base());
+
+        assert!(m.load_u8(&t, untagged).is_err(), "mismatch faults with TCO clear");
+        t.set_tco(true);
+        assert!(m.load_u8(&t, untagged).is_ok(), "TCO set suppresses the check");
+    }
+
+    #[test]
+    fn untagged_pointer_to_untagged_memory_passes() {
+        let m = mem();
+        let t = checked_thread(TcfMode::Sync);
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let p = TaggedPtr::from_addr(m.base() + 0x80);
+        assert!(m.store_u32(&t, p, 7).is_ok(), "tag 0 matches tag 0");
+    }
+
+    #[test]
+    fn checks_skip_non_prot_mte_pages() {
+        let m = mem();
+        let t = checked_thread(TcfMode::Sync);
+        // Page has tags disabled: even a tagged pointer passes.
+        let p = TaggedPtr::from_addr(m.base()).with_tag(Tag::new(0xE).unwrap());
+        assert!(m.load_u32(&t, p).is_ok());
+    }
+
+    #[test]
+    fn cross_granule_access_checks_both_granules() {
+        let m = mem();
+        let t = checked_thread(TcfMode::Sync);
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let tag = Tag::new(6).unwrap();
+        let first = TaggedPtr::from_addr(m.base());
+        m.stg(first, tag).unwrap();
+        // Granule 2 left untagged; a 4-byte access at offset 14 straddles.
+        let straddle = first.wrapping_add(14).with_tag(tag);
+        let err = m.load_u32(&t, straddle).unwrap_err();
+        assert!(err.as_tag_check().is_some());
+    }
+
+    #[test]
+    fn bulk_read_write_round_trip() {
+        let m = mem();
+        let t = MteThread::new("t");
+        let p = TaggedPtr::from_addr(m.base() + 0x300);
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(&t, p, &data).unwrap();
+        let mut back = vec![0u8; 256];
+        m.read_bytes(&t, p, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn fill_and_unchecked_access() {
+        let m = mem();
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        m.stg(TaggedPtr::from_addr(m.base()), Tag::new(1).unwrap()).unwrap();
+        // Unchecked writes ignore the tag entirely.
+        let p = TaggedPtr::from_addr(m.base());
+        m.fill_unchecked(p, 16, 0x5A).unwrap();
+        let mut buf = [0u8; 16];
+        m.read_bytes_unchecked(p, &mut buf).unwrap();
+        assert_eq!(buf, [0x5A; 16]);
+    }
+
+    #[test]
+    fn stats_observe_tag_traffic() {
+        let m = mem();
+        let t = checked_thread(TcfMode::Sync);
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let before = m.stats().snapshot();
+        let tag = m.irg(&t, TagExclusion::default());
+        let p = TaggedPtr::from_addr(m.base()).with_tag(tag);
+        m.set_tag_range(p, p.addr() + 64, tag).unwrap();
+        m.load_u32(&t, p).unwrap();
+        let d = m.stats().snapshot().since(&before);
+        assert_eq!(d.irg_ops, 1);
+        assert_eq!(d.stg_ops, 4, "64 bytes = 4 granules");
+        assert_eq!(d.total_faults(), 0);
+    }
+}
+
+#[cfg(test)]
+mod tag_map_tests {
+    use super::*;
+
+    #[test]
+    fn tag_map_renders_tags_and_dots() {
+        let m = TaggedMemory::new(MemoryConfig {
+            base: 0x7a00_0000_0000,
+            size: 1 << 16,
+        });
+        m.mprotect_mte(m.base(), 4096, true).unwrap();
+        let p = TaggedPtr::from_addr(m.base() + 16);
+        m.set_tag_range(p, p.addr() + 32, Tag::new(0xA).unwrap()).unwrap();
+        let map = m.tag_map(m.base(), 5 * GRANULE).unwrap();
+        assert_eq!(map, ".aa..");
+    }
+
+    #[test]
+    fn tag_map_wraps_lines_at_64_granules() {
+        let m = TaggedMemory::new(MemoryConfig {
+            base: 0x7a00_0000_0000,
+            size: 1 << 16,
+        });
+        let map = m.tag_map(m.base(), 130 * GRANULE).unwrap();
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), 64);
+        assert_eq!(lines[2].len(), 2);
+    }
+
+    #[test]
+    fn tag_map_rejects_out_of_range() {
+        let m = TaggedMemory::new(MemoryConfig {
+            base: 0x7a00_0000_0000,
+            size: 1 << 16,
+        });
+        assert!(m.tag_map(m.end(), 16).is_err());
+    }
+}
+
+#[cfg(test)]
+mod asymm_tests {
+    use super::*;
+
+    fn setup() -> (Arc<TaggedMemory>, MteThread, TaggedPtr) {
+        let m = TaggedMemory::new(MemoryConfig {
+            base: 0x7a00_0000_0000,
+            size: 1 << 16,
+        });
+        m.mprotect_mte(m.base(), PAGE_SIZE, true).unwrap();
+        let tag = Tag::new(0x6).unwrap();
+        m.stg(TaggedPtr::from_addr(m.base()), tag).unwrap();
+        let t = MteThread::new("asymm");
+        t.set_mode(TcfMode::Asymm);
+        t.set_tco(false);
+        // An untagged pointer into the tagged granule: every access is a
+        // mismatch.
+        let p = TaggedPtr::from_addr(m.base());
+        (m, t, p)
+    }
+
+    #[test]
+    fn asymm_reads_fault_synchronously() {
+        let (m, t, p) = setup();
+        let err = m.load_u32(&t, p).unwrap_err();
+        let fault = err.as_tag_check().unwrap();
+        assert_eq!(fault.kind, FaultKind::Sync);
+        assert!(!t.has_pending_fault(), "nothing latched for a sync read");
+    }
+
+    #[test]
+    fn asymm_writes_latch_asynchronously() {
+        let (m, t, p) = setup();
+        m.store_u32(&t, p, 7).unwrap(); // proceeds
+        assert!(t.has_pending_fault());
+        let fault = t.syscall("write").unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Async);
+        assert_eq!(fault.access, AccessKind::Write);
+    }
+
+    #[test]
+    fn asymm_matching_tags_pass_both_ways() {
+        let (m, t, p) = setup();
+        let tagged = p.with_tag(Tag::new(0x6).unwrap());
+        m.store_u32(&t, tagged, 99).unwrap();
+        assert_eq!(m.load_u32(&t, tagged).unwrap(), 99);
+        assert!(t.syscall("write").is_ok());
+    }
+}

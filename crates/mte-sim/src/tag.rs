@@ -1,0 +1,199 @@
+//! The 4-bit tag domain shared by pointers and memory granules.
+
+use std::fmt;
+
+/// Size in bytes of one tag granule.
+///
+/// The ARM MTE specification assigns one memory tag to every 16-byte
+/// aligned unit of memory (paper §2.1, Figure 1).
+pub const GRANULE: usize = 16;
+
+/// Simulated page size; `PROT_MTE` is tracked at page granularity, exactly
+/// as `mprotect(2)` applies it on Linux.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Number of tag bits. Tags range over `0..16`.
+pub const TAG_BITS: u32 = 4;
+
+/// A 4-bit MTE tag.
+///
+/// Tag `0` is the *untagged* value: freshly mapped `PROT_MTE` memory carries
+/// tag `0`, and pointers that never pass through a tagging interface carry
+/// pointer tag `0`. The MTE4JNI scheme therefore excludes `0` from random
+/// tag generation so that an untagged pointer can never legally access a
+/// tagged object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(u8);
+
+impl Tag {
+    /// The reserved "no tag" value.
+    pub const UNTAGGED: Tag = Tag(0);
+
+    /// Creates a tag, returning `None` if `value >= 16`.
+    ///
+    /// ```
+    /// use mte_sim::Tag;
+    /// assert!(Tag::new(7).is_some());
+    /// assert!(Tag::new(16).is_none());
+    /// ```
+    pub fn new(value: u8) -> Option<Tag> {
+        (value < 16).then_some(Tag(value))
+    }
+
+    /// Creates a tag from the low 4 bits of `value`, discarding the rest.
+    pub fn from_low_bits(value: u8) -> Tag {
+        Tag(value & 0xF)
+    }
+
+    /// The numeric tag value in `0..16`.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the reserved untagged value.
+    pub fn is_untagged(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tag({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// The set of tags excluded from random generation by [`irg`].
+///
+/// Models the `GCR_EL1.Exclude` field: bit *i* set means tag *i* is never
+/// produced. The default excludes only tag 0, matching the Linux kernel's
+/// default exclusion mask for MTE-enabled processes.
+///
+/// [`irg`]: crate::MteThread::irg
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TagExclusion(u16);
+
+impl TagExclusion {
+    /// Excludes no tags at all (even tag 0 may be produced).
+    pub const NONE: TagExclusion = TagExclusion(0);
+
+    /// Creates an exclusion set from a raw 16-bit mask (bit *i* excludes
+    /// tag *i*).
+    pub fn from_mask(mask: u16) -> TagExclusion {
+        TagExclusion(mask)
+    }
+
+    /// Returns the raw 16-bit mask.
+    pub fn mask(self) -> u16 {
+        self.0
+    }
+
+    /// Returns a new set that additionally excludes `tag`.
+    ///
+    /// ```
+    /// use mte_sim::{Tag, TagExclusion};
+    /// let excl = TagExclusion::default().excluding(Tag::new(5).unwrap());
+    /// assert!(excl.excludes(Tag::new(5).unwrap()));
+    /// assert!(excl.excludes(Tag::UNTAGGED));
+    /// ```
+    #[must_use]
+    pub fn excluding(self, tag: Tag) -> TagExclusion {
+        TagExclusion(self.0 | 1 << tag.value())
+    }
+
+    /// Whether `tag` is excluded from generation.
+    pub fn excludes(self, tag: Tag) -> bool {
+        self.0 & (1 << tag.value()) != 0
+    }
+
+    /// Number of tags still available for generation.
+    pub fn available(self) -> u32 {
+        16 - self.0.count_ones()
+    }
+
+    /// The `gmi` instruction: inserts the tag of `ptr` into this
+    /// exclusion mask — the hardware primitive allocators use to build
+    /// "don't collide with this pointer" masks for a following `irg`.
+    #[must_use]
+    pub fn gmi(self, ptr: crate::TaggedPtr) -> TagExclusion {
+        self.excluding(ptr.tag())
+    }
+}
+
+impl Default for TagExclusion {
+    /// Excludes only [`Tag::UNTAGGED`].
+    fn default() -> Self {
+        TagExclusion(1)
+    }
+}
+
+impl fmt::Debug for TagExclusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TagExclusion({:#06b})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_new_rejects_out_of_range() {
+        for v in 0..=u8::MAX {
+            match Tag::new(v) {
+                Some(t) => {
+                    assert!(v < 16);
+                    assert_eq!(t.value(), v);
+                }
+                None => assert!(v >= 16),
+            }
+        }
+    }
+
+    #[test]
+    fn tag_from_low_bits_masks() {
+        assert_eq!(Tag::from_low_bits(0x35).value(), 0x5);
+        assert_eq!(Tag::from_low_bits(0xF0).value(), 0x0);
+        assert_eq!(Tag::from_low_bits(0xFF).value(), 0xF);
+    }
+
+    #[test]
+    fn untagged_is_zero_and_default() {
+        assert_eq!(Tag::UNTAGGED.value(), 0);
+        assert!(Tag::UNTAGGED.is_untagged());
+        assert_eq!(Tag::default(), Tag::UNTAGGED);
+        assert!(!Tag::new(1).unwrap().is_untagged());
+    }
+
+    #[test]
+    fn default_exclusion_excludes_only_zero() {
+        let excl = TagExclusion::default();
+        assert!(excl.excludes(Tag::UNTAGGED));
+        for v in 1..16 {
+            assert!(!excl.excludes(Tag::new(v).unwrap()), "tag {v}");
+        }
+        assert_eq!(excl.available(), 15);
+    }
+
+    #[test]
+    fn excluding_accumulates() {
+        let excl = TagExclusion::NONE
+            .excluding(Tag::new(3).unwrap())
+            .excluding(Tag::new(9).unwrap());
+        assert!(excl.excludes(Tag::new(3).unwrap()));
+        assert!(excl.excludes(Tag::new(9).unwrap()));
+        assert!(!excl.excludes(Tag::new(4).unwrap()));
+        assert_eq!(excl.available(), 14);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Tag::new(0xA).unwrap().to_string(), "0xa");
+        assert_eq!(format!("{:?}", Tag::new(0xA).unwrap()), "Tag(0xa)");
+    }
+}

@@ -1,0 +1,387 @@
+//! Per-thread MTE control state: check mode, `TCO` register, TFSR latch,
+//! simulated call stack, and random tag generation.
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::fault::{AccessKind, Backtrace, FaultKind, Frame, TagCheckFault};
+use crate::pointer::TaggedPtr;
+use crate::tag::{Tag, TagExclusion};
+
+/// Tag-check fault mode, mirroring the Linux `PR_MTE_TCF_*` settings
+/// (paper §2.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TcfMode {
+    /// Tag checking disabled — the "no protection" configuration.
+    #[default]
+    None,
+    /// Check each access immediately; a mismatch raises a synchronous
+    /// fault at the faulting instruction.
+    Sync,
+    /// Record mismatches in a TFSR-style latch; the fault surfaces at the
+    /// next syscall or context switch.
+    Async,
+    /// Asymmetric (`PR_MTE_TCF_ASYNC | PR_MTE_TCF_SYNC` on Linux,
+    /// FEAT_MTE3): reads are checked synchronously (precise), writes
+    /// asynchronously (fast) — the middle ground ARM added for
+    /// production deployments.
+    Asymm,
+}
+
+impl fmt::Display for TcfMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcfMode::None => f.write_str("none"),
+            TcfMode::Sync => f.write_str("sync"),
+            TcfMode::Async => f.write_str("async"),
+            TcfMode::Asymm => f.write_str("asymm"),
+        }
+    }
+}
+
+/// Seed source for per-thread tag RNGs, so that every thread gets a
+/// distinct deterministic stream.
+static THREAD_SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+#[derive(Clone, Copy, Debug)]
+struct PendingFault {
+    pointer: TaggedPtr,
+    pointer_tag: Tag,
+    memory_tag: Tag,
+    access: AccessKind,
+}
+
+/// Per-thread MTE state.
+///
+/// One `MteThread` belongs to exactly one simulated thread; it is
+/// deliberately not [`Sync`]. It models:
+///
+/// * the **check mode** ([`TcfMode`]), set per process by `prctl` on real
+///   Linux but freely settable here,
+/// * the **`TCO` system register** — when set, tag checks are suppressed
+///   regardless of mode. MTE4JNI's trampolines clear `TCO` on entering
+///   native code and set it on returning to managed code (paper §3.3),
+/// * the **TFSR latch** for asynchronous faults,
+/// * a simulated **call stack** used to render fault backtraces,
+/// * the per-thread random source backing the `irg` instruction.
+pub struct MteThread {
+    name: Arc<str>,
+    mode: Cell<TcfMode>,
+    tco: Cell<bool>,
+    pending: Cell<Option<PendingFault>>,
+    stack: RefCell<Vec<Frame>>,
+    rng: Cell<u64>,
+}
+
+impl MteThread {
+    /// Creates a thread with checking disabled and `TCO` set — the state a
+    /// managed (Java) thread is in while interpreting bytecode.
+    pub fn new(name: impl Into<Arc<str>>) -> MteThread {
+        let seed = THREAD_SEED.fetch_add(0xA076_1D64_78BD_642F, Ordering::Relaxed) | 1;
+        MteThread {
+            name: name.into(),
+            mode: Cell::new(TcfMode::None),
+            tco: Cell::new(true),
+            pending: Cell::new(None),
+            stack: RefCell::new(Vec::new()),
+            rng: Cell::new(seed),
+        }
+    }
+
+    /// Creates a thread with a fixed RNG seed (deterministic `irg` stream).
+    pub fn with_seed(name: impl Into<Arc<str>>, seed: u64) -> MteThread {
+        let t = MteThread::new(name);
+        t.rng.set(seed | 1);
+        t
+    }
+
+    /// The thread's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn name_arc(&self) -> Arc<str> {
+        Arc::clone(&self.name)
+    }
+
+    /// Current tag-check fault mode.
+    pub fn mode(&self) -> TcfMode {
+        self.mode.get()
+    }
+
+    /// Sets the tag-check fault mode (the per-process `prctl` analogue).
+    pub fn set_mode(&self, mode: TcfMode) {
+        self.mode.set(mode);
+    }
+
+    /// Whether the `TCO` (tag check override) register is set.
+    pub fn tco(&self) -> bool {
+        self.tco.get()
+    }
+
+    /// Sets or clears `TCO`. `TCO = true` suppresses all tag checks on this
+    /// thread; `TCO = false` enables them (subject to [`TcfMode`]).
+    pub fn set_tco(&self, tco: bool) {
+        self.tco.set(tco);
+    }
+
+    /// Whether an access on this thread is currently subject to tag checks.
+    pub fn checks_enabled(&self) -> bool {
+        !self.tco.get() && self.mode.get() != TcfMode::None
+    }
+
+    /// Pushes a simulated stack frame; the frame pops when the returned
+    /// guard drops.
+    ///
+    /// ```
+    /// use mte_sim::MteThread;
+    /// let t = MteThread::new("main");
+    /// {
+    ///     let _outer = t.push_frame("caller+0", "libapp.so");
+    ///     let _inner = t.push_frame("callee+12", "libapp.so");
+    ///     assert_eq!(t.backtrace().len(), 2);
+    /// }
+    /// assert!(t.backtrace().is_empty());
+    /// ```
+    pub fn push_frame(
+        &self,
+        label: impl Into<Cow<'static, str>>,
+        image: impl Into<Cow<'static, str>>,
+    ) -> FrameGuard<'_> {
+        self.stack.borrow_mut().push(Frame::new(label, image));
+        FrameGuard { thread: self }
+    }
+
+    /// Captures the current simulated backtrace, innermost frame first.
+    pub fn backtrace(&self) -> Backtrace {
+        let stack = self.stack.borrow();
+        Backtrace::from_frames(stack.iter().rev().cloned().collect())
+    }
+
+    /// Whether an asynchronous fault is latched but not yet surfaced.
+    pub fn has_pending_fault(&self) -> bool {
+        // Peek without consuming.
+        let p = self.pending.get();
+        self.pending.set(p);
+        p.is_some()
+    }
+
+    /// Latches an asynchronous fault (TFSR write). Only the first fault is
+    /// kept until it surfaces, matching the sticky TFSR bit.
+    pub(crate) fn latch_async_fault(
+        &self,
+        pointer: TaggedPtr,
+        memory_tag: Tag,
+        access: AccessKind,
+    ) {
+        let current = self.pending.get();
+        if current.is_none() {
+            self.pending.set(Some(PendingFault {
+                pointer,
+                pointer_tag: pointer.tag(),
+                memory_tag,
+                access,
+            }));
+        } else {
+            self.pending.set(current);
+        }
+    }
+
+    /// Simulates a syscall: the kernel checks TFSR on entry, so a latched
+    /// asynchronous fault surfaces *here*, with a backtrace that points at
+    /// the syscall site rather than the corrupting access (Figure 4c).
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched [`TagCheckFault`] if one was pending.
+    pub fn syscall(&self, name: &str) -> Result<(), TagCheckFault> {
+        match self.pending.take() {
+            None => Ok(()),
+            Some(p) => {
+                let mut frames = vec![Frame::new(format!("{name}+4"), "libc.so")];
+                frames.extend(self.backtrace().frames().iter().cloned());
+                Err(TagCheckFault {
+                    kind: FaultKind::Async,
+                    pointer: p.pointer,
+                    pointer_tag: p.pointer_tag,
+                    memory_tag: p.memory_tag,
+                    access: p.access,
+                    thread: self.name_arc(),
+                    backtrace: Backtrace::from_frames(frames),
+                })
+            }
+        }
+    }
+
+    /// Discards any latched asynchronous fault and returns it.
+    pub fn take_pending_fault(&self) -> Option<TagCheckFault> {
+        self.pending.take().map(|p| TagCheckFault {
+            kind: FaultKind::Async,
+            pointer: p.pointer,
+            pointer_tag: p.pointer_tag,
+            memory_tag: p.memory_tag,
+            access: p.access,
+            thread: self.name_arc(),
+            backtrace: self.backtrace(),
+        })
+    }
+
+    /// The `irg` instruction: generates a random tag outside `exclusion`.
+    ///
+    /// If every tag is excluded, returns [`Tag::UNTAGGED`] (the hardware
+    /// falls back to RGSR seeding; the distinction does not matter to any
+    /// consumer here).
+    pub fn irg(&self, exclusion: TagExclusion) -> Tag {
+        if exclusion.available() == 0 {
+            return Tag::UNTAGGED;
+        }
+        loop {
+            // xorshift64*; cheap, deterministic per seed, well distributed
+            // in the low bits after the multiply.
+            let mut x = self.rng.get();
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.rng.set(x);
+            let candidate = Tag::from_low_bits((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 60) as u8);
+            if !exclusion.excludes(candidate) {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MteThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MteThread")
+            .field("name", &self.name)
+            .field("mode", &self.mode.get())
+            .field("tco", &self.tco.get())
+            .field("stack_depth", &self.stack.borrow().len())
+            .finish()
+    }
+}
+
+/// Guard returned by [`MteThread::push_frame`]; pops the frame on drop.
+#[must_use = "dropping the guard pops the frame immediately"]
+pub struct FrameGuard<'t> {
+    thread: &'t MteThread,
+}
+
+impl fmt::Debug for FrameGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameGuard")
+            .field("thread", &self.thread.name())
+            .finish()
+    }
+}
+
+impl Drop for FrameGuard<'_> {
+    fn drop(&mut self) {
+        self.thread.stack.borrow_mut().pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_thread_has_checks_suppressed() {
+        let t = MteThread::new("t");
+        assert_eq!(t.mode(), TcfMode::None);
+        assert!(t.tco());
+        assert!(!t.checks_enabled());
+    }
+
+    #[test]
+    fn checks_require_mode_and_cleared_tco() {
+        let t = MteThread::new("t");
+        t.set_mode(TcfMode::Sync);
+        assert!(!t.checks_enabled(), "TCO still set");
+        t.set_tco(false);
+        assert!(t.checks_enabled());
+        t.set_mode(TcfMode::None);
+        assert!(!t.checks_enabled());
+    }
+
+    #[test]
+    fn irg_respects_exclusion() {
+        let t = MteThread::with_seed("t", 42);
+        for _ in 0..1000 {
+            let tag = t.irg(TagExclusion::default());
+            assert!(!tag.is_untagged());
+        }
+        let only_seven = TagExclusion::from_mask(!(1 << 7));
+        for _ in 0..100 {
+            assert_eq!(t.irg(only_seven).value(), 7);
+        }
+    }
+
+    #[test]
+    fn irg_all_excluded_returns_untagged() {
+        let t = MteThread::new("t");
+        assert_eq!(t.irg(TagExclusion::from_mask(u16::MAX)), Tag::UNTAGGED);
+    }
+
+    #[test]
+    fn irg_covers_tag_space() {
+        let t = MteThread::with_seed("t", 7);
+        let mut seen = [false; 16];
+        for _ in 0..4000 {
+            seen[t.irg(TagExclusion::NONE).value() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 16 tags generated: {seen:?}");
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_streams() {
+        let a = MteThread::new("a");
+        let b = MteThread::new("b");
+        let sa: Vec<u8> = (0..32).map(|_| a.irg(TagExclusion::NONE).value()).collect();
+        let sb: Vec<u8> = (0..32).map(|_| b.irg(TagExclusion::NONE).value()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn syscall_surfaces_latched_fault_with_syscall_frame_on_top() {
+        let t = MteThread::new("t");
+        let ptr = TaggedPtr::from_addr(0x1000).with_tag(Tag::new(3).unwrap());
+        t.latch_async_fault(ptr, Tag::new(9).unwrap(), AccessKind::Write);
+        assert!(t.has_pending_fault());
+
+        let _f = t.push_frame("LogdWrite+180", "liblog.so");
+        let fault = t.syscall("getuid").unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Async);
+        assert_eq!(&*fault.backtrace.top().unwrap().label, "getuid+4");
+        assert!(!t.has_pending_fault(), "latch cleared");
+        assert!(t.syscall("getuid").is_ok());
+    }
+
+    #[test]
+    fn first_latched_fault_is_sticky() {
+        let t = MteThread::new("t");
+        let p1 = TaggedPtr::from_addr(0x1000).with_tag(Tag::new(3).unwrap());
+        let p2 = TaggedPtr::from_addr(0x2000).with_tag(Tag::new(4).unwrap());
+        t.latch_async_fault(p1, Tag::new(9).unwrap(), AccessKind::Read);
+        t.latch_async_fault(p2, Tag::new(9).unwrap(), AccessKind::Write);
+        let fault = t.take_pending_fault().unwrap();
+        assert_eq!(fault.pointer.addr(), 0x1000, "first fault wins");
+    }
+
+    #[test]
+    fn frame_guard_pops_in_nested_order() {
+        let t = MteThread::new("t");
+        let g1 = t.push_frame("a+0", "x.so");
+        {
+            let _g2 = t.push_frame("b+0", "x.so");
+            assert_eq!(&*t.backtrace().top().unwrap().label, "b+0");
+        }
+        assert_eq!(&*t.backtrace().top().unwrap().label, "a+0");
+        drop(g1);
+        assert!(t.backtrace().is_empty());
+    }
+}

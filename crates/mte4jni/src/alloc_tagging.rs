@@ -1,0 +1,209 @@
+//! Allocation-time tagging — the HWASan/HeMate-style policy from the
+//! paper's related work (§6.2), as a comparison scheme.
+//!
+//! Instead of tagging objects when a JNI interface exposes them (MTE4JNI)
+//! the heap tags **every object at allocation** with a random tag that
+//! lives until the object is swept. The JNI `Get*` interfaces then only
+//! need an `ldg` to recover the tag for the outgoing pointer, and
+//! `Release*` does nothing.
+//!
+//! Trade-offs relative to MTE4JNI, all observable in the tests:
+//!
+//! * **cheaper JNI interfaces** — no reference counting, no locking, no
+//!   `irg`/`stg` on the acquire path;
+//! * **slower allocation** — every object pays the tag-write cost whether
+//!   or not native code ever sees it (the reason the paper tags only at
+//!   the JNI boundary);
+//! * **no temporal protection for borrows** — a pointer used *after*
+//!   `Release*` still carries the right tag, so use-after-release goes
+//!   undetected (MTE4JNI catches it because it re-zeroes tags);
+//! * use-after-**sweep** is caught probabilistically once the block is
+//!   re-tagged for a new object (15/16 chance per granule).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use art_heap::ObjectRef;
+use jni_rt::{AcquireOutcome, JniContext, Protection, ReleaseMode};
+use mte_sim::TaggedPtr;
+
+/// The allocation-time tagging scheme.
+///
+/// Use with a heap built from [`art_heap::HeapConfig::alloc_tagged`];
+/// with any other heap the `ldg` recovers tag 0 and the scheme degrades
+/// to no protection.
+#[derive(Default)]
+pub struct AllocTagging {
+    acquires: AtomicU64,
+}
+
+impl AllocTagging {
+    /// Creates the scheme.
+    pub fn new() -> AllocTagging {
+        AllocTagging::default()
+    }
+
+    /// Number of `Get*` interpositions served.
+    pub fn acquires(&self) -> u64 {
+        self.acquires.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for AllocTagging {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AllocTagging")
+            .field("acquires", &self.acquires())
+            .finish()
+    }
+}
+
+impl Protection for AllocTagging {
+    fn name(&self) -> &str {
+        "alloc-tagging"
+    }
+
+    fn on_acquire(&self, cx: &JniContext<'_>, obj: &ObjectRef) -> jni_rt::Result<AcquireOutcome> {
+        // The object was tagged when it was allocated; just recover the
+        // tag for the outgoing pointer.
+        let ptr = cx.heap.data_ptr(obj);
+        let tag = cx.heap.memory().ldg(ptr)?;
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        Ok(AcquireOutcome {
+            ptr: ptr.with_tag(tag),
+            is_copy: false,
+        })
+    }
+
+    fn on_release(
+        &self,
+        _cx: &JniContext<'_>,
+        _obj: &ObjectRef,
+        _ptr: TaggedPtr,
+        _mode: ReleaseMode,
+    ) -> jni_rt::Result<()> {
+        // Tags live as long as the object; nothing to do.
+        Ok(())
+    }
+
+    fn uses_thread_mte(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art_heap::HeapConfig;
+    use jni_rt::{NativeKind, Vm};
+    use mte_sim::{Tag, TcfMode};
+    use std::sync::Arc;
+
+    fn vm() -> Vm {
+        Vm::builder()
+            .heap_config(HeapConfig::alloc_tagged())
+            .check_mode(TcfMode::Sync)
+            .protection(Arc::new(AllocTagging::new()))
+            .build()
+    }
+
+    #[test]
+    fn objects_are_tagged_at_allocation() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array(8).unwrap();
+        assert_ne!(
+            vm.heap().memory().raw_tag_at(a.data_addr()).unwrap(),
+            Tag::UNTAGGED,
+            "tag present before any JNI acquisition"
+        );
+    }
+
+    #[test]
+    fn acquire_recovers_the_allocation_tag_and_checks_work() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array_from(&[1, 2, 3]).unwrap();
+        let alloc_tag = vm.heap().memory().raw_tag_at(a.data_addr()).unwrap();
+        let err = env
+            .call_native("probe", NativeKind::Normal, |env| -> jni_rt::Result<()> {
+                let elems = env.get_primitive_array_critical(&a)?;
+                assert_eq!(elems.ptr().tag(), alloc_tag);
+                let mem = env.native_mem();
+                assert_eq!(elems.read_i32(&mem, 2)?, 3, "in-bounds works");
+                elems.write_i32(&mem, 100, 1)?; // OOB faults
+                unreachable!()
+            })
+            .unwrap_err();
+        assert!(err.as_tag_check().is_some());
+    }
+
+    #[test]
+    fn use_after_release_is_not_detected_unlike_mte4jni() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let a = env.new_int_array(8).unwrap();
+        env.call_native("uar", NativeKind::Normal, |env| {
+            let elems = env.get_primitive_array_critical(&a)?;
+            let stale = elems.ptr();
+            env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)?;
+            // The tag is still on the memory: the dangling use passes.
+            let mem = env.native_mem();
+            mem.write_u32(stale, 7)?;
+            Ok(())
+        })
+        .expect("allocation-lifetime tags cannot catch use-after-release");
+    }
+
+    #[test]
+    fn use_after_sweep_is_caught_once_memory_is_retagged() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let (stale_ptr, old_tag) = {
+            let a = env.new_int_array(8).unwrap();
+            let tag = vm.heap().memory().raw_tag_at(a.data_addr()).unwrap();
+            (
+                mte_sim::TaggedPtr::from_addr(a.data_addr()).with_tag(tag),
+                tag,
+            )
+        };
+        vm.heap().sweep();
+        // Reallocate the same block; xorshift makes a distinct tag all but
+        // certain — retry allocation until it differs to stay exact.
+        let mut replacement = env.new_int_array(8).unwrap();
+        for _ in 0..8 {
+            if vm.heap().memory().raw_tag_at(replacement.data_addr()).unwrap() != old_tag {
+                break;
+            }
+            vm.heap().sweep();
+            replacement = env.new_int_array(8).unwrap();
+        }
+        assert_eq!(replacement.data_addr(), stale_ptr.addr(), "block reused");
+        let new_tag = vm.heap().memory().raw_tag_at(replacement.data_addr()).unwrap();
+        if new_tag != old_tag {
+            let err = env
+                .call_native("uaf", NativeKind::Normal, |env| {
+                    env.native_mem().read_u32(stale_ptr).map(drop).map_err(Into::into)
+                })
+                .unwrap_err();
+            assert!(err.as_tag_check().is_some(), "dangling pointer caught");
+        }
+    }
+
+    #[test]
+    fn gc_scanner_still_quiet_with_always_tagged_heap() {
+        let vm = vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let _live: Vec<_> = (0..16).map(|_| env.new_int_array(32).unwrap()).collect();
+        let gc = vm.start_gc(std::time::Duration::from_micros(100));
+        while gc.cycles() < 3 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let report = gc.stop();
+        assert!(report.faults.is_empty(), "TCO policy covers alloc tagging too");
+    }
+}

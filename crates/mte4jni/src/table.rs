@@ -1,0 +1,624 @@
+//! Reference-counted memory tag tables (Algorithms 1 and 2).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mte_sim::{MteThread, Tag, TagExclusion, TaggedMemory, TaggedPtr, GRANULE};
+
+/// Multiply-shift hasher for object start addresses — the keys are
+/// already well distributed, so SipHash would be pure overhead on the
+/// acquire/release fast path.
+#[derive(Default)]
+pub(crate) struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
+
+/// Which locking scheme guards the reference counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Locking {
+    /// The paper's two-tier scheme: `k` table locks plus one dedicated
+    /// lock per live object (§3.1.2).
+    #[default]
+    TwoTier,
+    /// The naive baseline: one global lock serializes all tag work
+    /// (Figure 6's `global_lock` variant).
+    Global,
+}
+
+/// What a [`TagTable::release`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// The reference count dropped but other borrowers remain.
+    Decremented {
+        /// Remaining reference count.
+        remaining: u32,
+    },
+    /// The count reached zero; the memory tags were re-zeroed (unless tag
+    /// release is disabled for the ablation).
+    Freed,
+    /// No entry existed for this object — Algorithm 2's "nothing needs to
+    /// be done" path.
+    NotTracked,
+}
+
+/// Result of a successful [`TagTable::acquire`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Acquired {
+    /// The tag to apply to the outgoing pointer.
+    pub tag: Tag,
+    /// Whether an existing live tag was shared (reference count > 1).
+    pub shared: bool,
+}
+
+/// A reference-counted tag table: the shared-tag bookkeeping both locking
+/// schemes implement.
+pub trait TagTable: Send + Sync + fmt::Debug {
+    /// Algorithm 1: retrieves or creates the memory tag for
+    /// `[begin, end)`, increments the reference count, and returns the
+    /// tag to apply to the outgoing pointer.
+    fn acquire(
+        &self,
+        mem: &TaggedMemory,
+        thread: &MteThread,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<Acquired>;
+
+    /// Algorithm 2: decrements the reference count and, at zero, releases
+    /// the memory tags for `[begin, end)`.
+    fn release(
+        &self,
+        mem: &TaggedMemory,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<ReleaseOutcome>;
+
+    /// Number of objects currently tracked (for tests and reports).
+    fn tracked_objects(&self) -> usize;
+}
+
+#[derive(Debug)]
+struct ObjEntry {
+    /// The object this entry currently describes. Entries are pooled and
+    /// recycled, so a racing acquirer that fetched an `Arc` just before
+    /// the entry was freed must re-validate the address under the object
+    /// lock.
+    addr: u64,
+    reference_num: u32,
+    tag: Tag,
+    /// Set when a release dropped the count to zero; a racing acquirer
+    /// that still holds the stale `Arc` must discard it and retry.
+    dead: bool,
+}
+
+/// One hash table of the two-tier scheme plus its entry pool, both
+/// guarded by the single table lock.
+#[derive(Debug, Default)]
+struct Table {
+    map: AddrMap<Arc<Mutex<ObjEntry>>>,
+    /// Recycled entries: avoids an allocation on every first acquire of
+    /// an object (the dominant pattern in get/release-heavy code).
+    pool: Vec<Arc<Mutex<ObjEntry>>>,
+}
+
+const POOL_CAP: usize = 64;
+
+/// The two-tier locking tag table (§3.1.2, Algorithms 1 and 2).
+///
+/// Objects are distributed over `k` hash tables by the low bits of their
+/// granule index; each table has a dedicated **table lock**, held only
+/// long enough to look up (or insert) the object's entry, and each entry
+/// has a dedicated **object lock** guarding its reference count and tag
+/// work. Threads acquiring *different* objects therefore contend only
+/// when their addresses collide on the same table (paper §5.3.2).
+pub struct TwoTierTable {
+    tables: Vec<Mutex<Table>>,
+    exclusion: TagExclusion,
+    release_tags: bool,
+    exclude_neighbor_tags: bool,
+}
+
+impl TwoTierTable {
+    /// Creates a table set with `table_count` hash tables (the paper uses
+    /// 16) that zeroes tags on final release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_count` is zero.
+    pub fn new(table_count: usize) -> TwoTierTable {
+        TwoTierTable::with_release_policy(table_count, true)
+    }
+
+    /// Like [`TwoTierTable::new`], with an explicit tag-release policy.
+    /// Passing `release_tags = false` models the ablation where stale
+    /// tags linger after the last release (§3's motivation for timely
+    /// release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_count` is zero.
+    pub fn with_release_policy(table_count: usize, release_tags: bool) -> TwoTierTable {
+        assert!(table_count > 0, "at least one hash table is required");
+        TwoTierTable {
+            tables: (0..table_count).map(|_| Mutex::new(Table::default())).collect(),
+            exclusion: TagExclusion::default(),
+            release_tags,
+            exclude_neighbor_tags: false,
+        }
+    }
+
+    /// Enables **neighbour-tag exclusion**, an extension beyond the paper:
+    /// when generating a fresh tag, the tags of the granules immediately
+    /// before and after the object are loaded (`ldg`) and excluded from
+    /// `irg`, so an out-of-bounds access into a *directly adjacent* tagged
+    /// object is detected deterministically instead of with probability
+    /// 14/15 (HWASan applies the same idea between neighbouring heap
+    /// chunks). Costs two extra `ldg` per first acquire.
+    #[must_use]
+    pub fn with_neighbor_exclusion(mut self, enabled: bool) -> TwoTierTable {
+        self.exclude_neighbor_tags = enabled;
+        self
+    }
+
+    /// Number of hash tables (`k`).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Step 1 of both algorithms: `hashTableIndex ← (begin / 16) mod k`.
+    fn table_index(&self, begin: u64) -> usize {
+        ((begin / GRANULE as u64) % self.tables.len() as u64) as usize
+    }
+}
+
+impl fmt::Debug for TwoTierTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TwoTierTable")
+            .field("table_count", &self.tables.len())
+            .field("tracked", &self.tracked_objects())
+            .finish()
+    }
+}
+
+impl TagTable for TwoTierTable {
+    fn acquire(
+        &self,
+        mem: &TaggedMemory,
+        thread: &MteThread,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<Acquired> {
+        let addr = begin.addr();
+        let table = &self.tables[self.table_index(addr)];
+        loop {
+            // 2. Retrieve or create the reference count under the table
+            //    lock, released as soon as the entry address is known.
+            let entry = {
+                let mut t = table.lock();
+                match t.map.get(&addr) {
+                    Some(e) => Arc::clone(e),
+                    None => {
+                        let e = t.pool.pop().unwrap_or_else(|| {
+                            Arc::new(Mutex::new(ObjEntry {
+                                addr: 0,
+                                reference_num: 0,
+                                tag: Tag::UNTAGGED,
+                                dead: true,
+                            }))
+                        });
+                        {
+                            // Reinitialize under the object lock: stale
+                            // holders of a recycled Arc re-validate `addr`.
+                            let mut g = e.lock();
+                            g.addr = addr;
+                            g.reference_num = 0;
+                            g.tag = Tag::UNTAGGED;
+                            g.dead = false;
+                        }
+                        t.map.insert(addr, Arc::clone(&e));
+                        e
+                    }
+                }
+            };
+            // 3. Retrieve or create the memory tag under the object lock.
+            let mut obj = entry.lock();
+            if obj.dead || obj.addr != addr {
+                // A racing release freed (and possibly recycled) this
+                // entry between our lookup and lock; help remove the dead
+                // mapping and retry with a fresh entry.
+                drop(obj);
+                let mut t = table.lock();
+                if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry)) {
+                    t.map.remove(&addr);
+                }
+                continue;
+            }
+            obj.reference_num += 1;
+            let shared = obj.reference_num > 1;
+            let tag = if shared {
+                // Load the existing memory tag (ldg) — concurrent threads
+                // share the same tag (§3.1.1).
+                let loaded = mem.ldg(begin)?;
+                debug_assert!(
+                    end == addr || loaded == obj.tag,
+                    "shared tag must match the stored one"
+                );
+                obj.tag
+            } else {
+                // Generate a new tag (irg) and apply it (st2g/stg).
+                let mut exclusion = self.exclusion;
+                if self.exclude_neighbor_tags {
+                    // Never collide with the granules bracketing the
+                    // object (two on each side, to reach past the 16-byte
+                    // object headers separating payloads) — deterministic
+                    // adjacent-OOB detection.
+                    let g = GRANULE as u64;
+                    for neighbour in [
+                        begin.wrapping_sub(2 * g),
+                        begin.wrapping_sub(g),
+                        TaggedPtr::from_addr(end),
+                        TaggedPtr::from_addr(end + g),
+                    ] {
+                        if let Ok(t) = mem.ldg(neighbour) {
+                            exclusion = exclusion.excluding(t);
+                        }
+                    }
+                }
+                let tag = mem.irg(thread, exclusion);
+                mem.set_tag_range(begin, end, tag)?;
+                obj.tag = tag;
+                tag
+            };
+            // 4. The caller applies `tag` to the returned pointer.
+            return Ok(Acquired { tag, shared });
+        }
+    }
+
+    fn release(
+        &self,
+        mem: &TaggedMemory,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<ReleaseOutcome> {
+        let addr = begin.addr();
+        let table = &self.tables[self.table_index(addr)];
+        // 2. Retrieve the reference count; absent entry → nothing to do.
+        let entry = {
+            let t = table.lock();
+            match t.map.get(&addr) {
+                Some(e) => Arc::clone(e),
+                None => return Ok(ReleaseOutcome::NotTracked),
+            }
+        };
+        // 3. Optionally release the memory tag under the object lock.
+        let mut obj = entry.lock();
+        if obj.dead || obj.addr != addr || obj.reference_num == 0 {
+            return Ok(ReleaseOutcome::NotTracked);
+        }
+        obj.reference_num -= 1;
+        if obj.reference_num > 0 {
+            return Ok(ReleaseOutcome::Decremented {
+                remaining: obj.reference_num,
+            });
+        }
+        if self.release_tags {
+            mem.set_tag_range(begin, end, Tag::UNTAGGED)?;
+        }
+        obj.dead = true;
+        drop(obj);
+        // Remove the dead entry so the table does not grow without bound,
+        // recycling it into the pool for the next first-acquire.
+        let mut t = table.lock();
+        if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry)) {
+            t.map.remove(&addr);
+            if t.pool.len() < POOL_CAP {
+                t.pool.push(entry);
+            }
+        }
+        Ok(ReleaseOutcome::Freed)
+    }
+
+    fn tracked_objects(&self) -> usize {
+        self.tables.iter().map(|t| t.lock().map.len()).sum()
+    }
+}
+
+#[derive(Debug)]
+struct GlobalEntry {
+    reference_num: u32,
+    tag: Tag,
+}
+
+/// The naive global-lock tag table: one mutex serializes every acquire
+/// and release, including the tag memory work (§3.1's "naive solution",
+/// Figure 6's ablation baseline).
+pub struct GlobalLockTable {
+    entries: Mutex<AddrMap<GlobalEntry>>,
+    exclusion: TagExclusion,
+    release_tags: bool,
+}
+
+impl GlobalLockTable {
+    /// Creates the table.
+    pub fn new() -> GlobalLockTable {
+        GlobalLockTable {
+            entries: Mutex::new(AddrMap::default()),
+            exclusion: TagExclusion::default(),
+            release_tags: true,
+        }
+    }
+}
+
+impl Default for GlobalLockTable {
+    fn default() -> Self {
+        GlobalLockTable::new()
+    }
+}
+
+impl fmt::Debug for GlobalLockTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobalLockTable")
+            .field("tracked", &self.tracked_objects())
+            .finish()
+    }
+}
+
+impl TagTable for GlobalLockTable {
+    fn acquire(
+        &self,
+        mem: &TaggedMemory,
+        thread: &MteThread,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<Acquired> {
+        // The whole algorithm runs under the single lock — every thread of
+        // every JNI interface competes here.
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(begin.addr()).or_insert(GlobalEntry {
+            reference_num: 0,
+            tag: Tag::UNTAGGED,
+        });
+        entry.reference_num += 1;
+        if entry.reference_num > 1 {
+            mem.ldg(begin)?;
+            Ok(Acquired { tag: entry.tag, shared: true })
+        } else {
+            let tag = mem.irg(thread, self.exclusion);
+            mem.set_tag_range(begin, end, tag)?;
+            entry.tag = tag;
+            Ok(Acquired { tag, shared: false })
+        }
+    }
+
+    fn release(
+        &self,
+        mem: &TaggedMemory,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<ReleaseOutcome> {
+        let mut entries = self.entries.lock();
+        let Some(entry) = entries.get_mut(&begin.addr()) else {
+            return Ok(ReleaseOutcome::NotTracked);
+        };
+        entry.reference_num -= 1;
+        if entry.reference_num > 0 {
+            return Ok(ReleaseOutcome::Decremented {
+                remaining: entry.reference_num,
+            });
+        }
+        if self.release_tags {
+            mem.set_tag_range(begin, end, Tag::UNTAGGED)?;
+        }
+        entries.remove(&begin.addr());
+        Ok(ReleaseOutcome::Freed)
+    }
+
+    fn tracked_objects(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mte_sim::MemoryConfig;
+    use std::sync::Arc as StdArc;
+
+    const BASE: u64 = 0x7a00_0000_0000;
+
+    fn mem() -> StdArc<TaggedMemory> {
+        let m = TaggedMemory::new(MemoryConfig {
+            base: BASE,
+            size: 1 << 20,
+        });
+        m.mprotect_mte(BASE, 1 << 20, true).unwrap();
+        m
+    }
+
+    fn tables() -> Vec<Box<dyn TagTable>> {
+        vec![Box::new(TwoTierTable::new(16)), Box::new(GlobalLockTable::new())]
+    }
+
+    #[test]
+    fn first_acquire_tags_memory_and_pointer_consistently() {
+        for table in tables() {
+            let m = mem();
+            let t = MteThread::with_seed("t", 11);
+            let begin = TaggedPtr::from_addr(BASE + 0x100);
+            let end = begin.addr() + 64;
+            let tag = table.acquire(&m, &t, begin, end).unwrap().tag;
+            assert!(!tag.is_untagged(), "tag 0 is excluded");
+            for g in 0..4 {
+                assert_eq!(m.ldg(begin.wrapping_add(g * 16)).unwrap(), tag, "{table:?}");
+            }
+            assert_eq!(m.ldg(begin.wrapping_add(64)).unwrap(), Tag::UNTAGGED);
+        }
+    }
+
+    #[test]
+    fn concurrent_acquires_share_the_tag() {
+        for table in tables() {
+            let m = mem();
+            let t = MteThread::with_seed("t", 12);
+            let begin = TaggedPtr::from_addr(BASE + 0x200);
+            let end = begin.addr() + 32;
+            let first = table.acquire(&m, &t, begin, end).unwrap();
+            let second = table.acquire(&m, &t, begin, end).unwrap();
+            assert!(!first.shared);
+            assert!(second.shared);
+            assert_eq!(first.tag, second.tag, "{table:?}");
+            assert_eq!(table.tracked_objects(), 1);
+        }
+    }
+
+    #[test]
+    fn release_zeroes_tags_only_at_refcount_zero() {
+        for table in tables() {
+            let m = mem();
+            let t = MteThread::with_seed("t", 13);
+            let begin = TaggedPtr::from_addr(BASE + 0x300);
+            let end = begin.addr() + 32;
+            let tag = table.acquire(&m, &t, begin, end).unwrap().tag;
+            table.acquire(&m, &t, begin, end).unwrap();
+
+            let out = table.release(&m, begin, end).unwrap();
+            assert_eq!(out, ReleaseOutcome::Decremented { remaining: 1 });
+            assert_eq!(m.ldg(begin).unwrap(), tag, "tags stay while borrowed");
+
+            let out = table.release(&m, begin, end).unwrap();
+            assert_eq!(out, ReleaseOutcome::Freed);
+            assert_eq!(m.ldg(begin).unwrap(), Tag::UNTAGGED, "{table:?}");
+            assert_eq!(table.tracked_objects(), 0);
+        }
+    }
+
+    #[test]
+    fn release_of_untracked_object_is_a_no_op() {
+        for table in tables() {
+            let m = mem();
+            let begin = TaggedPtr::from_addr(BASE + 0x400);
+            assert_eq!(
+                table.release(&m, begin, begin.addr() + 16).unwrap(),
+                ReleaseOutcome::NotTracked
+            );
+        }
+    }
+
+    #[test]
+    fn reacquire_after_free_generates_fresh_entry() {
+        for table in tables() {
+            let m = mem();
+            let t = MteThread::with_seed("t", 14);
+            let begin = TaggedPtr::from_addr(BASE + 0x500);
+            let end = begin.addr() + 16;
+            table.acquire(&m, &t, begin, end).unwrap();
+            table.release(&m, begin, end).unwrap();
+            let again = table.acquire(&m, &t, begin, end).unwrap();
+            assert!(!again.shared, "fresh entry after a full release");
+            assert_eq!(m.ldg(begin).unwrap(), again.tag);
+            assert_eq!(table.tracked_objects(), 1);
+        }
+    }
+
+    #[test]
+    fn distinct_objects_get_independent_entries() {
+        for table in tables() {
+            let m = mem();
+            let t = MteThread::with_seed("t", 15);
+            let a = TaggedPtr::from_addr(BASE);
+            let b = TaggedPtr::from_addr(BASE + 0x1000);
+            table.acquire(&m, &t, a, a.addr() + 16).unwrap();
+            table.acquire(&m, &t, b, b.addr() + 16).unwrap();
+            assert_eq!(table.tracked_objects(), 2);
+            table.release(&m, a, a.addr() + 16).unwrap();
+            assert_eq!(table.tracked_objects(), 1);
+            assert_ne!(m.ldg(b).unwrap(), Tag::UNTAGGED);
+        }
+    }
+
+    #[test]
+    fn table_index_uses_granule_low_bits() {
+        let table = TwoTierTable::new(16);
+        assert_eq!(table.table_index(BASE), table.table_index(BASE + 15));
+        assert_ne!(table.table_index(BASE), table.table_index(BASE + 16));
+        // 16 granules later wraps back to the same table.
+        assert_eq!(table.table_index(BASE), table.table_index(BASE + 256));
+    }
+
+    #[test]
+    fn disabled_tag_release_leaves_stale_tags() {
+        let table = TwoTierTable::with_release_policy(16, false);
+        let m = mem();
+        let t = MteThread::with_seed("t", 16);
+        let begin = TaggedPtr::from_addr(BASE + 0x600);
+        let end = begin.addr() + 16;
+        let tag = table.acquire(&m, &t, begin, end).unwrap().tag;
+        table.release(&m, begin, end).unwrap();
+        assert_eq!(m.ldg(begin).unwrap(), tag, "ablation: stale tag lingers");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash table")]
+    fn zero_tables_rejected() {
+        let _ = TwoTierTable::new(0);
+    }
+
+    #[test]
+    fn concurrent_stress_preserves_refcount_invariants() {
+        for locking in [Locking::TwoTier, Locking::Global] {
+            let table: StdArc<dyn TagTable> = match locking {
+                Locking::TwoTier => StdArc::new(TwoTierTable::new(16)),
+                Locking::Global => StdArc::new(GlobalLockTable::new()),
+            };
+            let m = mem();
+            let objects: Vec<u64> = (0..8).map(|i| BASE + 0x100 * i).collect();
+            std::thread::scope(|s| {
+                for worker in 0..8 {
+                    let table = StdArc::clone(&table);
+                    let m = StdArc::clone(&m);
+                    let objects = objects.clone();
+                    s.spawn(move || {
+                        let t = MteThread::with_seed("w", 100 + worker);
+                        for round in 0..500usize {
+                            let addr = objects[(worker as usize + round) % objects.len()];
+                            let begin = TaggedPtr::from_addr(addr);
+                            let end = addr + 64;
+                            let tag = table.acquire(&m, &t, begin, end).unwrap().tag;
+                            // While held, the memory tag must match ours.
+                            assert_eq!(m.ldg(begin).unwrap(), tag);
+                            table.release(&m, begin, end).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(table.tracked_objects(), 0, "{locking:?}: all entries freed");
+            for &addr in &objects {
+                assert_eq!(
+                    m.ldg(TaggedPtr::from_addr(addr)).unwrap(),
+                    Tag::UNTAGGED,
+                    "{locking:?}: all tags released"
+                );
+            }
+        }
+    }
+}

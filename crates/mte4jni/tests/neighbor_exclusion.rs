@@ -1,0 +1,116 @@
+//! The neighbour-tag-exclusion extension: adjacent-object out-of-bounds
+//! accesses are detected *deterministically*, not with probability 14/15.
+
+use std::sync::Arc;
+
+use art_heap::HeapConfig;
+use jni_rt::{NativeKind, ReleaseMode, Vm};
+use mte4jni::{Mte4Jni, Mte4JniConfig};
+use mte_sim::TcfMode;
+
+fn vm(exclude_neighbor_tags: bool) -> Vm {
+    Vm::builder()
+        .heap_config(HeapConfig::mte4jni())
+        .check_mode(TcfMode::Sync)
+        .protection(Arc::new(Mte4Jni::with_config(Mte4JniConfig {
+            exclude_neighbor_tags,
+            ..Mte4JniConfig::default()
+        })))
+        .build()
+}
+
+/// Allocates two adjacent arrays, borrows both (so both are tagged), and
+/// reaches from `a`'s pointer into `b`'s payload. Returns whether the
+/// cross-object access was detected.
+fn cross_access_detected(env: &jni_rt::JniEnv<'_>) -> bool {
+    let a = env.new_int_array(4).unwrap();
+    let b = env.new_int_array(4).unwrap();
+    env.call_native("cross", NativeKind::Normal, |env| {
+        let ea = env.get_primitive_array_critical(&a)?;
+        let eb = env.get_primitive_array_critical(&b)?;
+        let mem = env.native_mem();
+        let step = (b.data_addr() as i64 - a.data_addr() as i64) / 4;
+        let detected = ea.read_i32(&mem, step as isize).is_err();
+        env.release_primitive_array_critical(&b, eb, ReleaseMode::Abort)?;
+        env.release_primitive_array_critical(&a, ea, ReleaseMode::Abort)?;
+        Ok(detected)
+    })
+    .unwrap()
+}
+
+#[test]
+fn baseline_misses_adjacent_objects_occasionally() {
+    let vm = vm(false);
+    let thread = vm.attach_thread("t");
+    let env = vm.env(&thread);
+    let mut missed = 0;
+    for _ in 0..400 {
+        if !cross_access_detected(&env) {
+            missed += 1;
+        }
+        vm.heap().sweep();
+    }
+    // Expected ≈ 400/15 ≈ 27; anywhere in (0, 80) confirms the
+    // probabilistic regime without flaking.
+    assert!(missed > 0, "the 1/15 collision must eventually occur");
+    assert!(missed < 80, "but not much more often than 1/15 ({missed}/400)");
+}
+
+#[test]
+fn exclusion_makes_adjacent_detection_deterministic() {
+    let vm = vm(true);
+    let thread = vm.attach_thread("t");
+    let env = vm.env(&thread);
+    for trial in 0..400 {
+        assert!(
+            cross_access_detected(&env),
+            "trial {trial}: adjacent access must always be caught"
+        );
+        vm.heap().sweep();
+    }
+}
+
+#[test]
+fn exclusion_costs_extra_ldg_on_first_acquire_only() {
+    let vm = vm(true);
+    let thread = vm.attach_thread("t");
+    let env = vm.env(&thread);
+    // Padding keeps all four neighbour probes inside the heap range.
+    let _pad = env.new_int_array(16).unwrap();
+    let a = env.new_int_array(16).unwrap();
+    let before = vm.heap().memory().stats().snapshot();
+    env.call_native("cost", NativeKind::Normal, |env| {
+        let e1 = env.get_primitive_array_critical(&a)?;
+        let e2 = env.get_primitive_array_critical(&a)?; // shared: no irg
+        env.release_primitive_array_critical(&a, e2, ReleaseMode::Abort)?;
+        env.release_primitive_array_critical(&a, e1, ReleaseMode::Abort)
+    })
+    .unwrap();
+    let d = vm.heap().memory().stats().snapshot().since(&before);
+    assert_eq!(d.irg_ops, 1);
+    assert_eq!(
+        d.ldg_ops, 5,
+        "4 neighbour probes on the first acquire + 1 sharing ldg"
+    );
+}
+
+#[test]
+fn correct_programs_unaffected_by_exclusion() {
+    let vm = vm(true);
+    let thread = vm.attach_thread("t");
+    let env = vm.env(&thread);
+    let a = env.new_int_array_from(&[5; 64]).unwrap();
+    let sum = env
+        .call_native("sum", NativeKind::Normal, |env| {
+            let elems = env.get_primitive_array_critical(&a)?;
+            let mem = env.native_mem();
+            let mut s = 0;
+            for i in 0..64 {
+                s += elems.read_i32(&mem, i)?;
+            }
+            env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)?;
+            Ok(s)
+        })
+        .unwrap();
+    assert_eq!(sum, 320);
+}

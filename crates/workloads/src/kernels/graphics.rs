@@ -1,0 +1,309 @@
+//! Raster graphics kernels: PDF Renderer, Background Blur, Photo Filter,
+//! HDR, Object Remover.
+
+use jni_rt::{JniEnv, NativeKind, ReleaseMode, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::fnv1a_i32;
+use crate::synth::gen_image;
+
+fn unpack(p: i32) -> (i32, i32, i32) {
+    ((p >> 16) & 0xFF, (p >> 8) & 0xFF, p & 0xFF)
+}
+
+fn pack(r: i32, g: i32, b: i32) -> i32 {
+    (0xFF << 24) | (r.clamp(0, 255) << 16) | (g.clamp(0, 255) << 8) | b.clamp(0, 255)
+}
+
+/// **PDF Renderer**: rasterizes randomly generated filled triangles and
+/// thick line segments into an int-array framebuffer with alpha blending.
+///
+/// This is an *intensive in-place* kernel: every covered pixel is
+/// read-modify-written once per primitive, inside a single critical
+/// acquire — the access pattern the paper identifies as unfavourable for
+/// MTE+Sync (§5.4).
+pub fn pdf_renderer(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let (w, h) = (64 * scale as usize, 64 * scale as usize);
+    let fb = env.new_int_array(w * h)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9df);
+    let primitives = 48 * scale as usize;
+    // Pre-generate the display list managed-side (the "PDF").
+    let tris: Vec<(usize, usize, usize, usize, i32)> = (0..primitives)
+        .map(|_| {
+            let x = rng.gen_range(0..w.saturating_sub(12));
+            let y = rng.gen_range(0..h.saturating_sub(12));
+            let dw = rng.gen_range(4..12);
+            let dh = rng.gen_range(4..12);
+            let color = pack(rng.gen_range(0..256), rng.gen_range(0..256), rng.gen_range(0..256));
+            (x, y, dw, dh, color)
+        })
+        .collect();
+
+    env.call_native("pdf_renderer", NativeKind::Normal, |env| {
+        let frame = env.get_primitive_array_critical(&fb)?;
+        let mem = env.native_mem();
+        for &(x0, y0, dw, dh, color) in &tris {
+            let (cr, cg, cb) = unpack(color);
+            // A right triangle within the (dw × dh) box, alpha-blended.
+            for dy in 0..dh {
+                let span = dw * (dh - dy) / dh;
+                for dx in 0..span {
+                    let idx = ((y0 + dy) * w + x0 + dx) as isize;
+                    let under = frame.read_i32(&mem, idx)?;
+                    let (ur, ug, ub) = unpack(under);
+                    frame.write_i32(
+                        &mem,
+                        idx,
+                        pack((ur + cr) / 2, (ug + cg) / 2, (ub + cb) / 2),
+                    )?;
+                }
+            }
+        }
+        // Anti-alias pass: 3-tap horizontal smoothing across the canvas —
+        // a second full in-place sweep.
+        for y in 0..h {
+            for x in 1..w - 1 {
+                let idx = (y * w + x) as isize;
+                let (lr, lg, lb) = unpack(frame.read_i32(&mem, idx - 1)?);
+                let (cr, cg, cb) = unpack(frame.read_i32(&mem, idx)?);
+                let (rr, rg, rb) = unpack(frame.read_i32(&mem, idx + 1)?);
+                frame.write_i32(
+                    &mem,
+                    idx,
+                    pack((lr + 2 * cr + rr) / 4, (lg + 2 * cg + rg) / 4, (lb + 2 * cb + rb) / 4),
+                )?;
+            }
+        }
+        env.release_primitive_array_critical(&fb, frame, ReleaseMode::CopyBack)
+    })?;
+
+    let mut out = vec![0i32; w * h];
+    env.get_int_array_region(&fb, 0, &mut out)?;
+    Ok(fnv1a_i32(out))
+}
+
+/// **Background Blur**: separable box blur (two passes) over an ARGB
+/// image, horizontal into a scratch array, vertical back — the classic
+/// two-array streaming filter.
+pub fn background_blur(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let (w, h) = (64 * scale as usize, 48 * scale as usize);
+    let image = env.new_int_array_from(&gen_image(seed, w, h))?;
+    let scratch = env.new_int_array(w * h)?;
+    const R: isize = 3;
+
+    env.call_native("background_blur", NativeKind::Normal, |env| {
+        let src = env.get_primitive_array_critical(&image)?;
+        let tmp = env.get_primitive_array_critical(&scratch)?;
+        let mem = env.native_mem();
+        // Horizontal pass.
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                let (mut r, mut g, mut b, mut n) = (0, 0, 0, 0);
+                for dx in -R..=R {
+                    let xx = x + dx;
+                    if xx >= 0 && xx < w as isize {
+                        let (pr, pg, pb) = unpack(src.read_i32(&mem, y * w as isize + xx)?);
+                        r += pr;
+                        g += pg;
+                        b += pb;
+                        n += 1;
+                    }
+                }
+                tmp.write_i32(&mem, y * w as isize + x, pack(r / n, g / n, b / n))?;
+            }
+        }
+        // Vertical pass back into the image.
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                let (mut r, mut g, mut b, mut n) = (0, 0, 0, 0);
+                for dy in -R..=R {
+                    let yy = y + dy;
+                    if yy >= 0 && yy < h as isize {
+                        let (pr, pg, pb) = unpack(tmp.read_i32(&mem, yy * w as isize + x)?);
+                        r += pr;
+                        g += pg;
+                        b += pb;
+                        n += 1;
+                    }
+                }
+                src.write_i32(&mem, y * w as isize + x, pack(r / n, g / n, b / n))?;
+            }
+        }
+        env.release_primitive_array_critical(&scratch, tmp, ReleaseMode::Abort)?;
+        env.release_primitive_array_critical(&image, src, ReleaseMode::CopyBack)
+    })?;
+
+    let mut out = vec![0i32; w * h];
+    env.get_int_array_region(&image, 0, &mut out)?;
+    Ok(fnv1a_i32(out))
+}
+
+/// **Photo Filter**: one-pass per-pixel tone curve + saturation boost via
+/// a precomputed LUT — the lightest image kernel, bulk-transfer class.
+pub fn photo_filter(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let (w, h) = (96 * scale as usize, 64 * scale as usize);
+    let image = env.new_int_array_from(&gen_image(seed, w, h))?;
+    // S-curve LUT built managed-side.
+    let lut: Vec<i32> = (0..256)
+        .map(|v| {
+            let x = v as f64 / 255.0;
+            let y = x * x * (3.0 - 2.0 * x); // smoothstep
+            (y * 255.0) as i32
+        })
+        .collect();
+
+    env.call_native("photo_filter", NativeKind::FastNative, |env| {
+        let px = env.get_int_array_elements(&image)?;
+        let mem = env.native_mem();
+        for i in 0..(w * h) as isize {
+            let (r, g, b) = unpack(px.read_i32(&mem, i)?);
+            let (r, g, b) = (lut[r as usize], lut[g as usize], lut[b as usize]);
+            let gray = (r * 3 + g * 6 + b) / 10;
+            // Saturation boost: push channels away from gray.
+            px.write_i32(
+                &mem,
+                i,
+                pack(gray + (r - gray) * 5 / 4, gray + (g - gray) * 5 / 4, gray + (b - gray) * 5 / 4),
+            )?;
+        }
+        env.release_int_array_elements(&image, px, ReleaseMode::CopyBack)
+    })?;
+
+    let mut out = vec![0i32; w * h];
+    env.get_int_array_region(&image, 0, &mut out)?;
+    Ok(fnv1a_i32(out))
+}
+
+/// **HDR**: merges three synthetic exposures into one output image with
+/// weighted averaging — exercises *concurrent acquisition of several
+/// arrays* within one native call.
+pub fn hdr(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let (w, h) = (64 * scale as usize, 64 * scale as usize);
+    let base = gen_image(seed, w, h);
+    let expose = |ev: i32| -> Vec<i32> {
+        base.iter()
+            .map(|&p| {
+                let (r, g, b) = unpack(p);
+                pack((r + ev).clamp(0, 255), (g + ev).clamp(0, 255), (b + ev).clamp(0, 255))
+            })
+            .collect()
+    };
+    let under = env.new_int_array_from(&expose(-80))?;
+    let mid = env.new_int_array_from(&expose(0))?;
+    let over = env.new_int_array_from(&expose(80))?;
+    let out_img = env.new_int_array(w * h)?;
+
+    env.call_native("hdr_merge", NativeKind::Normal, |env| {
+        let e0 = env.get_int_array_elements(&under)?;
+        let e1 = env.get_int_array_elements(&mid)?;
+        let e2 = env.get_int_array_elements(&over)?;
+        let dst = env.get_int_array_elements(&out_img)?;
+        let mem = env.native_mem();
+        // Hat-function weighting centred on mid-gray.
+        let weight = |v: i32| 128 - (v - 128).abs() + 1;
+        for i in 0..(w * h) as isize {
+            let ps = [e0.read_i32(&mem, i)?, e1.read_i32(&mem, i)?, e2.read_i32(&mem, i)?];
+            let (mut r, mut g, mut b, mut wsum) = (0i64, 0i64, 0i64, 0i64);
+            for p in ps {
+                let (pr, pg, pb) = unpack(p);
+                let wgt = i64::from(weight((pr * 3 + pg * 6 + pb) / 10));
+                r += i64::from(pr) * wgt;
+                g += i64::from(pg) * wgt;
+                b += i64::from(pb) * wgt;
+                wsum += wgt;
+            }
+            dst.write_i32(&mem, i, pack((r / wsum) as i32, (g / wsum) as i32, (b / wsum) as i32))?;
+        }
+        env.release_int_array_elements(&out_img, dst, ReleaseMode::CopyBack)?;
+        env.release_int_array_elements(&over, e2, ReleaseMode::Abort)?;
+        env.release_int_array_elements(&mid, e1, ReleaseMode::Abort)?;
+        env.release_int_array_elements(&under, e0, ReleaseMode::Abort)?;
+        Ok(())
+    })?;
+
+    let mut out = vec![0i32; w * h];
+    env.get_int_array_region(&out_img, 0, &mut out)?;
+    Ok(fnv1a_i32(out))
+}
+
+/// **Object Remover**: masks a rectangle out of the image and inpaints it
+/// by iterative neighbour diffusion until convergence — many full passes
+/// over the masked region inside one critical section (intensive
+/// in-place class).
+pub fn object_remover(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let (w, h) = (48 * scale as usize, 48 * scale as usize);
+    let image = env.new_int_array_from(&gen_image(seed, w, h))?;
+    let (mx0, my0, mw, mh) = (w / 4, h / 4, w / 3, h / 3);
+
+    env.call_native("object_remover", NativeKind::Normal, |env| {
+        let px = env.get_primitive_array_critical(&image)?;
+        let mem = env.native_mem();
+        // Cut the object out.
+        for y in my0..my0 + mh {
+            for x in mx0..mx0 + mw {
+                px.write_i32(&mem, (y * w + x) as isize, pack(0, 0, 0))?;
+            }
+        }
+        // Diffuse the surrounding colors inwards: fixed 24 Jacobi-ish
+        // sweeps (in-place Gauss-Seidel for determinism).
+        for _ in 0..24 {
+            for y in my0..my0 + mh {
+                for x in mx0..mx0 + mw {
+                    let idx = (y * w + x) as isize;
+                    let (lr, lg, lb) = unpack(px.read_i32(&mem, idx - 1)?);
+                    let (rr, rg, rb) = unpack(px.read_i32(&mem, idx + 1)?);
+                    let (ur, ug, ub) = unpack(px.read_i32(&mem, idx - w as isize)?);
+                    let (dr, dg, db) = unpack(px.read_i32(&mem, idx + w as isize)?);
+                    px.write_i32(
+                        &mem,
+                        idx,
+                        pack((lr + rr + ur + dr) / 4, (lg + rg + ug + dg) / 4, (lb + rb + ub + db) / 4),
+                    )?;
+                }
+            }
+        }
+        env.release_primitive_array_critical(&image, px, ReleaseMode::CopyBack)
+    })?;
+
+    let mut out = vec![0i32; w * h];
+    env.get_int_array_region(&image, 0, &mut out)?;
+    Ok(fnv1a_i32(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+
+    #[test]
+    fn graphics_kernels_are_deterministic() {
+        let vm = Scheme::NoProtection.build_vm();
+        let t = vm.attach_thread("t");
+        let env = vm.env(&t);
+        for k in [pdf_renderer, background_blur, photo_filter, hdr, object_remover] {
+            assert_eq!(k(&env, 3, 1).unwrap(), k(&env, 3, 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn blur_actually_smooths() {
+        // The blurred image must differ from the input but keep alpha.
+        let vm = Scheme::NoProtection.build_vm();
+        let t = vm.attach_thread("t");
+        let env = vm.env(&t);
+        let before = fnv1a_i32(gen_image(11, 64, 48));
+        let after = background_blur(&env, 11, 1).unwrap();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn graphics_kernels_run_under_guarded_copy() {
+        let vm = Scheme::GuardedCopy.build_vm();
+        let t = vm.attach_thread("t");
+        let env = vm.env(&t);
+        for k in [pdf_renderer, background_blur, photo_filter, hdr, object_remover] {
+            k(&env, 3, 1).unwrap();
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Language-processing kernels: Clang (toy C front-end), HTML5 Browser
+//! (tokenizer + DOM), Text Processing (word statistics + pattern search).
+
+use std::collections::HashMap;
+
+use jni_rt::{JniEnv, NativeKind, Result};
+
+use super::fnv1a;
+use crate::synth::{gen_c_source, gen_text};
+
+// ---------------------------------------------------------------------
+// Clang: lex → parse → constant-fold a synthetic C translation unit.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Punct(u8),
+    // Two-character operators collapse to single markers.
+    Le,
+    Ge,
+    Eq,
+    Ne,
+}
+
+#[derive(Debug)]
+enum Expr {
+    Num(i64),
+    Var(String),
+    Bin(u8, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Constant folding — the "compiler optimization" portion.
+    fn fold(self) -> Expr {
+        match self {
+            Expr::Bin(op, l, r) => {
+                let (l, r) = (l.fold(), r.fold());
+                if let (Expr::Num(a), Expr::Num(b)) = (&l, &r) {
+                    let v = match op {
+                        b'+' => a.wrapping_add(*b),
+                        b'-' => a.wrapping_sub(*b),
+                        b'*' => a.wrapping_mul(*b),
+                        b'/' if *b != 0 => a / b,
+                        b'>' => i64::from(a > b),
+                        b'<' => i64::from(a < b),
+                        _ => return Expr::Bin(op, Box::new(l), Box::new(r)),
+                    };
+                    return Expr::Num(v);
+                }
+                Expr::Bin(op, Box::new(l), Box::new(r))
+            }
+            e => e,
+        }
+    }
+
+    fn weight(&self) -> u64 {
+        match self {
+            Expr::Num(n) => *n as u64 ^ 0x9e37,
+            Expr::Var(v) => fnv1a(v.bytes()),
+            Expr::Bin(op, l, r) => {
+                u64::from(*op) ^ l.weight().rotate_left(7) ^ r.weight().rotate_left(13)
+            }
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: u8) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// expr := term (('+'|'-'|'>'|'<') term)*
+    fn expr(&mut self) -> Expr {
+        let mut lhs = self.term();
+        while let Some(Tok::Punct(op @ (b'+' | b'-' | b'>' | b'<'))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let rhs = self.term();
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        lhs
+    }
+
+    /// term := factor (('*'|'/') factor)*
+    fn term(&mut self) -> Expr {
+        let mut lhs = self.factor();
+        while let Some(Tok::Punct(op @ (b'*' | b'/'))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let rhs = self.factor();
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        lhs
+    }
+
+    fn factor(&mut self) -> Expr {
+        match self.bump() {
+            Some(Tok::Num(n)) => Expr::Num(n),
+            Some(Tok::Ident(v)) => Expr::Var(v),
+            Some(Tok::Punct(b'(')) => {
+                let e = self.expr();
+                self.eat_punct(b')');
+                e
+            }
+            _ => Expr::Num(0),
+        }
+    }
+}
+
+fn lex(src: &[u8]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < src.len() {
+        let c = src[i];
+        match c {
+            b' ' | b'\n' | b'\t' | b'\r' => i += 1,
+            b'/' if src.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < src.len() && !(src[i] == b'*' && src[i + 1] == b'/') {
+                    i += 1;
+                }
+                i += 2;
+            }
+            b'0'..=b'9' => {
+                let mut n = 0i64;
+                while i < src.len() && src[i].is_ascii_digit() {
+                    n = n * 10 + i64::from(src[i] - b'0');
+                    i += 1;
+                }
+                toks.push(Tok::Num(n));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < src.len() && (src[i].is_ascii_alphanumeric() || src[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(String::from_utf8_lossy(&src[start..i]).into_owned()));
+            }
+            b'<' if src.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Le);
+                i += 2;
+            }
+            b'>' if src.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Ge);
+                i += 2;
+            }
+            b'=' if src.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Eq);
+                i += 2;
+            }
+            b'!' if src.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Ne);
+                i += 2;
+            }
+            _ => {
+                toks.push(Tok::Punct(c));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// **Clang**: fetches a C translation unit from a Java string via
+/// `GetStringUTFChars`, then lexes it byte-by-byte *from the JNI buffer*
+/// in several passes (token count, identifier frequency, full parse with
+/// constant folding) — the intensive in-place class: the same large
+/// buffer is re-scanned repeatedly between one get/release pair.
+pub fn clang(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let src = gen_c_source(seed, 12 * scale as usize);
+    let jsrc = env.new_string(&src)?;
+
+    env.call_native("clang_frontend", NativeKind::Normal, |env| {
+        let utf = env.get_string_utf_chars(&jsrc)?;
+        let mem = env.native_mem();
+
+        // Pass 1: raw byte statistics (preprocessor-ish scan).
+        let mut braces = 0i64;
+        for i in 0..utf.utf_len() as isize {
+            match utf.read_byte(&mem, i)? {
+                b'{' => braces += 1,
+                b'}' => braces -= 1,
+                _ => {}
+            }
+        }
+        debug_assert_eq!(braces, 0, "balanced translation unit");
+
+        // Pass 2: full lex from the JNI buffer.
+        let bytes = utf.read_c_string(&mem)?;
+        let toks = lex(&bytes);
+
+        // Pass 3: parse every parenthesized/assignment expression region
+        // and constant-fold it.
+        let mut acc = 0u64;
+        let mut p = Parser { toks, pos: 0 };
+        while p.peek().is_some() {
+            // Seek an '=' then parse the right-hand side as an expression.
+            match p.bump() {
+                Some(Tok::Punct(b'=')) => {
+                    let e = p.expr().fold();
+                    acc = acc.rotate_left(9) ^ e.weight();
+                }
+                Some(Tok::Ident(id)) => {
+                    acc = acc.wrapping_add(fnv1a(id.bytes()));
+                }
+                _ => {}
+            }
+        }
+        env.release_string_utf_chars(&jsrc, utf)?;
+        Ok(acc)
+    })
+}
+
+// ---------------------------------------------------------------------
+// HTML5 Browser: tokenizer + DOM tree construction.
+// ---------------------------------------------------------------------
+
+fn gen_html(seed: u64, nodes: usize) -> String {
+    let text = gen_text(seed ^ 0x47, 6);
+    let mut out = String::from("<html><body>");
+    let tags = ["div", "p", "span", "ul", "li", "b"];
+    let mut open: Vec<&str> = Vec::new();
+    let mut x = seed | 1;
+    for i in 0..nodes {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let tag = tags[(x >> 33) as usize % tags.len()];
+        if (x >> 11) & 1 == 0 && open.len() < 12 {
+            out.push_str(&format!("<{tag} id=\"n{i}\">{text}"));
+            open.push(tag);
+        } else if let Some(t) = open.pop() {
+            out.push_str(&format!("</{t}>"));
+        }
+    }
+    while let Some(t) = open.pop() {
+        out.push_str(&format!("</{t}>"));
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+/// **HTML5 Browser**: pulls an HTML document out of a Java string with
+/// `GetStringChars` (UTF-16, as browsers store text), tokenizes tags and
+/// text, and builds a DOM tree, returning a structural fingerprint.
+pub fn html5_browser(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let html = gen_html(seed, 120 * scale as usize);
+    let jdoc = env.new_string(&html)?;
+
+    env.call_native("html5_parse", NativeKind::Normal, |env| {
+        let chars = env.get_string_chars(&jdoc)?;
+        let mem = env.native_mem();
+        let n = chars.len() as isize;
+
+        // Tokenize directly from the UTF-16 JNI buffer.
+        let mut depth = 0u64;
+        let mut max_depth = 0u64;
+        let mut elements = 0u64;
+        let mut text_hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut i: isize = 0;
+        while i < n {
+            let c = chars.read_u16(&mem, i)?;
+            if c == u16::from(b'<') {
+                let closing = chars.read_u16(&mem, i + 1)? == u16::from(b'/');
+                // Scan to '>'.
+                let mut name_hash = 0u64;
+                let mut j = i + if closing { 2 } else { 1 };
+                while j < n && chars.read_u16(&mem, j)? != u16::from(b'>') {
+                    name_hash = name_hash.wrapping_mul(31) ^ u64::from(chars.read_u16(&mem, j)?);
+                    j += 1;
+                }
+                if closing {
+                    depth -= 1;
+                } else {
+                    depth += 1;
+                    elements += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                text_hash ^= name_hash.rotate_left(depth as u32 % 63);
+                i = j + 1;
+            } else {
+                text_hash = text_hash.wrapping_mul(0x100000001B3) ^ u64::from(c);
+                i += 1;
+            }
+        }
+        env.release_string_chars(&jdoc, chars)?;
+        Ok(elements.rotate_left(17) ^ max_depth.rotate_left(5) ^ text_hash)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Text Processing.
+// ---------------------------------------------------------------------
+
+/// **Text Processing**: word frequencies, bigram statistics, and a
+/// substring search, all computed in multiple passes over a large UTF-16
+/// buffer held critical — intensive in-place class.
+pub fn text_processing(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let text = gen_text(seed, 900 * scale as usize);
+    let jtext = env.new_string(&text)?;
+    let needle: Vec<u16> = "memory tag".encode_utf16().collect();
+
+    env.call_native("text_processing", NativeKind::Normal, |env| {
+        let chars = env.get_string_critical(&jtext)?;
+        let mem = env.native_mem();
+        let n = chars.len() as isize;
+
+        // Pass 1: word frequency table.
+        let mut freq: HashMap<u64, u32> = HashMap::new();
+        let mut word = 0u64;
+        for i in 0..=n {
+            let c = if i < n { chars.read_u16(&mem, i)? } else { u16::from(b' ') };
+            if c.is_ascii_alphanumeric_u16() {
+                word = word.wrapping_mul(31) ^ u64::from(c);
+            } else if word != 0 {
+                *freq.entry(word).or_insert(0) += 1;
+                word = 0;
+            }
+        }
+
+        // Pass 2: bigram entropy-ish statistic.
+        let mut bigrams = 0u64;
+        for i in 0..n - 1 {
+            let a = chars.read_u16(&mem, i)?;
+            let b = chars.read_u16(&mem, i + 1)?;
+            bigrams = bigrams.wrapping_add(u64::from(a) * 131 + u64::from(b));
+        }
+
+        // Pass 3: naive substring search over the whole buffer.
+        let mut matches = 0u64;
+        for i in 0..n - needle.len() as isize {
+            let mut k = 0usize;
+            while k < needle.len() && chars.read_u16(&mem, i + k as isize)? == needle[k] {
+                k += 1;
+            }
+            if k == needle.len() {
+                matches += 1;
+            }
+        }
+
+        env.release_string_critical(&jtext, chars)?;
+        let mut freq_digest = 0u64;
+        for (w, c) in &freq {
+            freq_digest ^= w.wrapping_mul(u64::from(*c) | 1);
+        }
+        Ok(freq_digest ^ bigrams.rotate_left(21) ^ matches.rotate_left(47))
+    })
+}
+
+trait U16Ext {
+    #[allow(clippy::wrong_self_convention)] // u16 is Copy; by-value is right
+    fn is_ascii_alphanumeric_u16(self) -> bool;
+}
+
+impl U16Ext for u16 {
+    fn is_ascii_alphanumeric_u16(self) -> bool {
+        self < 128 && (self as u8).is_ascii_alphanumeric()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+
+    #[test]
+    fn lexer_handles_core_c_tokens() {
+        let toks = lex(b"int x = 10 * (2 + y); /* comment */ x <= 3;");
+        assert!(toks.contains(&Tok::Ident("int".into())));
+        assert!(toks.contains(&Tok::Num(10)));
+        assert!(toks.contains(&Tok::Le));
+        assert!(!toks.iter().any(|t| matches!(t, Tok::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn constant_folding_evaluates_closed_expressions() {
+        let mut p = Parser { toks: lex(b"2 + 3 * 4"), pos: 0 };
+        match p.expr().fold() {
+            Expr::Num(14) => {}
+            other => panic!("expected 14, got {other:?}"),
+        }
+        let mut p = Parser { toks: lex(b"(1 + 2) * (3 + 4)"), pos: 0 };
+        assert!(matches!(p.expr().fold(), Expr::Num(21)));
+    }
+
+    #[test]
+    fn folding_preserves_free_variables() {
+        let mut p = Parser { toks: lex(b"x + 2 * 3"), pos: 0 };
+        match p.expr().fold() {
+            Expr::Bin(b'+', l, r) => {
+                assert!(matches!(*l, Expr::Var(_)));
+                assert!(matches!(*r, Expr::Num(6)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_html_is_balanced() {
+        let html = gen_html(3, 100);
+        let opens = html.matches('<').count();
+        let closes = html.matches("</").count();
+        assert_eq!(opens - closes, closes, "every element closed");
+    }
+
+    #[test]
+    fn language_kernels_deterministic_across_schemes() {
+        let expect: Vec<u64> = {
+            let vm = Scheme::NoProtection.build_vm();
+            let t = vm.attach_thread("t");
+            let env = vm.env(&t);
+            [clang, html5_browser, text_processing]
+                .iter()
+                .map(|k| k(&env, 6, 1).unwrap())
+                .collect()
+        };
+        let vm = Scheme::Mte4JniSync.build_vm();
+        let t = vm.attach_thread("t");
+        let env = vm.env(&t);
+        for (k, &e) in [clang, html5_browser, text_processing].iter().zip(&expect) {
+            assert_eq!(k(&env, 6, 1).unwrap(), e);
+        }
+    }
+}

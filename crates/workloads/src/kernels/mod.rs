@@ -1,0 +1,89 @@
+//! The sixteen GeekBench-6-style kernels (one per Figure 7/8 sub-item).
+//!
+//! Every kernel has the same shape: build Java-side inputs, enter native
+//! code through the trampoline, move data across the JNI boundary with
+//! the Table-1 interfaces, compute, release, and return a deterministic
+//! checksum. In-bounds accesses only — these are the *correct* programs
+//! whose overhead §5.4 measures.
+
+mod compress;
+mod graphics;
+mod lang;
+mod nav;
+mod vision;
+
+pub use compress::{asset_compression, file_compression};
+pub use graphics::{background_blur, hdr, object_remover, pdf_renderer, photo_filter};
+pub use lang::{clang, html5_browser, text_processing};
+pub use nav::navigation;
+pub use vision::{horizon_detection, object_detection, photo_library, ray_tracer, structure_from_motion};
+
+/// FNV-1a over a byte stream — the kernels' checksum primitive.
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a over a sequence of `i32`s.
+pub(crate) fn fnv1a_i32(values: impl IntoIterator<Item = i32>) -> u64 {
+    fnv1a(values.into_iter().flat_map(|v| v.to_le_bytes()))
+}
+
+/// Reinterprets text/byte data as the `i8` Java byte arrays want.
+pub(crate) fn as_i8(bytes: &[u8]) -> Vec<i8> {
+    bytes.iter().map(|&b| b as i8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(*b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(*b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(*b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn every_kernel_is_deterministic_and_scheme_independent() {
+        // The defining harness property: all four schemes compute the
+        // same checksum for the same seed, and reruns are stable.
+        let baseline: Vec<u64> = {
+            let vm = Scheme::NoProtection.build_vm();
+            let t = vm.attach_thread("k");
+            let env = vm.env(&t);
+            crate::all_workloads()
+                .iter()
+                .map(|w| (w.run)(&env, 42, 1).unwrap())
+                .collect()
+        };
+        for scheme in [Scheme::GuardedCopy, Scheme::Mte4JniSync, Scheme::Mte4JniAsync] {
+            let vm = scheme.build_vm();
+            let t = vm.attach_thread("k");
+            let env = vm.env(&t);
+            for (w, &expect) in crate::all_workloads().iter().zip(&baseline) {
+                let got = (w.run)(&env, 42, 1).unwrap();
+                assert_eq!(got, expect, "{} under {scheme}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_react_to_seed() {
+        let vm = Scheme::NoProtection.build_vm();
+        let t = vm.attach_thread("k");
+        let env = vm.env(&t);
+        for w in crate::all_workloads() {
+            let a = (w.run)(&env, 1, 1).unwrap();
+            let b = (w.run)(&env, 2, 1).unwrap();
+            assert_ne!(a, b, "{} ignores its seed", w.name);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Navigation: Dijkstra shortest paths over a road graph stored in Java
+//! int arrays.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use jni_rt::{JniEnv, NativeKind, ReleaseMode, Result};
+
+use crate::synth::gen_graph;
+
+/// **Navigation**: single-source shortest paths from several origins on a
+/// compressed-adjacency graph whose three arrays (offsets, targets,
+/// weights) live on the Java heap and are read through
+/// `GetPrimitiveArrayCritical` — read-only bulk access with irregular
+/// (pointer-chasing) index patterns.
+pub fn navigation(env: &JniEnv<'_>, seed: u64, scale: u32) -> Result<u64> {
+    let n = 384 * scale as usize;
+    let graph = gen_graph(seed, n, 4);
+    let offsets = env.new_int_array_from(&graph.offsets)?;
+    let targets = env.new_int_array_from(&graph.targets)?;
+    let weights = env.new_int_array_from(&graph.weights)?;
+
+    env.call_native("navigation", NativeKind::Normal, |env| {
+        let offs = env.get_primitive_array_critical(&offsets)?;
+        let tgts = env.get_primitive_array_critical(&targets)?;
+        let wts = env.get_primitive_array_critical(&weights)?;
+        let mem = env.native_mem();
+
+        let mut digest = 0u64;
+        for origin in [0usize, n / 3, (2 * n) / 3] {
+            let mut dist = vec![i64::MAX; n];
+            let mut heap = BinaryHeap::new();
+            dist[origin] = 0;
+            heap.push(Reverse((0i64, origin)));
+            while let Some(Reverse((d, v))) = heap.pop() {
+                if d > dist[v] {
+                    continue;
+                }
+                let lo = offs.read_i32(&mem, v as isize)?;
+                let hi = offs.read_i32(&mem, v as isize + 1)?;
+                for e in lo..hi {
+                    let to = tgts.read_i32(&mem, e as isize)? as usize;
+                    let w = i64::from(wts.read_i32(&mem, e as isize)?);
+                    if d + w < dist[to] {
+                        dist[to] = d + w;
+                        heap.push(Reverse((d + w, to)));
+                    }
+                }
+            }
+            for (v, &d) in dist.iter().enumerate() {
+                debug_assert!(d < i64::MAX, "ring edges keep the graph connected");
+                digest = digest
+                    .rotate_left(1)
+                    .wrapping_add((d as u64).wrapping_mul(v as u64 | 1));
+            }
+        }
+
+        env.release_primitive_array_critical(&weights, wts, ReleaseMode::Abort)?;
+        env.release_primitive_array_critical(&targets, tgts, ReleaseMode::Abort)?;
+        env.release_primitive_array_critical(&offsets, offs, ReleaseMode::Abort)?;
+        Ok(digest)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+
+    #[test]
+    fn navigation_deterministic_and_scheme_independent() {
+        let expect = {
+            let vm = Scheme::NoProtection.build_vm();
+            let t = vm.attach_thread("t");
+            let env = vm.env(&t);
+            navigation(&env, 8, 1).unwrap()
+        };
+        for scheme in [Scheme::GuardedCopy, Scheme::Mte4JniAsync] {
+            let vm = scheme.build_vm();
+            let t = vm.attach_thread("t");
+            let env = vm.env(&t);
+            assert_eq!(navigation(&env, 8, 1).unwrap(), expect, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn distances_respond_to_graph_shape() {
+        let vm = Scheme::NoProtection.build_vm();
+        let t = vm.attach_thread("t");
+        let env = vm.env(&t);
+        assert_ne!(navigation(&env, 1, 1).unwrap(), navigation(&env, 2, 1).unwrap());
+    }
+}

@@ -1,0 +1,166 @@
+//! Deterministic synthetic input generators for the workload kernels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `len` bytes with text-like redundancy (compressible, like
+/// the file-compression corpus GeekBench uses).
+pub fn gen_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab: Vec<&[u8]> = vec![
+        b"the ", b"quick ", b"brown ", b"fox ", b"jumps ", b"over ", b"lazy ", b"dog ",
+        b"pack ", b"my ", b"box ", b"with ", b"five ", b"dozen ", b"liquor ", b"jugs ",
+    ];
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let w = vocab[rng.gen_range(0..vocab.len())];
+        out.extend_from_slice(w);
+        if rng.gen_ratio(1, 8) {
+            out.push(rng.gen_range(b'0'..=b'9'));
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Generates word-like ASCII text of roughly `words` words.
+pub fn gen_text(seed: u64, words: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e47);
+    let vocab = [
+        "memory", "tag", "pointer", "java", "native", "heap", "thread", "lock",
+        "array", "string", "release", "granule", "check", "fault", "trampoline",
+        "runtime", "object", "access", "bounds", "overflow",
+    ];
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(if rng.gen_ratio(1, 12) { '.' } else { ' ' });
+        }
+        out.push_str(vocab[rng.gen_range(0..vocab.len())]);
+    }
+    out
+}
+
+/// Generates a `w`×`h` ARGB image as packed `i32` pixels with smooth
+/// gradients plus noise (blur/filter kernels need spatial coherence).
+pub fn gen_image(seed: u64, w: usize, h: usize) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1ace);
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let r = ((x * 255) / w.max(1)) as i32 + rng.gen_range(-8..=8);
+            let g = ((y * 255) / h.max(1)) as i32 + rng.gen_range(-8..=8);
+            let b = (((x + y) * 255) / (w + h).max(1)) as i32 + rng.gen_range(-8..=8);
+            let (r, g, b) = (r.clamp(0, 255), g.clamp(0, 255), b.clamp(0, 255));
+            out.push((0xFF << 24) | (r << 16) | (g << 8) | b);
+        }
+    }
+    out
+}
+
+/// Generates a small C translation unit with declarations, arithmetic and
+/// control flow for the Clang kernel.
+pub fn gen_c_source(seed: u64, functions: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc1a46);
+    let mut out = String::from("/* synthetic translation unit */\n");
+    for f in 0..functions {
+        let a = rng.gen_range(1..100);
+        let b = rng.gen_range(1..100);
+        let c = rng.gen_range(1..10);
+        out.push_str(&format!(
+            "int fn_{f}(int x, int y) {{\n  int acc = {a} * {b} + ({a} - {b});\n  \
+             for (int i = 0; i < {c}; i = i + 1) {{\n    acc = acc + x * i - y / {c};\n  }}\n  \
+             if (acc > {b}) {{ acc = acc - x; }} else {{ acc = acc + y; }}\n  return acc;\n}}\n",
+        ));
+    }
+    out
+}
+
+/// A synthetic road graph in compressed adjacency form, as the navigation
+/// kernel stores it in Java int arrays.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// `offsets[v] .. offsets[v + 1]` indexes this vertex's slice of
+    /// `targets`/`weights`.
+    pub offsets: Vec<i32>,
+    /// Edge target vertices.
+    pub targets: Vec<i32>,
+    /// Edge weights (travel times).
+    pub weights: Vec<i32>,
+}
+
+/// Generates a connected graph of `n` vertices with `degree` outgoing
+/// edges each (a ring plus random shortcuts, so it is always connected).
+pub fn gen_graph(seed: u64, n: usize, degree: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a4f);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    for v in 0..n {
+        offsets.push(targets.len() as i32);
+        // Ring edge guarantees connectivity.
+        targets.push(((v + 1) % n) as i32);
+        weights.push(rng.gen_range(1..20));
+        for _ in 1..degree {
+            targets.push(rng.gen_range(0..n) as i32);
+            weights.push(rng.gen_range(1..100));
+        }
+    }
+    offsets.push(targets.len() as i32);
+    Graph { offsets, targets, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gen_bytes(1, 256), gen_bytes(1, 256));
+        assert_eq!(gen_text(2, 40), gen_text(2, 40));
+        assert_eq!(gen_image(3, 16, 16), gen_image(3, 16, 16));
+        assert_eq!(gen_c_source(4, 3), gen_c_source(4, 3));
+        let g1 = gen_graph(5, 32, 3);
+        let g2 = gen_graph(5, 32, 3);
+        assert_eq!(g1.targets, g2.targets);
+    }
+
+    #[test]
+    fn seeds_change_output() {
+        assert_ne!(gen_bytes(1, 256), gen_bytes(2, 256));
+        assert_ne!(gen_image(1, 8, 8), gen_image(9, 8, 8));
+    }
+
+    #[test]
+    fn bytes_are_compressible_text() {
+        let data = gen_bytes(7, 4096);
+        assert_eq!(data.len(), 4096);
+        let spaces = data.iter().filter(|&&b| b == b' ').count();
+        assert!(spaces > 256, "word-structured data has many spaces");
+    }
+
+    #[test]
+    fn image_has_requested_dimensions_and_opaque_alpha() {
+        let img = gen_image(1, 10, 7);
+        assert_eq!(img.len(), 70);
+        assert!(img.iter().all(|&p| (p >> 24) & 0xFF == 0xFF));
+    }
+
+    #[test]
+    fn graph_shape_is_consistent() {
+        let g = gen_graph(1, 64, 4);
+        assert_eq!(g.offsets.len(), 65);
+        assert_eq!(g.targets.len(), 64 * 4);
+        assert_eq!(g.weights.len(), g.targets.len());
+        assert!(g.targets.iter().all(|&t| (t as usize) < 64));
+        assert!(g.weights.iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn c_source_contains_requested_functions() {
+        let src = gen_c_source(1, 5);
+        for f in 0..5 {
+            assert!(src.contains(&format!("fn_{f}")), "{src}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's motivation, executable: the *same* off-by-three bug
+//! (`a[21] = …` on an `int[18]`) run four ways —
+//!
+//! 1. as **managed bytecode** → a clean `ArrayIndexOutOfBoundsException`,
+//! 2. as **native code, no protection** → silent heap corruption,
+//! 3. as **native code, guarded copy** → caught, but only at release,
+//! 4. as **native code, MTE4JNI** → caught at the faulting instruction.
+//!
+//! Run with `cargo run --example managed_vs_native`.
+
+use mte4jni_repro::prelude::*;
+use mte4jni_repro::dex_interp::{InterpError, Machine, MethodBuilder, NativeMethod, Op, Value};
+
+fn buggy_native() -> NativeMethod {
+    NativeMethod::new("test_ofb", NativeKind::Normal, 1, |call| {
+        let Value::Array(a) = &call.args[0] else { unreachable!() };
+        let elems = call.env.get_primitive_array_critical(a)?;
+        let mem = call.env.native_mem();
+        elems.write_i32(&mem, 21, 0x0BAD_F00D)?; // the bug
+        call.env
+            .release_primitive_array_critical(a, elems, ReleaseMode::CopyBack)?;
+        Ok(Value::Int(0))
+    })
+}
+
+fn main() {
+    // --- 1. Managed bytecode: the JVM's own checks save us. ---
+    let vm = Vm::builder().build();
+    let mut machine = Machine::new(&vm, "managed");
+    let buggy_managed = MethodBuilder::new("buggy_managed", 1)
+        .op(Op::Load(0))
+        .op(Op::Const(21))
+        .op(Op::Const(0x0BAD_F00D))
+        .op(Op::APut)
+        .op(Op::Const(0))
+        .op(Op::Return)
+        .build()
+        .unwrap();
+    let victim = vm.heap().alloc_int_array(18).unwrap();
+    match machine.run(&buggy_managed, &[Value::Array(victim)]) {
+        Err(e @ InterpError::ArrayIndexOutOfBounds { .. }) => {
+            println!("[managed bytecode]      caught by the JVM:\n    {e}\n");
+        }
+        other => unreachable!("{other:?}"),
+    }
+
+    // --- 2–4. The same bug behind a JNI call, per scheme. ---
+    for scheme in [Scheme::NoProtection, Scheme::GuardedCopy, Scheme::Mte4JniSync] {
+        let vm = scheme.build_vm();
+        let mut machine = Machine::new(&vm, "native");
+        let idx = machine.register_native(buggy_native());
+        let caller = MethodBuilder::new("caller", 1)
+            .op(Op::Load(0))
+            .op(Op::CallNative(idx))
+            .op(Op::Return)
+            .build()
+            .unwrap();
+        let victim = vm.heap().alloc_int_array(18).unwrap();
+        print!("[native, {:<13}] ", scheme.label());
+        match machine.run(&caller, &[Value::Array(victim)]) {
+            Ok(_) => println!("NOT caught — the heap is silently corrupted\n"),
+            Err(InterpError::Native(e)) => match e.as_tag_check() {
+                Some(fault) => println!(
+                    "caught AT THE FAULTING WRITE (precise = {}):\n{fault}",
+                    fault.is_precise()
+                ),
+                None => println!(
+                    "caught at RELEASE time only:\n{}",
+                    e.as_abort().map(|r| r.to_string()).unwrap_or_else(|| e.to_string())
+                ),
+            },
+            Err(e) => println!("unexpected: {e}"),
+        }
+    }
+}

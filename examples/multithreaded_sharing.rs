@@ -1,0 +1,83 @@
+//! Concurrent tag sharing: many native threads borrow the *same* Java
+//! array while a GC scanner runs underneath — the paper's §3 challenges,
+//! end to end.
+//!
+//! Shows that (a) all concurrent borrowers observe one shared tag via the
+//! reference-counted two-tier table, (b) the GC never faults thanks to
+//! thread-level MTE control, and (c) the tag is released exactly when the
+//! last borrower releases.
+//!
+//! Run with `cargo run --release --example multithreaded_sharing`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mte4jni_repro::prelude::*;
+
+fn main() {
+    let scheme = Arc::new(Mte4Jni::new());
+    let vm = Vm::builder()
+        .heap_config(HeapConfig::mte4jni())
+        .check_mode(TcfMode::Sync)
+        .protection(scheme.clone())
+        .build();
+
+    let setup = vm.attach_thread("setup");
+    let env = vm.env(&setup);
+    let shared = env.new_int_array_from(&vec![1i32; 4096]).expect("alloc");
+    let gc = vm.start_gc(Duration::from_micros(200));
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 300;
+    std::thread::scope(|s| {
+        for worker in 0..THREADS {
+            let vm = &vm;
+            let shared = shared.clone();
+            s.spawn(move || {
+                let thread = vm.attach_thread(format!("worker-{worker}"));
+                let env = vm.env(&thread);
+                for _ in 0..ROUNDS {
+                    let sum = env
+                        .call_native("sum_shared", NativeKind::Normal, |env| {
+                            let elems = env.get_primitive_array_critical(&shared)?;
+                            let mem = env.native_mem();
+                            let mut sum = 0i64;
+                            for i in 0..elems.len() as isize {
+                                sum += i64::from(elems.read_i32(&mem, i)?);
+                            }
+                            env.release_primitive_array_critical(
+                                &shared,
+                                elems,
+                                ReleaseMode::CopyBack,
+                            )?;
+                            Ok(sum)
+                        })
+                        .expect("in-bounds reads never fault");
+                    assert_eq!(sum, 4096);
+                }
+            });
+        }
+    });
+
+    let gc_report = gc.stop();
+    let stats = scheme.stats();
+    println!("{THREADS} threads × {ROUNDS} borrows of one shared 4096-int array");
+    println!("tag-table acquires          : {}", stats.acquires);
+    println!("  of which shared a live tag: {}", stats.shared_acquires);
+    println!("tag releases (refcount → 0) : {}", stats.tag_frees);
+    println!("objects still tracked       : {}", stats.tracked_objects);
+    println!(
+        "GC cycles run concurrently  : {} ({} faults)",
+        gc_report.cycles,
+        gc_report.faults.len()
+    );
+    assert_eq!(stats.acquires, (THREADS * ROUNDS) as u64);
+    assert_eq!(stats.tracked_objects, 0, "every borrow fully released");
+    assert!(gc_report.faults.is_empty(), "GC unaffected by tagged objects");
+    assert_eq!(
+        vm.heap().memory().raw_tag_at(shared.data_addr()).unwrap(),
+        Tag::UNTAGGED,
+        "tags zeroed after the last release"
+    );
+    println!("\nall invariants held: shared tags, quiet GC, timely release ✓");
+}
