@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI for the MTE4JNI reproduction.
+#
+# Assumes the OFFLINE-VENDORED setup described in DESIGN.md §3: there is
+# no reachable crates.io registry, all external dependencies are path
+# shims under shims/, and .cargo/config.toml pins `net.offline = true`.
+# Nothing here may touch the network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (workspace, all targets) =="
+cargo build --offline --workspace --all-targets
+
+echo "== test (workspace) =="
+cargo test --offline --workspace -q
+
+echo "== clippy =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint stage"
+fi
+
+echo "== bench JSON sanity =="
+# A fast fig5 run must emit a parseable, schema-versioned report whose
+# summary carries the headline ratios (README "Regenerating" section).
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+cargo run --offline -q -p bench --bin fig5 -- \
+    --repeats 1 --max-pow 4 --json "$out" >/dev/null
+test -s "$out/BENCH_fig5.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/BENCH_fig5.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["bench"] == "fig5"
+assert doc["rows"], "rows must be non-empty"
+assert "avg_mte_sync_ratio" in doc["summary"], sorted(doc["summary"])
+assert "counters" in doc["telemetry"]
+print("BENCH_fig5.json sane:", len(doc["rows"]), "rows")
+PY
+else
+    # No python3: at least require the schema marker in the raw text.
+    grep -q '"schema_version": 1' "$out/BENCH_fig5.json"
+    echo "BENCH_fig5.json sane (schema marker present)"
+fi
+
+echo "== CI green =="

@@ -15,25 +15,32 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use art_heap::BlockAllocator;
-use bench::{print_environment, Args};
+use bench::{json_output, print_environment, Args, BenchReport};
 use guarded_copy::{GuardedCopy, GuardedCopyConfig};
 use jni_rt::{NativeKind, ReleaseMode, Vm};
 use mte4jni::{Mte4JniConfig, TagTable, TwoTierTable};
 use mte_sim::{MemoryConfig, MteThread, TaggedMemory, TaggedPtr, TcfMode};
+use telemetry::json::JsonValue;
 
 fn main() {
     let args = Args::parse();
+    let json_path = json_output(&args);
+    let mut report = BenchReport::new("ablations");
     print_environment("Ablations");
-    tag_conflict_probability(&args);
-    red_zone_sweep(&args);
-    alignment_fragmentation();
-    table_count_cost(&args);
+    tag_conflict_probability(&args, &mut report);
+    red_zone_sweep(&args, &mut report);
+    alignment_fragmentation(&mut report);
+    table_count_cost(&args, &mut report);
+    if let Some(path) = json_path {
+        bench::write_report(&report, &path);
+    }
 }
 
 /// 1. How often does an OOB access into a *live, independently tagged*
 ///    neighbour escape detection, vs. an OOB access into released memory?
-fn tag_conflict_probability(args: &Args) {
+fn tag_conflict_probability(args: &Args, report: &mut BenchReport) {
     let trials: usize = args.value("--trials", 2000);
+    report.param("trials", trials);
     println!("--- 1. tag-conflict probability ({trials} trials) ---");
     for (label, config) in [
         ("paper config", Mte4JniConfig::default()),
@@ -42,12 +49,12 @@ fn tag_conflict_probability(args: &Args) {
             Mte4JniConfig { exclude_neighbor_tags: true, ..Mte4JniConfig::default() },
         ),
     ] {
-        run_conflict_trials(label, config, trials);
+        run_conflict_trials(label, config, trials, report);
     }
     println!();
 }
 
-fn run_conflict_trials(label: &str, config: Mte4JniConfig, trials: usize) {
+fn run_conflict_trials(label: &str, config: Mte4JniConfig, trials: usize, report: &mut BenchReport) {
     let vm = mte4jni::mte4jni_vm(TcfMode::Sync, config);
     let thread = vm.attach_thread("ablation");
     let env = vm.env(&thread);
@@ -99,10 +106,17 @@ fn run_conflict_trials(label: &str, config: Mte4JniConfig, trials: usize) {
         "  OOB into released (zeroed) memory: missed {missed_released}/{trials} = {:.2}%",
         100.0 * missed_released as f64 / trials as f64
     );
+    report.row(vec![
+        ("section", JsonValue::from("tag_conflict")),
+        ("config", JsonValue::from(label)),
+        ("missed_live", JsonValue::from(missed_live)),
+        ("missed_released", JsonValue::from(missed_released)),
+        ("trials", JsonValue::from(trials)),
+    ]);
 }
 
 /// 2. Red-zone size vs small-array acquire cost and detection reach.
-fn red_zone_sweep(args: &Args) {
+fn red_zone_sweep(args: &Args, report: &mut BenchReport) {
     let iters: u32 = args.value("--rz-iters", 2000);
     println!("--- 2. guarded-copy red-zone sweep (int[4], {iters} get/release pairs) ---");
     println!("{:>10}  {:>12}  farthest detectable write (bytes past payload)", "zone (B)", "time");
@@ -123,6 +137,12 @@ fn red_zone_sweep(args: &Args) {
         }
         let elapsed = start.elapsed();
         println!("{:>10}  {:>10.1}µs  {}", rz, elapsed.as_secs_f64() * 1e6 / f64::from(iters) * 1.0, rz);
+        report.row(vec![
+            ("section", JsonValue::from("red_zone_sweep")),
+            ("red_zone_len", JsonValue::from(rz)),
+            ("per_pair_ns", JsonValue::from(elapsed.as_nanos() as u64 / u128::from(iters) as u64)),
+            ("reach_bytes", JsonValue::from(rz)),
+        ]);
     }
     println!("(MTE4JNI detects at ANY distance; guarded copy only within the zone)");
     println!();
@@ -131,7 +151,7 @@ fn red_zone_sweep(args: &Args) {
 /// 3. Internal fragmentation of 16-byte alignment over a realistic object
 ///    size distribution (§4.1: "generally negligible given that Java
 ///    objects are relatively large").
-fn alignment_fragmentation() {
+fn alignment_fragmentation(report: &mut BenchReport) {
     println!("--- 3. alignment fragmentation (10k objects, mixed sizes) ---");
     // Size distribution loosely shaped like small-app heaps: many small
     // strings/boxes, fewer large arrays.
@@ -154,13 +174,19 @@ fn alignment_fragmentation() {
             "align {align:>2}: {used:>10} bytes held, {frag:>7} wasted ({:.3}%)",
             100.0 * frag as f64 / used as f64
         );
+        report.row(vec![
+            ("section", JsonValue::from("alignment")),
+            ("align", JsonValue::from(align)),
+            ("bytes_in_use", JsonValue::from(used)),
+            ("fragmentation_bytes", JsonValue::from(frag)),
+        ]);
     }
     println!();
 }
 
 /// 4. Uncontended tag-table cost across k (see fig6 --sweep-tables and
 ///    the Criterion `tag_table` group for more).
-fn table_count_cost(args: &Args) {
+fn table_count_cost(args: &Args, report: &mut BenchReport) {
     let iters: u32 = args.value("--table-iters", 100_000);
     println!("--- 4. tag table acquire+release cost vs k (uncontended, {iters} pairs) ---");
     let mem = TaggedMemory::new(MemoryConfig::default());
@@ -177,6 +203,11 @@ fn table_count_cost(args: &Args) {
         }
         let per_pair = start.elapsed().as_secs_f64() / f64::from(iters) * 1e9;
         println!("k = {k:>3}: {per_pair:>7.1} ns per acquire+release pair");
+        report.row(vec![
+            ("section", JsonValue::from("table_count")),
+            ("k", JsonValue::from(k)),
+            ("per_pair_ns", JsonValue::from(per_pair)),
+        ]);
     }
     println!();
 }

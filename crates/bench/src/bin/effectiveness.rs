@@ -16,15 +16,18 @@
 use std::sync::Arc;
 
 use art_heap::HeapConfig;
-use bench::{print_environment, Args};
+use bench::{json_output, print_environment, Args, BenchReport};
 use guarded_copy::{GuardedCopy, GuardedCopyConfig};
 use jni_rt::{JniError, NativeKind, ReleaseMode, Vm};
 use mte4jni::{Mte4Jni, Mte4JniConfig};
 use mte_sim::TcfMode;
+use telemetry::json::JsonValue;
 use workloads::Scheme;
 
 fn main() {
     let args = Args::parse();
+    let json_path = json_output(&args);
+    let mut report = BenchReport::new("effectiveness");
     print_environment("Effectiveness of out-of-bounds checking (§5.2, Figures 3–4)");
 
     if args.flag("--list-interfaces") {
@@ -32,12 +35,25 @@ fn main() {
         return;
     }
 
-    oob_write_test();
-    oob_read_test();
-    red_zone_skip_test();
+    oob_write_test(&mut report);
+    oob_read_test(&mut report);
+    red_zone_skip_test(&mut report);
     gc_concurrency_test();
-    alignment_hazard_test();
-    stale_tag_ablation();
+    alignment_hazard_test(&mut report);
+    stale_tag_ablation(&mut report);
+
+    if let Some(path) = json_path {
+        bench::write_report(&report, &path);
+    }
+}
+
+fn detection_row(report: &mut BenchReport, scenario: &str, scheme: &str, detected: bool, style: &str) {
+    report.row(vec![
+        ("scenario", JsonValue::from(scenario)),
+        ("scheme", JsonValue::from(scheme)),
+        ("detected", JsonValue::from(detected)),
+        ("report_style", JsonValue::from(style)),
+    ]);
 }
 
 /// Table 1: the JNI interfaces returning raw pointers to heap memory,
@@ -79,17 +95,19 @@ fn banner(title: &str) {
     println!("==============================================================");
 }
 
-fn oob_write_test() {
+fn oob_write_test(report: &mut BenchReport) {
     banner("1. Out-of-bounds WRITE: int[18], write at index 21 (Figure 3)");
     for scheme in Scheme::MAIN {
         println!("--- scheme: {scheme} ---");
         match run_oob_write(&scheme.build_vm()) {
-            Ok(()) => println!(
-                "NOT DETECTED: program terminated normally, heap silently corrupted\n"
-            ),
-            Err(JniError::CheckJniAbort(report)) => {
+            Ok(()) => {
+                println!("NOT DETECTED: program terminated normally, heap silently corrupted\n");
+                detection_row(report, "oob_write", &scheme.to_string(), false, "none");
+            }
+            Err(JniError::CheckJniAbort(abort)) => {
                 println!("DETECTED at the RELEASE interface (Figure 4a style):");
-                println!("{report}");
+                println!("{abort}");
+                detection_row(report, "oob_write", &scheme.to_string(), true, "release_abort");
             }
             Err(e) => {
                 if let Some(fault) = e.as_tag_check() {
@@ -100,6 +118,13 @@ fn oob_write_test() {
                         if fault.is_precise() { 'b' } else { 'c' },
                     );
                     println!("{fault}");
+                    detection_row(
+                        report,
+                        "oob_write",
+                        &scheme.to_string(),
+                        true,
+                        if fault.is_precise() { "mte_precise" } else { "mte_imprecise" },
+                    );
                 } else {
                     println!("unexpected error: {e}\n");
                 }
@@ -108,7 +133,7 @@ fn oob_write_test() {
     }
 }
 
-fn oob_read_test() {
+fn oob_read_test(report: &mut BenchReport) {
     banner("2. Out-of-bounds READ (guarded copy limitation 1, §2.3)");
     for scheme in Scheme::MAIN {
         let vm = scheme.build_vm();
@@ -124,9 +149,13 @@ fn oob_read_test() {
             Ok(secret)
         });
         match result {
-            Ok(_) => println!("{scheme:<28} NOT DETECTED (information leak succeeds)"),
+            Ok(_) => {
+                println!("{scheme:<28} NOT DETECTED (information leak succeeds)");
+                detection_row(report, "oob_read", &scheme.to_string(), false, "none");
+            }
             Err(e) if e.as_tag_check().is_some() => {
-                println!("{scheme:<28} DETECTED ({})", e.as_tag_check().unwrap().kind)
+                println!("{scheme:<28} DETECTED ({})", e.as_tag_check().unwrap().kind);
+                detection_row(report, "oob_read", &scheme.to_string(), true, "mte");
             }
             Err(e) => println!("{scheme:<28} error: {e}"),
         }
@@ -134,7 +163,7 @@ fn oob_read_test() {
     println!();
 }
 
-fn red_zone_skip_test() {
+fn red_zone_skip_test(report: &mut BenchReport) {
     banner("3. Far write that SKIPS the red zones (guarded copy limitation 2)");
     // Use a small red zone so the skip distance is printable.
     let schemes: Vec<(String, Vm)> = vec![
@@ -160,9 +189,18 @@ fn red_zone_skip_test() {
             env.release_primitive_array_critical(&array, elems, ReleaseMode::CopyBack)
         });
         match result {
-            Ok(()) => println!("{name:<28} NOT DETECTED (write sailed past the red zone)"),
-            Err(e) if e.as_tag_check().is_some() => println!("{name:<28} DETECTED by tag check"),
-            Err(e) => println!("{name:<28} detected: {e}"),
+            Ok(()) => {
+                println!("{name:<28} NOT DETECTED (write sailed past the red zone)");
+                detection_row(report, "red_zone_skip", &name, false, "none");
+            }
+            Err(e) if e.as_tag_check().is_some() => {
+                println!("{name:<28} DETECTED by tag check");
+                detection_row(report, "red_zone_skip", &name, true, "mte");
+            }
+            Err(e) => {
+                println!("{name:<28} detected: {e}");
+                detection_row(report, "red_zone_skip", &name, true, "release_abort");
+            }
         }
     }
     println!();
@@ -213,7 +251,7 @@ fn gc_concurrency_test() {
     );
 }
 
-fn alignment_hazard_test() {
+fn alignment_hazard_test(report: &mut BenchReport) {
     banner("5. 8-byte alignment lets two objects share a granule (§4.1)");
     for (label, heap_config) in [
         ("stock 8-byte alignment + PROT_MTE", HeapConfig::misaligned_mte()),
@@ -241,19 +279,21 @@ fn alignment_hazard_test() {
             r.map_err(Into::into)
         });
         match result {
-            Ok(_) => println!(
-                "{label:<38} objects {gap} B apart: cross-object access NOT caught"
-            ),
-            Err(e) if e.as_tag_check().is_some() => println!(
-                "{label:<38} objects {gap} B apart: cross-object access CAUGHT"
-            ),
+            Ok(_) => {
+                println!("{label:<38} objects {gap} B apart: cross-object access NOT caught");
+                detection_row(report, "alignment_hazard", label, false, "none");
+            }
+            Err(e) if e.as_tag_check().is_some() => {
+                println!("{label:<38} objects {gap} B apart: cross-object access CAUGHT");
+                detection_row(report, "alignment_hazard", label, true, "mte");
+            }
             Err(e) => println!("{label:<38} error: {e}"),
         }
     }
     println!();
 }
 
-fn stale_tag_ablation() {
+fn stale_tag_ablation(report: &mut BenchReport) {
     banner("6. Timely tag release matters (§3.2 motivation, ablation)");
     for (label, release_tags) in [("tags released at refcount 0", true), ("tags never released", false)] {
         let vm = Vm::builder()
@@ -281,10 +321,14 @@ fn stale_tag_ablation() {
                 .map_err(Into::into)
         });
         match result {
-            Ok(_) => println!("{label:<32} post-release untagged access OK (no stale tags)"),
-            Err(_) => println!(
-                "{label:<32} post-release untagged access FAULTS (stale tag confusion)"
-            ),
+            Ok(_) => {
+                println!("{label:<32} post-release untagged access OK (no stale tags)");
+                detection_row(report, "stale_tags", label, false, "clean");
+            }
+            Err(_) => {
+                println!("{label:<32} post-release untagged access FAULTS (stale tag confusion)");
+                detection_row(report, "stale_tags", label, true, "stale_fault");
+            }
         }
     }
 }

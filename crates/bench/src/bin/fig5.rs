@@ -6,13 +6,17 @@
 //! MTE4JNI+Sync 2.36×, MTE4JNI+Async 2.24×) and the abstract's
 //! single-thread overhead-reduction factor (paper: ~11×).
 
-use bench::{log_bar_chart, print_environment, ratio, time_copy, Args};
+use bench::{json_output, log_bar_chart, print_environment, ratio, time_copy, Args, BenchReport};
+use telemetry::json::JsonValue;
 use workloads::Scheme;
 
 fn main() {
     let args = Args::parse();
     let repeats: u32 = args.value("--repeats", 3);
     let max_pow: u32 = args.value("--max-pow", 12);
+    let json_path = json_output(&args);
+    let mut report = BenchReport::new("fig5");
+    report.param("repeats", repeats).param("max_pow", max_pow);
 
     print_environment("Figure 5 — single-thread JNI copy overhead");
 
@@ -44,6 +48,14 @@ fn main() {
             "{:>10}  {:>13.2}x  {:>13.2}x  {:>13.2}x",
             len, row[0], row[1], row[2]
         );
+        report.row(vec![
+            ("len", JsonValue::from(len)),
+            ("iters", JsonValue::from(iters)),
+            ("baseline_ns", JsonValue::from(baseline.as_nanos() as u64)),
+            ("guarded_copy_ratio", JsonValue::from(row[0])),
+            ("mte_sync_ratio", JsonValue::from(row[1])),
+            ("mte_async_ratio", JsonValue::from(row[2])),
+        ]);
         chart_rows.push((len.to_string(), row.to_vec()));
     }
 
@@ -59,6 +71,12 @@ fn main() {
         "overhead reduction vs guarded copy: sync {reduction_sync:.1}x, async {reduction_async:.1}x \
          (paper abstract: ~11x single-threaded)"
     );
+    report
+        .summary("avg_guarded_copy_ratio", avg[0])
+        .summary("avg_mte_sync_ratio", avg[1])
+        .summary("avg_mte_async_ratio", avg[2])
+        .summary("reduction_sync", reduction_sync)
+        .summary("reduction_async", reduction_async);
     println!();
     println!("Copy time ratios (cf. the paper's Figure 5, log scale):");
     print!(
@@ -68,4 +86,8 @@ fn main() {
             &chart_rows
         )
     );
+
+    if let Some(path) = json_path {
+        bench::write_report(&report, &path);
+    }
 }

@@ -10,8 +10,9 @@
 //! pass `--paper` for the paper's full 10000 reads. `--sweep-tables`
 //! additionally runs the hash-table-count ablation (k ∈ 1..64).
 
-use bench::{print_environment, ratio, time_multithread_read, Args, SharingMode};
+use bench::{json_output, print_environment, ratio, time_multithread_read, Args, BenchReport, SharingMode};
 use std::time::Duration;
+use telemetry::json::JsonValue;
 use workloads::Scheme;
 
 fn main() {
@@ -19,6 +20,12 @@ fn main() {
     let threads: usize = args.value("--threads", 64);
     let reads: u32 = if args.flag("--paper") { 10_000 } else { args.value("--reads", 2000) };
     let array_len: usize = args.value("--array-len", 1024);
+    let json_path = json_output(&args);
+    let mut report = BenchReport::new("fig6");
+    report
+        .param("threads", threads)
+        .param("reads", reads)
+        .param("array_len", array_len);
 
     print_environment("Figure 6 — multi-thread JNI read contention");
     println!("threads = {threads}, reads/thread = {reads}, array = {array_len} ints");
@@ -53,6 +60,16 @@ fn main() {
             format_duration(baseline),
             1.0
         );
+        let sharing_label = match sharing {
+            SharingMode::SameArray => "same_array",
+            SharingMode::DifferentArrays => "different_arrays",
+        };
+        report.row(vec![
+            ("sharing", JsonValue::from(sharing_label)),
+            ("scheme", JsonValue::from("no_protection")),
+            ("time_ns", JsonValue::from(baseline.as_nanos() as u64)),
+            ("ratio", JsonValue::from(1.0)),
+        ]);
         for &(scheme, name) in &schemes {
             let t = time_multithread_read(scheme, sharing, threads, reads, array_len);
             println!(
@@ -61,6 +78,12 @@ fn main() {
                 format_duration(t),
                 ratio(t, baseline)
             );
+            report.row(vec![
+                ("sharing", JsonValue::from(sharing_label)),
+                ("scheme", JsonValue::from(name)),
+                ("time_ns", JsonValue::from(t.as_nanos() as u64)),
+                ("ratio", JsonValue::from(ratio(t, baseline))),
+            ]);
         }
         println!();
     }
@@ -83,7 +106,17 @@ fn main() {
                 format_duration(vm_time),
                 ratio(vm_time, baseline)
             );
+            report.row(vec![
+                ("sharing", JsonValue::from("table_sweep")),
+                ("scheme", JsonValue::from(format!("two_tier_k{k}"))),
+                ("time_ns", JsonValue::from(vm_time.as_nanos() as u64)),
+                ("ratio", JsonValue::from(ratio(vm_time, baseline))),
+            ]);
         }
+    }
+
+    if let Some(path) = json_path {
+        bench::write_report(&report, &path);
     }
 }
 

@@ -6,7 +6,8 @@
 //! MTE+Async −1.13%; Clang, Text Processing and PDF Renderer are the
 //! exceptions where MTE+Sync scores *below* guarded copy.
 
-use bench::{print_environment, Args};
+use bench::{json_output, print_environment, Args, BenchReport};
+use telemetry::json::JsonValue;
 use workloads::{all_workloads, run_single_core, Scheme};
 
 fn main() {
@@ -14,6 +15,9 @@ fn main() {
     let scale: u32 = args.value("--scale", 2);
     let iters: u32 = args.value("--iters", 3);
     let seed: u64 = args.value("--seed", 2025);
+    let json_path = json_output(&args);
+    let mut report = BenchReport::new("fig7");
+    report.param("scale", scale).param("iters", iters).param("seed", seed);
 
     print_environment("Figure 7 — single-core sub-item performance ratios");
     println!("scale = {scale}, iterations per point = {iters}");
@@ -51,6 +55,13 @@ fn main() {
             "{:<24} {:>13.1}% {:>13.1}% {:>13.1}%{marker}",
             spec.name, row[0], row[1], row[2]
         );
+        report.row(vec![
+            ("workload", JsonValue::from(spec.name)),
+            ("intensive", JsonValue::from(spec.intensive)),
+            ("guarded_copy_pct", JsonValue::from(row[0])),
+            ("mte_sync_pct", JsonValue::from(row[1])),
+            ("mte_async_pct", JsonValue::from(row[2])),
+        ]);
     }
     let n = all_workloads().len() as f64;
     println!();
@@ -62,4 +73,15 @@ fn main() {
         sums[2] / n
     );
     println!("(* = intensive in-place workloads, the paper's MTE+Sync exception group)");
+
+    report
+        .summary("avg_guarded_copy_pct", sums[0] / n)
+        .summary("avg_mte_sync_pct", sums[1] / n)
+        .summary("avg_mte_async_pct", sums[2] / n);
+    if let Some(path) = json_path {
+        for vm in vms.iter().chain(std::iter::once(&base_vm)) {
+            vm.publish_counters();
+        }
+        bench::write_report(&report, &path);
+    }
 }

@@ -6,7 +6,8 @@
 //! MTE+Async −1.55%; MTE4JNI+Async beats guarded copy by ~14% overall in
 //! the multi-core setting.
 
-use bench::{print_environment, Args};
+use bench::{json_output, print_environment, Args, BenchReport};
+use telemetry::json::JsonValue;
 use workloads::{all_workloads, run_multi_core, Scheme};
 
 fn main() {
@@ -16,6 +17,13 @@ fn main() {
     let default_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let threads: usize = args.value("--threads", default_threads);
     let repeats: u32 = args.value("--repeats", 3);
+    let json_path = json_output(&args);
+    let mut report = BenchReport::new("fig8");
+    report
+        .param("scale", scale)
+        .param("seed", seed)
+        .param("threads", threads)
+        .param("repeats", repeats);
 
     print_environment("Figure 8 — multi-core sub-item performance ratios");
     println!("scale = {scale}, threads = {threads}, repeats = {repeats}");
@@ -58,6 +66,13 @@ fn main() {
             "{:<24} {:>13.1}% {:>13.1}% {:>13.1}%{marker}",
             spec.name, row[0], row[1], row[2]
         );
+        report.row(vec![
+            ("workload", JsonValue::from(spec.name)),
+            ("intensive", JsonValue::from(spec.intensive)),
+            ("guarded_copy_pct", JsonValue::from(row[0])),
+            ("mte_sync_pct", JsonValue::from(row[1])),
+            ("mte_async_pct", JsonValue::from(row[2])),
+        ]);
     }
     let n = all_workloads().len() as f64;
     println!();
@@ -69,4 +84,15 @@ fn main() {
         sums[2] / n
     );
     println!("(* = intensive in-place workloads, the paper's MTE+Sync exception group)");
+
+    report
+        .summary("avg_guarded_copy_pct", sums[0] / n)
+        .summary("avg_mte_sync_pct", sums[1] / n)
+        .summary("avg_mte_async_pct", sums[2] / n);
+    if let Some(path) = json_path {
+        for vm in vms.iter().chain(std::iter::once(&base_vm)) {
+            vm.publish_counters();
+        }
+        bench::write_report(&report, &path);
+    }
 }

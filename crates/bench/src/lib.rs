@@ -10,11 +10,143 @@
 //! * `effectiveness` — the §5.2 out-of-bounds detection comparison with
 //!   Figure 4's three report styles.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use art_heap::ArrayRef;
-use jni_rt::{JniEnv, NativeKind, ReleaseMode};
+use jni_rt::{JniEnv, NativeKind, ReleaseMode, Vm};
+use telemetry::json::JsonValue;
 use workloads::Scheme;
+
+/// Machine-readable result sink for the harness binaries' `--json`
+/// option: a named report of parameters, table rows, and summary
+/// figures, serialized alongside the full [`telemetry::Snapshot`] under
+/// one [`telemetry::SCHEMA_VERSION`]ed document.
+///
+/// The printed table and the JSON rows are built from the same values,
+/// so the two outputs can never drift apart.
+pub struct BenchReport {
+    name: String,
+    params: JsonValue,
+    rows: Vec<JsonValue>,
+    summary: JsonValue,
+}
+
+impl BenchReport {
+    /// Starts a report for the bench called `name` (e.g. `"fig5"`).
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_owned(),
+            params: JsonValue::object(),
+            rows: Vec::new(),
+            summary: JsonValue::object(),
+        }
+    }
+
+    /// Records one run parameter (repeats, thread count, …).
+    pub fn param(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        self.params.insert(key, value);
+        self
+    }
+
+    /// Appends one table row, built from `(key, value)` pairs.
+    pub fn row(&mut self, pairs: Vec<(&str, JsonValue)>) -> &mut Self {
+        let mut o = JsonValue::object();
+        for (k, v) in pairs {
+            o.insert(k, v);
+        }
+        self.rows.push(o);
+        self
+    }
+
+    /// Records one summary figure (averages, reduction factors, …).
+    pub fn summary(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        self.summary.insert(key, value);
+        self
+    }
+
+    /// Assembles the schema-versioned document, collecting the telemetry
+    /// snapshot (consumes pending events).
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.insert("schema_version", telemetry::SCHEMA_VERSION)
+            .insert("bench", self.name.as_str())
+            .insert("params", self.params.clone())
+            .insert("rows", JsonValue::Array(self.rows.clone()))
+            .insert("summary", self.summary.clone())
+            .insert("telemetry", telemetry::Snapshot::collect().to_json());
+        o
+    }
+
+    /// Writes the document to `path`; a directory path resolves to
+    /// `<dir>/BENCH_<name>.json`. Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-write error.
+    pub fn write(&self, path: &Path) -> std::io::Result<PathBuf> {
+        let target = if path.is_dir() {
+            path.join(format!("BENCH_{}.json", self.name))
+        } else {
+            path.to_owned()
+        };
+        std::fs::write(&target, self.to_json().to_pretty_string())?;
+        Ok(target)
+    }
+}
+
+/// Handles the shared `--json <path>` / `--sample-every <n>` options: when
+/// `--json` is present, turns telemetry recording on (so the report
+/// captures histograms, events, and counters) and returns the output
+/// path. Benches call this before their measured section.
+pub fn json_output(args: &Args) -> Option<PathBuf> {
+    let path: String = args.value("--json", String::new());
+    if path.is_empty() {
+        return None;
+    }
+    let path = PathBuf::from(path);
+    // Fail fast on an unwritable target: at real scales the bench runs
+    // for minutes before the report would be written.
+    let dir = if path.is_dir() {
+        path.as_path()
+    } else {
+        match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        }
+    };
+    if !dir.exists() {
+        eprintln!("error: --json target directory {} does not exist", dir.display());
+        std::process::exit(2);
+    }
+    telemetry::set_enabled(true);
+    telemetry::set_sample_every(args.value("--sample-every", 1u32));
+    Some(path)
+}
+
+/// Writes `report` to `path` and prints where it went; exits with an
+/// error message on an I/O failure.
+pub fn write_report(report: &BenchReport, path: &Path) {
+    match report.write(path) {
+        Ok(target) => {
+            println!();
+            println!("JSON report written to {}", target.display());
+        }
+        Err(e) => {
+            eprintln!("error: writing the --json report to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Publishes `vm`'s counters into the telemetry registry if recording is
+/// on — helpers that build VMs internally call this before dropping them
+/// so `--json` reports include per-scheme counters.
+fn publish_if_recording(vm: &Vm) {
+    if telemetry::enabled() {
+        vm.publish_counters();
+    }
+}
 
 /// Runs `f` once for warm-up, then `repeats` times, returning the
 /// smallest observed duration (robust to scheduler noise).
@@ -57,11 +189,13 @@ pub fn time_copy(scheme: Scheme, len: usize, iters: u32, repeats: u32) -> Durati
     let data: Vec<i32> = (0..len as i32).collect();
     let src = env.new_int_array_from(&data).expect("alloc src");
     let dst = env.new_int_array(len).expect("alloc dst");
-    measure(repeats, || {
+    let best = measure(repeats, || {
         for _ in 0..iters {
             copy_kernel(&env, &src, &dst);
         }
-    })
+    });
+    publish_if_recording(&vm);
+    best
 }
 
 /// The paper's Figure 6 native method: `reads` iterations of
@@ -125,7 +259,9 @@ pub fn time_multithread_read(
             });
         }
     });
-    start.elapsed()
+    let elapsed = start.elapsed();
+    publish_if_recording(&vm);
+    elapsed
 }
 
 /// Relative slowdown of `value` against `baseline`.
@@ -210,9 +346,15 @@ impl Args {
         T::Err: std::fmt::Debug,
     {
         match self.raw.iter().position(|a| a == name) {
-            Some(i) => self.raw[i + 1]
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid value for {name}: {e:?}")),
+            Some(i) => match self.raw.get(i + 1) {
+                Some(v) => v
+                    .parse()
+                    .unwrap_or_else(|e| panic!("invalid value for {name}: {e:?}")),
+                None => {
+                    eprintln!("error: {name} requires a value");
+                    std::process::exit(2);
+                }
+            },
             None => default,
         }
     }

@@ -50,6 +50,8 @@ pub struct GuardedCopy {
     releases: AtomicU64,
     corruptions: AtomicU64,
     abandoned_writes: AtomicU64,
+    shadow_bytes: AtomicU64,
+    canary_verifies: AtomicU64,
 }
 
 impl GuardedCopy {
@@ -67,6 +69,8 @@ impl GuardedCopy {
             releases: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
             abandoned_writes: AtomicU64::new(0),
+            shadow_bytes: AtomicU64::new(0),
+            canary_verifies: AtomicU64::new(0),
         }
     }
 
@@ -153,6 +157,7 @@ impl Protection for GuardedCopy {
             },
         );
         self.acquires.fetch_add(1, Ordering::Relaxed);
+        self.shadow_bytes.fetch_add(total as u64, Ordering::Relaxed);
         Ok(AcquireOutcome {
             ptr: user_ptr,
             is_copy: true,
@@ -202,6 +207,7 @@ impl Protection for GuardedCopy {
         };
 
         // (2) of Figure 2: verify both red zones still hold the canary.
+        self.canary_verifies.fetch_add(2, Ordering::Relaxed); // front + rear
         let front = first_corruption(&block[..rz], 0);
         let rear = first_corruption(&block[rz + shadow.payload_len..], 0);
         if front.is_some() || rear.is_some() {
@@ -242,6 +248,18 @@ impl Protection for GuardedCopy {
         }
         free_block(self);
         Ok(())
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let s = self.stats();
+        vec![
+            ("acquires", s.acquires),
+            ("releases", s.releases),
+            ("corruptions_detected", s.corruptions_detected),
+            ("abandoned_writes", s.abandoned_writes),
+            ("shadow_bytes", self.shadow_bytes.load(Ordering::Relaxed)),
+            ("canary_verifies", self.canary_verifies.load(Ordering::Relaxed)),
+        ]
     }
 }
 

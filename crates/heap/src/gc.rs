@@ -75,6 +75,9 @@ impl GcScanner {
                     mte.set_tco(config.tco);
                     while !stop.load(Ordering::Relaxed) {
                         let outcome = heap.scan_live(&mte);
+                        telemetry::record_rare(|| telemetry::Event::GcScan {
+                            objects: u32::try_from(outcome.objects).unwrap_or(u32::MAX),
+                        });
                         if !outcome.faults.is_empty() {
                             faults.lock().extend(outcome.faults);
                         }

@@ -1,10 +1,14 @@
 //! CheckJNI-style usage validation.
 //!
 //! ART's CheckJNI detects more than buffer overflows: it catches JNI
-//! *usage* errors such as releasing a pointer through the wrong interface
-//! or forgetting to release at all (paper §6.3). This module implements
-//! that bookkeeping as an opt-in per-environment ledger
-//! ([`VmBuilder::check_jni`]).
+//! *usage* errors such as releasing a pointer through the wrong interface,
+//! releasing it against the wrong object, or forgetting to release at all
+//! (paper §6.3). This module implements that bookkeeping as an opt-in
+//! per-environment ledger ([`VmBuilder::check_jni`]).
+//!
+//! The interface vocabulary itself ([`JniInterface`]) lives in the
+//! `telemetry` crate so protection schemes and events can share it; this
+//! crate re-exports it under the historical `InterfaceKind` name.
 //!
 //! [`VmBuilder::check_jni`]: crate::VmBuilder::check_jni
 
@@ -12,49 +16,10 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use mte_sim::{Backtrace, TaggedPtr};
+use telemetry::JniInterface;
 
 use crate::error::{AbortReport, JniError};
 use crate::Result;
-
-/// Which get/release family a pointer belongs to — releases must use the
-/// matching interface.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum InterfaceKind {
-    /// `Get/ReleasePrimitiveArrayCritical`.
-    PrimitiveArrayCritical,
-    /// `Get/ReleaseStringCritical`.
-    StringCritical,
-    /// `Get/ReleaseStringChars`.
-    StringChars,
-    /// `Get/ReleaseStringUTFChars`.
-    StringUtfChars,
-    /// `Get/Release<Type>ArrayElements`.
-    ArrayElements,
-}
-
-impl InterfaceKind {
-    /// The `Get*` interface name, for reports.
-    pub fn get_name(self) -> &'static str {
-        match self {
-            InterfaceKind::PrimitiveArrayCritical => "GetPrimitiveArrayCritical",
-            InterfaceKind::StringCritical => "GetStringCritical",
-            InterfaceKind::StringChars => "GetStringChars",
-            InterfaceKind::StringUtfChars => "GetStringUTFChars",
-            InterfaceKind::ArrayElements => "Get<Type>ArrayElements",
-        }
-    }
-
-    /// The matching `Release*` interface name.
-    pub fn release_name(self) -> &'static str {
-        match self {
-            InterfaceKind::PrimitiveArrayCritical => "ReleasePrimitiveArrayCritical",
-            InterfaceKind::StringCritical => "ReleaseStringCritical",
-            InterfaceKind::StringChars => "ReleaseStringChars",
-            InterfaceKind::StringUtfChars => "ReleaseStringUTFChars",
-            InterfaceKind::ArrayElements => "Release<Type>ArrayElements",
-        }
-    }
-}
 
 /// One outstanding (acquired, not yet released) JNI pointer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,14 +27,20 @@ pub struct Outstanding {
     /// The raw pointer handed to native code.
     pub pointer: u64,
     /// The interface family it came from.
-    pub interface: InterfaceKind,
+    pub interface: JniInterface,
+    /// Address of the Java object the pointer was acquired from. For
+    /// `GetStringUTFChars` this is the *source string*, not the hidden
+    /// transcoding buffer, so releases can be validated against the
+    /// string the caller passes back.
+    pub object: u64,
 }
 
 /// Per-environment acquisition ledger. Disabled ledgers cost nothing.
 #[derive(Debug, Default)]
 pub(crate) struct Ledger {
     enabled: bool,
-    entries: RefCell<HashMap<u64, InterfaceKind>>,
+    entries: RefCell<HashMap<u64, (JniInterface, u64)>>,
+    guard_drops: RefCell<Vec<Outstanding>>,
 }
 
 impl Ledger {
@@ -77,43 +48,52 @@ impl Ledger {
         Ledger {
             enabled,
             entries: RefCell::new(HashMap::new()),
+            guard_drops: RefCell::new(Vec::new()),
         }
     }
 
-    /// Records a successful acquisition.
-    pub(crate) fn record(&self, ptr: TaggedPtr, interface: InterfaceKind) {
+    /// Records a successful acquisition of `object` through `interface`.
+    pub(crate) fn record(&self, ptr: TaggedPtr, interface: JniInterface, object: u64) {
         if self.enabled {
-            self.entries.borrow_mut().insert(ptr.raw(), interface);
+            self.entries.borrow_mut().insert(ptr.raw(), (interface, object));
         }
     }
 
     /// Validates a release: the pointer must have been acquired through
-    /// the same interface family. Unknown pointers are left to the
-    /// protection scheme (which reports a stale release where it can).
+    /// the same interface family, against the same object. Unknown
+    /// pointers are left to the protection scheme (which reports a stale
+    /// release where it can).
     ///
     /// When `keep` is true (a `JNI_COMMIT` release) the entry stays open.
     pub(crate) fn verify(
         &self,
         ptr: TaggedPtr,
-        interface: InterfaceKind,
+        interface: JniInterface,
         keep: bool,
+        object: u64,
     ) -> Result<()> {
         if !self.enabled {
             return Ok(());
         }
         let mut entries = self.entries.borrow_mut();
         match entries.get(&ptr.raw()) {
-            Some(&recorded) if recorded != interface => {
-                Err(JniError::CheckJniAbort(Box::new(AbortReport {
-                    message: format!(
-                        "pointer {:#x} was acquired with {} but released with {}",
-                        ptr.raw(),
-                        recorded.get_name(),
-                        interface.release_name(),
-                    ),
-                    corruption_offset: None,
-                    backtrace: Backtrace::default(),
-                })))
+            Some(&(recorded, _)) if recorded != interface => {
+                Err(Self::abort(format!(
+                    "pointer {:#x} was acquired with {} but released with {}",
+                    ptr.raw(),
+                    recorded.get_name(),
+                    interface.release_name(),
+                )))
+            }
+            Some(&(_, recorded_obj)) if recorded_obj != object => {
+                Err(Self::abort(format!(
+                    "pointer {:#x} was acquired with {} from object {:#x} \
+                     but released against object {:#x}",
+                    ptr.raw(),
+                    interface.get_name(),
+                    recorded_obj,
+                    object,
+                )))
             }
             Some(_) => {
                 if !keep {
@@ -125,12 +105,42 @@ impl Ledger {
         }
     }
 
+    fn abort(message: String) -> JniError {
+        JniError::CheckJniAbort(Box::new(AbortReport {
+            message,
+            corruption_offset: None,
+            backtrace: Backtrace::default(),
+        }))
+    }
+
+    /// Notes a guard that was dropped without an explicit release — the
+    /// RAII release keeps the scheme consistent, but the leak is still a
+    /// usage bug worth surfacing.
+    pub(crate) fn note_guard_drop(&self, ptr: TaggedPtr, interface: JniInterface, object: u64) {
+        if self.enabled {
+            self.guard_drops.borrow_mut().push(Outstanding {
+                pointer: ptr.raw(),
+                interface,
+                object,
+            });
+        }
+    }
+
+    /// Guards dropped without an explicit `commit`/`abort`.
+    pub(crate) fn guard_drops(&self) -> Vec<Outstanding> {
+        self.guard_drops.borrow().clone()
+    }
+
     /// Acquisitions that were never released.
     pub(crate) fn outstanding(&self) -> Vec<Outstanding> {
         self.entries
             .borrow()
             .iter()
-            .map(|(&pointer, &interface)| Outstanding { pointer, interface })
+            .map(|(&pointer, &(interface, object))| Outstanding {
+                pointer,
+                interface,
+                object,
+            })
             .collect()
     }
 }
@@ -143,37 +153,46 @@ mod tests {
         TaggedPtr::from_addr(addr)
     }
 
+    const OBJ: u64 = 0x1000;
+
     #[test]
     fn disabled_ledger_accepts_everything() {
         let ledger = Ledger::new(false);
-        ledger.record(ptr(0x10), InterfaceKind::StringChars);
-        assert!(ledger.verify(ptr(0x10), InterfaceKind::ArrayElements, false).is_ok());
+        ledger.record(ptr(0x10), JniInterface::StringChars, OBJ);
+        assert!(ledger
+            .verify(ptr(0x10), JniInterface::ArrayElements, false, OBJ)
+            .is_ok());
         assert!(ledger.outstanding().is_empty());
     }
 
     #[test]
     fn matched_release_closes_the_entry() {
         let ledger = Ledger::new(true);
-        ledger.record(ptr(0x10), InterfaceKind::ArrayElements);
+        ledger.record(ptr(0x10), JniInterface::ArrayElements, OBJ);
         assert_eq!(ledger.outstanding().len(), 1);
-        ledger.verify(ptr(0x10), InterfaceKind::ArrayElements, false).unwrap();
+        assert_eq!(ledger.outstanding()[0].object, OBJ);
+        ledger
+            .verify(ptr(0x10), JniInterface::ArrayElements, false, OBJ)
+            .unwrap();
         assert!(ledger.outstanding().is_empty());
     }
 
     #[test]
     fn commit_keeps_the_entry_open() {
         let ledger = Ledger::new(true);
-        ledger.record(ptr(0x10), InterfaceKind::ArrayElements);
-        ledger.verify(ptr(0x10), InterfaceKind::ArrayElements, true).unwrap();
+        ledger.record(ptr(0x10), JniInterface::ArrayElements, OBJ);
+        ledger
+            .verify(ptr(0x10), JniInterface::ArrayElements, true, OBJ)
+            .unwrap();
         assert_eq!(ledger.outstanding().len(), 1);
     }
 
     #[test]
     fn mismatched_interface_is_an_abort() {
         let ledger = Ledger::new(true);
-        ledger.record(ptr(0x20), InterfaceKind::StringCritical);
+        ledger.record(ptr(0x20), JniInterface::StringCritical, OBJ);
         let err = ledger
-            .verify(ptr(0x20), InterfaceKind::StringChars, false)
+            .verify(ptr(0x20), JniInterface::StringChars, false, OBJ)
             .unwrap_err();
         let report = err.as_abort().expect("check-jni abort");
         assert!(report.message.contains("GetStringCritical"));
@@ -183,19 +202,49 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_object_is_an_abort() {
+        // The `ReleaseStringUTFChars(wrong_string, utf)` bug class: right
+        // interface, wrong source object.
+        let ledger = Ledger::new(true);
+        ledger.record(ptr(0x20), JniInterface::StringUtfChars, OBJ);
+        let err = ledger
+            .verify(ptr(0x20), JniInterface::StringUtfChars, false, 0x2000)
+            .unwrap_err();
+        let report = err.as_abort().expect("check-jni abort");
+        assert!(report.message.contains("from object 0x1000"), "{}", report.message);
+        assert!(report.message.contains("against object 0x2000"), "{}", report.message);
+        assert_eq!(ledger.outstanding().len(), 1);
+    }
+
+    #[test]
     fn unknown_pointers_are_deferred_to_the_scheme() {
         let ledger = Ledger::new(true);
-        assert!(ledger.verify(ptr(0x30), InterfaceKind::ArrayElements, false).is_ok());
+        assert!(ledger
+            .verify(ptr(0x30), JniInterface::ArrayElements, false, OBJ)
+            .is_ok());
+    }
+
+    #[test]
+    fn guard_drops_are_noted_only_when_enabled() {
+        let ledger = Ledger::new(false);
+        ledger.note_guard_drop(ptr(0x40), JniInterface::PrimitiveArrayCritical, OBJ);
+        assert!(ledger.guard_drops().is_empty());
+
+        let ledger = Ledger::new(true);
+        ledger.note_guard_drop(ptr(0x40), JniInterface::PrimitiveArrayCritical, OBJ);
+        let drops = ledger.guard_drops();
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].interface, JniInterface::PrimitiveArrayCritical);
     }
 
     #[test]
     fn interface_names_render() {
         assert_eq!(
-            InterfaceKind::PrimitiveArrayCritical.get_name(),
+            JniInterface::PrimitiveArrayCritical.get_name(),
             "GetPrimitiveArrayCritical"
         );
         assert_eq!(
-            InterfaceKind::StringUtfChars.release_name(),
+            JniInterface::StringUtfChars.release_name(),
             "ReleaseStringUTFChars"
         );
     }

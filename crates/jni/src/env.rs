@@ -3,14 +3,16 @@
 use std::cell::Cell;
 use std::fmt;
 
-use art_heap::{ArrayRef, HeapError, JavaThread, PrimitiveType, StringRef};
+use art_heap::{ArrayRef, HeapError, JavaThread, ObjectRef, PrimitiveType, StringRef};
 use art_heap::{encode_modified_utf8, Heap};
 use mte_sim::TaggedPtr;
+use telemetry::{Event, JniInterface, LatencyOp, SizeClass};
 
-use crate::checkjni::{InterfaceKind, Ledger, Outstanding};
+use crate::checkjni::{Ledger, Outstanding};
 use crate::error::JniError;
+use crate::guard::CriticalGuard;
 use crate::native::{NativeArray, NativeMem, NativeUtf};
-use crate::protection::{JniContext, ReleaseMode};
+use crate::protection::{AcquireOutcome, JniContext, ReleaseMode};
 use crate::trampoline::NativeKind;
 use crate::vm::Vm;
 use crate::Result;
@@ -49,6 +51,13 @@ impl<'a> JniEnv<'a> {
         self.ledger.outstanding()
     }
 
+    /// CheckJNI: guards that were dropped without an explicit
+    /// [`CriticalGuard::commit`]/[`CriticalGuard::abort`]. The RAII drop
+    /// released them safely, but each one is a latent usage bug.
+    pub fn guard_drops(&self) -> Vec<Outstanding> {
+        self.ledger.guard_drops()
+    }
+
     /// The owning VM.
     pub fn vm(&self) -> &'a Vm {
         self.vm
@@ -74,11 +83,88 @@ impl<'a> JniEnv<'a> {
         self.critical_depth.get()
     }
 
-    fn cx(&self) -> JniContext<'_> {
+    fn cx(&self, interface: JniInterface) -> JniContext<'_> {
         JniContext {
             heap: self.vm.heap(),
             thread: self.thread,
+            interface,
         }
+    }
+
+    /// The single acquire path every `Get*` interface funnels through:
+    /// protection interposition, latency timing, event recording, and the
+    /// CheckJNI ledger entry. `identity` is the address of the Java object
+    /// the caller named — for `GetStringUTFChars` that is the source
+    /// string while `scheme_obj` is the hidden transcoding buffer.
+    pub(crate) fn acquire_raw(
+        &self,
+        scheme_obj: &ObjectRef,
+        identity: u64,
+        interface: JniInterface,
+    ) -> Result<AcquireOutcome> {
+        let cx = self.cx(interface);
+        let started = telemetry::start_timing();
+        let out = self.vm.protection().on_acquire(&cx, scheme_obj)?;
+        if let Some(t0) = started {
+            telemetry::record_latency(
+                self.vm.protection().name(),
+                interface.label(),
+                SizeClass::from_bytes(scheme_obj.byte_len() as u64),
+                LatencyOp::Acquire,
+                t0,
+            );
+        }
+        telemetry::record(|| Event::Acquire { interface });
+        self.ledger.record(out.ptr, interface, identity);
+        Ok(out)
+    }
+
+    /// The matching single release path: ledger verification (interface
+    /// *and* object identity), then the scheme interposition with timing
+    /// and event recording.
+    pub(crate) fn release_raw(
+        &self,
+        scheme_obj: &ObjectRef,
+        identity: u64,
+        ptr: TaggedPtr,
+        interface: JniInterface,
+        mode: ReleaseMode,
+    ) -> Result<()> {
+        self.ledger
+            .verify(ptr, interface, mode == ReleaseMode::Commit, identity)?;
+        self.release_scheme(scheme_obj, ptr, interface, mode)
+    }
+
+    /// The scheme half of the release path, after ledger verification.
+    /// The critical releases call it directly because their
+    /// `critical_depth` bookkeeping must run even when the scheme reports
+    /// corruption (the buffer is gone either way).
+    fn release_scheme(
+        &self,
+        scheme_obj: &ObjectRef,
+        ptr: TaggedPtr,
+        interface: JniInterface,
+        mode: ReleaseMode,
+    ) -> Result<()> {
+        let cx = self.cx(interface);
+        let started = telemetry::start_timing();
+        let result = self.vm.protection().on_release(&cx, scheme_obj, ptr, mode);
+        if let Some(t0) = started {
+            telemetry::record_latency(
+                self.vm.protection().name(),
+                interface.label(),
+                SizeClass::from_bytes(scheme_obj.byte_len() as u64),
+                LatencyOp::Release,
+                t0,
+            );
+        }
+        telemetry::record(|| Event::Release { interface });
+        result
+    }
+
+    pub(crate) fn note_guard_drop(&self, ptr: TaggedPtr, interface: JniInterface, object: u64) {
+        telemetry::record_rare(|| Event::GuardDrop { interface });
+        self.ledger.note_guard_drop(ptr, interface, object);
     }
 
     fn ensure_not_critical(&self, what: &str) -> Result<()> {
@@ -146,6 +232,7 @@ impl<'a> JniEnv<'a> {
     /// string.
     pub fn get_string_region(&self, s: &StringRef, start: usize, out: &mut [u16]) -> Result<()> {
         self.ensure_not_critical("GetStringRegion")?;
+        telemetry::record(|| Event::Acquire { interface: JniInterface::StringRegion });
         let end = start.checked_add(out.len());
         if end.is_none_or(|e| e > s.len()) {
             return Err(JniError::Heap(HeapError::IndexOutOfBounds {
@@ -200,10 +287,33 @@ impl<'a> JniEnv<'a> {
     ///
     /// Scheme-specific acquisition failures.
     pub fn get_primitive_array_critical(&self, a: &ArrayRef) -> Result<NativeArray> {
-        let out = self.vm.protection().on_acquire(&self.cx(), &a.as_object())?;
-        self.ledger.record(out.ptr, InterfaceKind::PrimitiveArrayCritical);
+        let out = self.acquire_raw(&a.as_object(), a.addr(), JniInterface::PrimitiveArrayCritical)?;
         self.critical_depth.set(self.critical_depth.get() + 1);
         Ok(NativeArray::new(out.ptr, a.len(), a.element_type(), out.is_copy))
+    }
+
+    /// `GetPrimitiveArrayCritical` as an RAII guard: the returned
+    /// [`CriticalGuard`] releases on drop, with explicit
+    /// [`commit`](CriticalGuard::commit)/[`abort`](CriticalGuard::abort)
+    /// for controlled release. Delegates to the same acquire path as
+    /// [`Self::get_primitive_array_critical`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::get_primitive_array_critical`].
+    pub fn critical<'e>(&'e self, a: &ArrayRef) -> Result<CriticalGuard<'e, 'a>> {
+        let elems = self.get_primitive_array_critical(a)?;
+        Ok(CriticalGuard::for_array(self, a.clone(), elems))
+    }
+
+    /// `GetStringCritical` as an RAII guard; see [`Self::critical`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::get_string_critical`].
+    pub fn string_critical<'e>(&'e self, s: &StringRef) -> Result<CriticalGuard<'e, 'a>> {
+        let chars = self.get_string_critical(s)?;
+        Ok(CriticalGuard::for_string(self, s.clone(), chars))
     }
 
     /// `ReleasePrimitiveArrayCritical`.
@@ -220,13 +330,16 @@ impl<'a> JniEnv<'a> {
     ) -> Result<()> {
         self.ledger.verify(
             elems.ptr(),
-            InterfaceKind::PrimitiveArrayCritical,
+            JniInterface::PrimitiveArrayCritical,
             mode == ReleaseMode::Commit,
+            a.addr(),
         )?;
-        let result = self
-            .vm
-            .protection()
-            .on_release(&self.cx(), &a.as_object(), elems.ptr(), mode);
+        let result = self.release_scheme(
+            &a.as_object(),
+            elems.ptr(),
+            JniInterface::PrimitiveArrayCritical,
+            mode,
+        );
         if mode != ReleaseMode::Commit {
             self.critical_depth
                 .set(self.critical_depth.get().saturating_sub(1));
@@ -240,8 +353,7 @@ impl<'a> JniEnv<'a> {
     ///
     /// See [`Self::get_primitive_array_critical`].
     pub fn get_string_critical(&self, s: &StringRef) -> Result<NativeArray> {
-        let out = self.vm.protection().on_acquire(&self.cx(), &s.as_object())?;
-        self.ledger.record(out.ptr, InterfaceKind::StringCritical);
+        let out = self.acquire_raw(&s.as_object(), s.addr(), JniInterface::StringCritical)?;
         self.critical_depth.set(self.critical_depth.get() + 1);
         Ok(NativeArray::new(out.ptr, s.len(), PrimitiveType::Char, out.is_copy))
     }
@@ -253,11 +365,11 @@ impl<'a> JniEnv<'a> {
     /// See [`Self::release_primitive_array_critical`].
     pub fn release_string_critical(&self, s: &StringRef, chars: NativeArray) -> Result<()> {
         self.ledger
-            .verify(chars.ptr(), InterfaceKind::StringCritical, false)?;
-        let result = self.vm.protection().on_release(
-            &self.cx(),
+            .verify(chars.ptr(), JniInterface::StringCritical, false, s.addr())?;
+        let result = self.release_scheme(
             &s.as_object(),
             chars.ptr(),
+            JniInterface::StringCritical,
             ReleaseMode::Abort, // strings are immutable: never copy back
         );
         self.critical_depth
@@ -276,8 +388,7 @@ impl<'a> JniEnv<'a> {
     /// Scheme acquisition failure, or use inside a critical section.
     pub fn get_string_chars(&self, s: &StringRef) -> Result<NativeArray> {
         self.ensure_not_critical("GetStringChars")?;
-        let out = self.vm.protection().on_acquire(&self.cx(), &s.as_object())?;
-        self.ledger.record(out.ptr, InterfaceKind::StringChars);
+        let out = self.acquire_raw(&s.as_object(), s.addr(), JniInterface::StringChars)?;
         Ok(NativeArray::new(out.ptr, s.len(), PrimitiveType::Char, out.is_copy))
     }
 
@@ -288,11 +399,13 @@ impl<'a> JniEnv<'a> {
     /// See [`Self::release_primitive_array_critical`].
     pub fn release_string_chars(&self, s: &StringRef, chars: NativeArray) -> Result<()> {
         self.ensure_not_critical("ReleaseStringChars")?;
-        self.ledger
-            .verify(chars.ptr(), InterfaceKind::StringChars, false)?;
-        self.vm
-            .protection()
-            .on_release(&self.cx(), &s.as_object(), chars.ptr(), ReleaseMode::Abort)
+        self.release_raw(
+            &s.as_object(),
+            s.addr(),
+            chars.ptr(),
+            JniInterface::StringChars,
+            ReleaseMode::Abort,
+        )
     }
 
     /// `GetStringUTFChars`: transcodes to modified UTF-8 in a heap-side
@@ -311,26 +424,29 @@ impl<'a> JniEnv<'a> {
         let heap = self.vm.heap();
         let backing = heap.alloc_byte_array(utf.len())?;
         heap.write_payload(&backing.as_object(), &utf)?;
-        let out = self.vm.protection().on_acquire(&self.cx(), &backing.as_object())?;
-        self.ledger.record(out.ptr, InterfaceKind::StringUtfChars);
+        // The scheme guards the transcoding buffer, but the ledger records
+        // the *source string* as the identity so the release can validate
+        // the string the caller passes back.
+        let out = self.acquire_raw(&backing.as_object(), s.addr(), JniInterface::StringUtfChars)?;
         Ok(NativeUtf::new(out.ptr, utf_len, out.is_copy, backing))
     }
 
     /// `ReleaseStringUTFChars`: verifies/releases through the scheme and
-    /// frees the transcoding buffer.
+    /// frees the transcoding buffer. Under CheckJNI, `s` must be the
+    /// string the chars were acquired from — releasing against a
+    /// different string is an abort.
     ///
     /// # Errors
     ///
     /// See [`Self::release_primitive_array_critical`].
-    pub fn release_string_utf_chars(&self, _s: &StringRef, utf: NativeUtf) -> Result<()> {
+    pub fn release_string_utf_chars(&self, s: &StringRef, utf: NativeUtf) -> Result<()> {
         self.ensure_not_critical("ReleaseStringUTFChars")?;
-        self.ledger
-            .verify(utf.ptr(), InterfaceKind::StringUtfChars, false)?;
         let backing = utf.backing.clone();
-        let result = self.vm.protection().on_release(
-            &self.cx(),
+        let result = self.release_raw(
             &backing.as_object(),
+            s.addr(),
             utf.ptr(),
+            JniInterface::StringUtfChars,
             ReleaseMode::Abort,
         );
         drop(utf); // the buffer becomes garbage for the next sweep
@@ -360,6 +476,7 @@ impl<'a> JniEnv<'a> {
         kind: NativeKind,
         body: impl FnOnce(&JniEnv<'a>) -> Result<R>,
     ) -> Result<R> {
+        let started = telemetry::start_timing();
         let mte = self.thread.mte();
         let frame = mte.push_frame(name, "libapp.so");
         let tco_control = self.vm.protection().uses_thread_mte() && kind.wants_mte_checking();
@@ -368,10 +485,12 @@ impl<'a> JniEnv<'a> {
         }
         if tco_control {
             mte.set_tco(false); // enable tag checking for the native section
+            telemetry::record_rare(|| Event::TcoToggle { checking_enabled: true });
         }
         let result = body(self);
         if tco_control {
             mte.set_tco(true); // back to unchecked managed execution
+            telemetry::record_rare(|| Event::TcoToggle { checking_enabled: false });
         }
         if kind.transitions_state() {
             self.thread.transition_to_managed();
@@ -380,6 +499,17 @@ impl<'a> JniEnv<'a> {
         // The return transition is the first kernel entry after native
         // code ran: surface any latched asynchronous fault here.
         let pending = mte.syscall("art_jni_method_end");
+        if let Some(t0) = started {
+            // Trampolines carry no payload; everything lands in one
+            // size-class bucket per native-method kind.
+            telemetry::record_latency(
+                self.vm.protection().name(),
+                kind.label(),
+                SizeClass::Tiny,
+                LatencyOp::Trampoline,
+                t0,
+            );
+        }
         match (result, pending) {
             (Err(e), _) => Err(e),
             (Ok(_), Err(fault)) => Err(fault.into()),
@@ -456,8 +586,7 @@ macro_rules! typed_array_interfaces {
                         interface: concat!("Get", $get_name, "ArrayElements"),
                     });
                 }
-                let out = self.vm.protection().on_acquire(&self.cx(), &a.as_object())?;
-                self.ledger.record(out.ptr, InterfaceKind::ArrayElements);
+                let out = self.acquire_raw(&a.as_object(), a.addr(), JniInterface::ArrayElements)?;
                 Ok(NativeArray::new(out.ptr, a.len(), $prim, out.is_copy))
             }
 
@@ -473,14 +602,13 @@ macro_rules! typed_array_interfaces {
                 mode: ReleaseMode,
             ) -> Result<()> {
                 self.ensure_not_critical(concat!("Release", $get_name, "ArrayElements"))?;
-                self.ledger.verify(
+                self.release_raw(
+                    &a.as_object(),
+                    a.addr(),
                     elems.ptr(),
-                    InterfaceKind::ArrayElements,
-                    mode == ReleaseMode::Commit,
-                )?;
-                self.vm
-                    .protection()
-                    .on_release(&self.cx(), &a.as_object(), elems.ptr(), mode)
+                    JniInterface::ArrayElements,
+                    mode,
+                )
             }
 
             #[doc = concat!("`Get", $get_name, "ArrayRegion` (Table 1, row 6): bounds-checked copy out.")]
@@ -498,6 +626,7 @@ macro_rules! typed_array_interfaces {
             ) -> Result<()> {
                 self.ensure_not_critical(concat!("Get", $get_name, "ArrayRegion"))?;
                 self.region_bounds(a, $prim, start, out.len(), concat!("Get", $get_name, "ArrayRegion"))?;
+                telemetry::record(|| Event::Acquire { interface: JniInterface::ArrayRegion });
                 let mut bytes = vec![0u8; out.len() * $size];
                 let ptr = TaggedPtr::from_addr(a.data_addr() + (start * $size) as u64);
                 self.vm
@@ -524,6 +653,7 @@ macro_rules! typed_array_interfaces {
             ) -> Result<()> {
                 self.ensure_not_critical(concat!("Set", $get_name, "ArrayRegion"))?;
                 self.region_bounds(a, $prim, start, values.len(), concat!("Set", $get_name, "ArrayRegion"))?;
+                telemetry::record(|| Event::Acquire { interface: JniInterface::ArrayRegion });
                 let mut bytes = Vec::with_capacity(values.len() * $size);
                 for v in values {
                     bytes.extend_from_slice(&v.to_le_bytes());

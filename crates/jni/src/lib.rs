@@ -26,18 +26,25 @@
 mod checkjni;
 mod env;
 mod error;
+mod guard;
 mod native;
 mod protection;
 mod trampoline;
 mod vm;
 
-pub use checkjni::{InterfaceKind, Outstanding};
+pub use checkjni::Outstanding;
 pub use env::JniEnv;
 pub use error::{AbortReport, JniError};
+pub use guard::CriticalGuard;
 pub use native::{NativeArray, NativeMem, NativeUtf};
 pub use protection::{AcquireOutcome, JniContext, NoProtection, Protection, ReleaseMode};
 pub use trampoline::NativeKind;
 pub use vm::{Vm, VmBuilder, VmConfig};
+
+pub use telemetry::JniInterface;
+/// Historical name for [`JniInterface`], kept for callers that predate the
+/// telemetry crate.
+pub type InterfaceKind = telemetry::JniInterface;
 
 /// Convenience alias for results whose error type is [`JniError`].
 pub type Result<T> = std::result::Result<T, JniError>;

@@ -4,6 +4,7 @@ use std::fmt;
 
 use art_heap::{Heap, JavaThread, ObjectRef};
 use mte_sim::TaggedPtr;
+use telemetry::JniInterface;
 
 use crate::Result;
 
@@ -27,12 +28,17 @@ pub struct JniContext<'a> {
     pub heap: &'a Heap,
     /// The calling thread.
     pub thread: &'a JavaThread,
+    /// The Table-1 interface this interposition serves. Schemes can
+    /// branch on it (e.g. to treat critical sections differently) and
+    /// telemetry attributes events to it.
+    pub interface: JniInterface,
 }
 
 impl fmt::Debug for JniContext<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("JniContext")
             .field("thread", &self.thread.name())
+            .field("interface", &self.interface)
             .finish()
     }
 }
@@ -88,6 +94,15 @@ pub trait Protection: Send + Sync + fmt::Debug {
     fn uses_thread_mte(&self) -> bool {
         false
     }
+
+    /// Scheme-specific counters for the telemetry registry, as
+    /// `(name, value)` pairs. [`Vm::telemetry_snapshot`] publishes them
+    /// under `scheme.<name>.<counter>`.
+    ///
+    /// [`Vm::telemetry_snapshot`]: crate::Vm::telemetry_snapshot
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// The default production configuration: JNI out-of-bounds checking
@@ -138,7 +153,11 @@ mod tests {
     fn no_protection_returns_real_untagged_pointer() {
         let heap = Heap::new(HeapConfig::default());
         let thread = JavaThread::new("main");
-        let cx = JniContext { heap: &heap, thread: &thread };
+        let cx = JniContext {
+            heap: &heap,
+            thread: &thread,
+            interface: JniInterface::PrimitiveArrayCritical,
+        };
         let a = heap.alloc_int_array(8).unwrap();
         let obj = a.as_object();
         let out = NoProtection::new().on_acquire(&cx, &obj).unwrap();
@@ -154,6 +173,7 @@ mod tests {
     fn no_protection_does_not_request_thread_mte() {
         assert!(!NoProtection::new().uses_thread_mte());
         assert_eq!(NoProtection::new().name(), "no-protection");
+        assert!(NoProtection::new().counters().is_empty(), "default: none");
     }
 
     #[test]

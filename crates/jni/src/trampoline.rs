@@ -31,6 +31,15 @@ impl NativeKind {
     pub fn wants_mte_checking(self) -> bool {
         self != NativeKind::CriticalNative
     }
+
+    /// Stable label for telemetry histogram keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            NativeKind::Normal => "Normal",
+            NativeKind::FastNative => "FastNative",
+            NativeKind::CriticalNative => "CriticalNative",
+        }
+    }
 }
 
 impl fmt::Display for NativeKind {

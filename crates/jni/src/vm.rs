@@ -98,6 +98,39 @@ impl Vm {
         JniEnv::new(self, thread)
     }
 
+    /// Publishes this VM's counter sources into the process-wide
+    /// telemetry registry under `scheme.<name>.…` keys: the simulated
+    /// MTE hardware counters (`…mte.loads`, `…mte.sync_faults`, …) and
+    /// whatever [`Protection::counters`] reports. Values are absolute
+    /// (`set`, not `add`), so republishing is idempotent.
+    pub fn publish_counters(&self) {
+        let scheme = self.protection.name();
+        let reg = telemetry::counters();
+        let mte = self.heap.memory().stats().snapshot();
+        for (key, value) in [
+            ("mte.loads", mte.loads),
+            ("mte.stores", mte.stores),
+            ("mte.sync_faults", mte.sync_faults),
+            ("mte.async_faults", mte.async_faults),
+            ("mte.irg_ops", mte.irg_ops),
+            ("mte.ldg_ops", mte.ldg_ops),
+            ("mte.stg_ops", mte.stg_ops),
+        ] {
+            reg.set(&format!("scheme.{scheme}.{key}"), value);
+        }
+        for (key, value) in self.protection.counters() {
+            reg.set(&format!("scheme.{scheme}.{key}"), value);
+        }
+    }
+
+    /// Publishes this VM's counters ([`Self::publish_counters`]) and
+    /// collects the full telemetry [`telemetry::Snapshot`] — counters,
+    /// latency histograms, and the drained event stream.
+    pub fn telemetry_snapshot(&self) -> telemetry::Snapshot {
+        self.publish_counters();
+        telemetry::Snapshot::collect()
+    }
+
     /// Starts a correctly configured background GC scanner: it inherits
     /// the process check mode but keeps `TCO` set, as a runtime-internal
     /// thread must under MTE4JNI.

@@ -12,6 +12,8 @@ use crate::tag::{Tag, TagExclusion, GRANULE, PAGE_SIZE};
 use crate::thread::{MteThread, TcfMode};
 use crate::Result;
 
+use telemetry::{Event, FaultClass, TagOp};
+
 /// Configuration for a [`TaggedMemory`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemoryConfig {
@@ -192,6 +194,7 @@ impl TaggedMemory {
                 match effective {
                     TcfMode::Sync => {
                         self.stats.count_sync_fault();
+                        telemetry::record_rare(|| Event::Fault { class: FaultClass::Sync });
                         let fault_addr =
                             self.base + (g * GRANULE).max(offset) as u64;
                         return Err(MemError::TagCheck(Box::new(TagCheckFault {
@@ -206,6 +209,7 @@ impl TaggedMemory {
                     }
                     TcfMode::Async => {
                         self.stats.count_async_fault();
+                        telemetry::record_rare(|| Event::Fault { class: FaultClass::Async });
                         t.latch_async_fault(ptr, mtag, access);
                         // Execution continues: async mode only logs.
                     }
@@ -430,6 +434,7 @@ impl TaggedMemory {
     /// thread's random source.
     pub fn irg(&self, t: &MteThread, exclusion: TagExclusion) -> Tag {
         self.stats.count_irg();
+        telemetry::record(|| Event::TagOp { op: TagOp::Irg, granules: 1 });
         t.irg(exclusion)
     }
 
@@ -443,6 +448,7 @@ impl TaggedMemory {
     pub fn ldg(&self, ptr: TaggedPtr) -> Result<Tag> {
         let offset = self.offset_of(ptr.granule_base(), GRANULE)?;
         self.stats.count_ldg();
+        telemetry::record(|| Event::TagOp { op: TagOp::Ldg, granules: 1 });
         if !self.page_is_mte(offset) {
             return Ok(Tag::UNTAGGED);
         }
@@ -461,6 +467,7 @@ impl TaggedMemory {
             return Err(MemError::NotProtMte { addr: ptr.addr() });
         }
         self.stats.count_stg(1);
+        telemetry::record(|| Event::TagOp { op: TagOp::Stg, granules: 1 });
         self.tags[offset / GRANULE].store(tag.value(), Ordering::Relaxed);
         Ok(())
     }
@@ -516,6 +523,10 @@ impl TaggedMemory {
             self.tags[g].store(tag.value(), Ordering::Relaxed);
         }
         self.stats.count_stg((last - first + 1) as u64);
+        telemetry::record(|| Event::TagOp {
+            op: TagOp::Stg,
+            granules: u32::try_from(last - first + 1).unwrap_or(u32::MAX),
+        });
         Ok(())
     }
 

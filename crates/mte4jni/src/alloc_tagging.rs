@@ -88,6 +88,10 @@ impl Protection for AllocTagging {
     fn uses_thread_mte(&self) -> bool {
         true
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("acquires", self.acquires())]
+    }
 }
 
 #[cfg(test)]

@@ -171,6 +171,19 @@ impl Protection for Mte4Jni {
     fn uses_thread_mte(&self) -> bool {
         true
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let s = self.stats();
+        let mut out = vec![
+            ("acquires", s.acquires),
+            ("shared_acquires", s.shared_acquires),
+            ("releases", s.releases),
+            ("tag_frees", s.tag_frees),
+            ("tracked_objects", s.tracked_objects as u64),
+        ];
+        out.extend(self.table.counters());
+        out
+    }
 }
 
 /// Operation counters for [`Mte4Jni`].

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -95,6 +96,12 @@ pub trait TagTable: Send + Sync + fmt::Debug {
 
     /// Number of objects currently tracked (for tests and reports).
     fn tracked_objects(&self) -> usize;
+
+    /// Table-internal counters for the telemetry registry (e.g. lock
+    /// acquisitions, entry-pool hits), as `(name, value)` pairs.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 #[derive(Debug)]
@@ -136,6 +143,12 @@ pub struct TwoTierTable {
     exclusion: TagExclusion,
     release_tags: bool,
     exclude_neighbor_tags: bool,
+    /// Table-lock acquisitions on the acquire/release paths — the §5.3.2
+    /// contention metric the two-tier design minimizes the hold time of.
+    lock_acquisitions: AtomicU64,
+    /// First-acquires served from the recycled entry pool instead of a
+    /// fresh allocation.
+    pool_hits: AtomicU64,
 }
 
 impl TwoTierTable {
@@ -164,6 +177,8 @@ impl TwoTierTable {
             exclusion: TagExclusion::default(),
             release_tags,
             exclude_neighbor_tags: false,
+            lock_acquisitions: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
         }
     }
 
@@ -214,11 +229,16 @@ impl TagTable for TwoTierTable {
             // 2. Retrieve or create the reference count under the table
             //    lock, released as soon as the entry address is known.
             let entry = {
+                self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
                 let mut t = table.lock();
                 match t.map.get(&addr) {
                     Some(e) => Arc::clone(e),
                     None => {
-                        let e = t.pool.pop().unwrap_or_else(|| {
+                        let recycled = t.pool.pop();
+                        if recycled.is_some() {
+                            self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let e = recycled.unwrap_or_else(|| {
                             Arc::new(Mutex::new(ObjEntry {
                                 addr: 0,
                                 reference_num: 0,
@@ -247,6 +267,7 @@ impl TagTable for TwoTierTable {
                 // entry between our lookup and lock; help remove the dead
                 // mapping and retry with a fresh entry.
                 drop(obj);
+                self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
                 let mut t = table.lock();
                 if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry)) {
                     t.map.remove(&addr);
@@ -304,6 +325,7 @@ impl TagTable for TwoTierTable {
         let table = &self.tables[self.table_index(addr)];
         // 2. Retrieve the reference count; absent entry → nothing to do.
         let entry = {
+            self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
             let t = table.lock();
             match t.map.get(&addr) {
                 Some(e) => Arc::clone(e),
@@ -328,6 +350,7 @@ impl TagTable for TwoTierTable {
         drop(obj);
         // Remove the dead entry so the table does not grow without bound,
         // recycling it into the pool for the next first-acquire.
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
         let mut t = table.lock();
         if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry)) {
             t.map.remove(&addr);
@@ -340,6 +363,13 @@ impl TagTable for TwoTierTable {
 
     fn tracked_objects(&self) -> usize {
         self.tables.iter().map(|t| t.lock().map.len()).sum()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("table_lock_acquisitions", self.lock_acquisitions.load(Ordering::Relaxed)),
+            ("entry_pool_hits", self.pool_hits.load(Ordering::Relaxed)),
+        ]
     }
 }
 

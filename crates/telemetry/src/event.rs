@@ -1,0 +1,234 @@
+//! Structured runtime events and their compact 64-bit encoding.
+
+use crate::interface::JniInterface;
+
+/// A tag-manipulation instruction class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TagOp {
+    /// `irg` — random tag generation.
+    Irg,
+    /// `ldg` — tag load.
+    Ldg,
+    /// `stg`/`st2g`/`stzg` — tag stores (payload counts granules).
+    Stg,
+}
+
+impl TagOp {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TagOp::Irg => "irg",
+            TagOp::Ldg => "ldg",
+            TagOp::Stg => "stg",
+        }
+    }
+}
+
+/// Synchronous vs. asynchronous tag-check fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Precise fault at the faulting instruction.
+    Sync,
+    /// Imprecise fault latched in `TFSR`, surfaced at a kernel entry.
+    Async,
+}
+
+impl FaultClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Sync => "sync",
+            FaultClass::Async => "async",
+        }
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A `Get*` interface handed a raw pointer to native code.
+    Acquire {
+        /// The interposing Table-1 interface.
+        interface: JniInterface,
+    },
+    /// The matching `Release*` ran.
+    Release {
+        /// The interposing Table-1 interface.
+        interface: JniInterface,
+    },
+    /// The simulated MTE hardware executed a tag instruction.
+    TagOp {
+        /// Which instruction class.
+        op: TagOp,
+        /// Granules touched (1 for `irg`/`ldg`).
+        granules: u32,
+    },
+    /// A tag-check fault was raised (sync) or latched (async).
+    Fault {
+        /// Fault class.
+        class: FaultClass,
+    },
+    /// A trampoline flipped the per-thread `TCO` register.
+    TcoToggle {
+        /// True when checking became enabled (`TCO` cleared).
+        checking_enabled: bool,
+    },
+    /// A GC scanner completed one scan pass.
+    GcScan {
+        /// Live objects visited.
+        objects: u32,
+    },
+    /// An acquisition guard was dropped without an explicit
+    /// `commit`/`abort` (auto-released with `JNI_ABORT`).
+    GuardDrop {
+        /// The interface the guard belonged to.
+        interface: JniInterface,
+    },
+}
+
+impl Event {
+    /// Coarse event-kind label for summaries.
+    pub fn kind_label(self) -> &'static str {
+        match self {
+            Event::Acquire { .. } => "acquire",
+            Event::Release { .. } => "release",
+            Event::TagOp { op, .. } => op.label(),
+            Event::Fault {
+                class: FaultClass::Sync,
+            } => "fault_sync",
+            Event::Fault {
+                class: FaultClass::Async,
+            } => "fault_async",
+            Event::TcoToggle { .. } => "tco_toggle",
+            Event::GcScan { .. } => "gc_scan",
+            Event::GuardDrop { .. } => "guard_drop",
+        }
+    }
+
+    /// The interface this event is attributed to, if any.
+    pub fn interface(self) -> Option<JniInterface> {
+        match self {
+            Event::Acquire { interface }
+            | Event::Release { interface }
+            | Event::GuardDrop { interface } => Some(interface),
+            _ => None,
+        }
+    }
+
+    /// Packs into a nonzero `u64` (zero is the empty-slot sentinel in
+    /// the ring buffer): `[63:60]` kind, `[59:56]` subcode, `[31:0]`
+    /// payload.
+    pub(crate) fn encode(self) -> u64 {
+        let (kind, sub, payload): (u64, u64, u64) = match self {
+            Event::Acquire { interface } => (1, u64::from(interface.index()), 0),
+            Event::Release { interface } => (2, u64::from(interface.index()), 0),
+            Event::TagOp { op, granules } => {
+                let sub = match op {
+                    TagOp::Irg => 0,
+                    TagOp::Ldg => 1,
+                    TagOp::Stg => 2,
+                };
+                (3, sub, u64::from(granules))
+            }
+            Event::Fault { class } => (4, matches!(class, FaultClass::Async) as u64, 0),
+            Event::TcoToggle { checking_enabled } => (5, u64::from(checking_enabled), 0),
+            Event::GcScan { objects } => (6, 0, u64::from(objects)),
+            Event::GuardDrop { interface } => (7, u64::from(interface.index()), 0),
+        };
+        (kind << 60) | (sub << 56) | payload
+    }
+
+    /// Decodes a packed event; `None` for the empty sentinel or a word
+    /// torn by a concurrent overwrite (the drain skips those).
+    pub(crate) fn decode(word: u64) -> Option<Event> {
+        let kind = word >> 60;
+        let sub = ((word >> 56) & 0xF) as u8;
+        let payload = (word & 0xFFFF_FFFF) as u32;
+        match kind {
+            1 => Some(Event::Acquire {
+                interface: JniInterface::from_index(sub)?,
+            }),
+            2 => Some(Event::Release {
+                interface: JniInterface::from_index(sub)?,
+            }),
+            3 => {
+                let op = match sub {
+                    0 => TagOp::Irg,
+                    1 => TagOp::Ldg,
+                    2 => TagOp::Stg,
+                    _ => return None,
+                };
+                Some(Event::TagOp {
+                    op,
+                    granules: payload,
+                })
+            }
+            4 => Some(Event::Fault {
+                class: if sub == 1 {
+                    FaultClass::Async
+                } else {
+                    FaultClass::Sync
+                },
+            }),
+            5 => Some(Event::TcoToggle {
+                checking_enabled: sub == 1,
+            }),
+            6 => Some(Event::GcScan { objects: payload }),
+            7 => Some(Event::GuardDrop {
+                interface: JniInterface::from_index(sub)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// An event as returned from a drain, with its origin thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrainedEvent {
+    /// Name of the thread that recorded the event.
+    pub thread: String,
+    /// Per-thread sequence number (monotonic, gaps mean overwrites).
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let samples = [
+            Event::Acquire {
+                interface: JniInterface::PrimitiveArrayCritical,
+            },
+            Event::Release {
+                interface: JniInterface::StringUtfChars,
+            },
+            Event::TagOp {
+                op: TagOp::Stg,
+                granules: 12345,
+            },
+            Event::Fault {
+                class: FaultClass::Async,
+            },
+            Event::Fault {
+                class: FaultClass::Sync,
+            },
+            Event::TcoToggle {
+                checking_enabled: true,
+            },
+            Event::GcScan { objects: 77 },
+            Event::GuardDrop {
+                interface: JniInterface::ArrayElements,
+            },
+        ];
+        for e in samples {
+            let word = e.encode();
+            assert_ne!(word, 0, "{e:?} must not encode to the sentinel");
+            assert_eq!(Event::decode(word), Some(e));
+        }
+        assert_eq!(Event::decode(0), None);
+    }
+}

@@ -1,0 +1,233 @@
+//! Observability substrate for the MTE4JNI reproduction.
+//!
+//! Sits at the bottom of the workspace dependency stack (everything may
+//! depend on it, it depends on nothing) and provides four pieces:
+//!
+//! * **Events** — a lock-free per-thread ring buffer of structured
+//!   [`Event`]s (acquire/release per [`JniInterface`], `irg`/`ldg`/`stg`
+//!   tag ops, sync/async faults, `TCO` toggles, GC scan passes), merged
+//!   and drained on snapshot;
+//! * **Latency histograms** — log-bucketed (HDR-style) distributions
+//!   keyed by `(scheme, interface, payload-size-class, op)` with
+//!   p50/p90/p99/max summaries;
+//! * **Counters** — a process-wide named-counter registry that absorbs
+//!   `MteStats` and the per-scheme counters behind one [`Snapshot`];
+//! * **JSON** — a dependency-free writer/parser powering the bench
+//!   binaries' schema-versioned `BENCH_*.json` exports.
+//!
+//! # Cost model
+//!
+//! Recording is **off by default**: every entry point first checks one
+//! relaxed atomic. Benches that export JSON call [`set_enabled`]`(true)`;
+//! the paper-calibration hot paths (Fig. 5 no-protection baseline) leave
+//! it off and pay a branch-on-load per operation. High-frequency sources
+//! additionally honor a sampling period ([`set_sample_every`]); rare
+//! events (faults, GC passes, guard drops, `TCO` toggles) are never
+//! sampled away. Compiling with `--no-default-features` removes the
+//! recording bodies entirely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod hist;
+mod interface;
+pub mod json;
+mod ring;
+mod snapshot;
+
+pub use counters::{counters, CounterRegistry};
+pub use event::{DrainedEvent, Event, FaultClass, TagOp};
+pub use hist::{histogram, HistKey, LatencyHistogram, LatencyOp, SizeClass};
+pub use interface::JniInterface;
+pub use snapshot::{EventSummary, HistogramSummary, Snapshot, SCHEMA_VERSION};
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SAMPLE_EVERY: AtomicU32 = AtomicU32::new(1);
+
+/// Turns recording on or off process-wide (default: off).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled. Always `false` when the
+/// crate is built without the `telemetry` feature.
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "telemetry") && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records only every `n`-th high-frequency event/timing per thread
+/// (default 1 = record all). `0` behaves like 1. Rare events ignore
+/// this.
+pub fn set_sample_every(n: u32) {
+    SAMPLE_EVERY.store(n.max(1), Ordering::Relaxed);
+}
+
+thread_local! {
+    static SAMPLE_TICK: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// One sampling decision: true when this thread's tick hits the period.
+#[inline]
+fn sampled() -> bool {
+    let every = SAMPLE_EVERY.load(Ordering::Relaxed);
+    if every <= 1 {
+        return true;
+    }
+    SAMPLE_TICK.with(|t| {
+        let n = t.get().wrapping_add(1);
+        t.set(n);
+        n % every == 0
+    })
+}
+
+/// Records a high-frequency event (acquires, releases, tag ops). The
+/// closure only runs when telemetry is enabled and the sample fires, so
+/// call sites pay one load + one branch when disabled.
+#[inline]
+pub fn record(make: impl FnOnce() -> Event) {
+    #[cfg(feature = "telemetry")]
+    if enabled() && sampled() {
+        ring::push_local(make());
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = make;
+}
+
+/// Records a rare event (faults, GC scans, guard drops, `TCO` toggles):
+/// enabled-gated but never sampled away.
+#[inline]
+pub fn record_rare(make: impl FnOnce() -> Event) {
+    #[cfg(feature = "telemetry")]
+    if enabled() {
+        ring::push_local(make());
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = make;
+}
+
+/// Starts a latency measurement: `None` (skip the timing entirely) when
+/// telemetry is disabled or this operation is sampled out. Pair with
+/// [`record_latency`].
+#[inline]
+pub fn start_timing() -> Option<Instant> {
+    #[cfg(feature = "telemetry")]
+    if enabled() && sampled() {
+        return Some(Instant::now());
+    }
+    None
+}
+
+/// Records a latency sample into the `(scheme, interface, size-class,
+/// op)` histogram. Callers obtain `started` from [`start_timing`].
+pub fn record_latency(
+    scheme: &str,
+    interface: &'static str,
+    size_class: SizeClass,
+    op: LatencyOp,
+    started: Instant,
+) {
+    let elapsed = started.elapsed();
+    record_latency_duration(scheme, interface, size_class, op, elapsed);
+}
+
+/// As [`record_latency`], with an explicit duration.
+pub fn record_latency_duration(
+    scheme: &str,
+    interface: &'static str,
+    size_class: SizeClass,
+    op: LatencyOp,
+    elapsed: Duration,
+) {
+    #[cfg(feature = "telemetry")]
+    {
+        hist::histogram(HistKey {
+            scheme: scheme.to_owned(),
+            interface,
+            size_class,
+            op,
+        })
+        .record(elapsed);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (scheme, interface, size_class, op, elapsed);
+}
+
+/// Drains every thread's pending events (oldest-first per thread).
+pub fn drain_events() -> Vec<DrainedEvent> {
+    ring::drain_all()
+}
+
+/// Clears events, histograms, and counters — the boundary between two
+/// measured phases (benches call this after warm-up).
+pub fn reset() {
+    ring::reset_all();
+    hist::reset_all();
+    counters().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable flag and registries are process-global, so exercise the
+    // full pipeline in a single test rather than racing several.
+    #[test]
+    fn end_to_end_record_and_snapshot() {
+        reset();
+        // Disabled: nothing records, timing short-circuits.
+        set_enabled(false);
+        record(|| panic!("must not run while disabled"));
+        assert!(start_timing().is_none());
+
+        set_enabled(true);
+        set_sample_every(1);
+        record(|| Event::Acquire {
+            interface: JniInterface::PrimitiveArrayCritical,
+        });
+        record_rare(|| Event::Fault {
+            class: FaultClass::Sync,
+        });
+        let t0 = start_timing().expect("enabled");
+        record_latency("test-scheme", "PrimitiveArrayCritical", SizeClass::Small, LatencyOp::Acquire, t0);
+        counters().add("test.counter", 2);
+
+        let snap = Snapshot::collect();
+        assert_eq!(snap.schema_version, SCHEMA_VERSION);
+        assert_eq!(snap.counters["test.counter"], 2);
+        assert_eq!(snap.events.by_kind["acquire"], 1);
+        assert_eq!(snap.events.by_kind["fault_sync"], 1);
+        assert_eq!(snap.events.by_interface["PrimitiveArrayCritical"], 1);
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.op, LatencyOp::Acquire);
+
+        // Snapshot drained the stream; a new collect sees no events.
+        assert_eq!(Snapshot::collect().events.total, 0);
+
+        // Sampling: with a period of 3, 9 events record 3 times.
+        reset();
+        set_sample_every(3);
+        for _ in 0..9 {
+            record(|| Event::TagOp {
+                op: TagOp::Ldg,
+                granules: 1,
+            });
+        }
+        assert_eq!(drain_events().len(), 3);
+        // Rare events ignore the sampling period.
+        for _ in 0..4 {
+            record_rare(|| Event::GcScan { objects: 1 });
+        }
+        assert_eq!(drain_events().len(), 4);
+
+        set_sample_every(1);
+        set_enabled(false);
+        reset();
+    }
+}

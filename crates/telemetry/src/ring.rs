@@ -1,0 +1,203 @@
+//! Lock-free per-thread event rings with merge-on-snapshot draining.
+//!
+//! Each recording thread owns one [`EventRing`]: a fixed-size array of
+//! atomically written 64-bit slots plus a monotonically increasing head.
+//! The owning thread is the only writer (plain atomic stores, no CAS, no
+//! locks on the hot path); a snapshot thread may drain any ring at any
+//! time. A drain can race a wrap-around overwrite — torn slots decode to
+//! `None` and are counted as dropped, which is the usual ring-telemetry
+//! trade: recording never blocks, reading is best-effort.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::event::{DrainedEvent, Event};
+
+/// Slots per thread ring. Power of two; at the default sampling rate
+/// this holds the tail of tens of thousands of operations.
+const RING_CAP: usize = 1024;
+
+/// One thread's event ring.
+pub struct EventRing {
+    thread: String,
+    slots: Box<[AtomicU64]>,
+    /// Total events ever pushed (the next slot is `head % RING_CAP`).
+    head: AtomicU64,
+    /// Sequence number up to which a drain has already consumed.
+    drained: AtomicU64,
+    /// Events lost to wrap-around before a drain reached them.
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    fn new(thread: String) -> EventRing {
+        EventRing {
+            thread,
+            slots: (0..RING_CAP).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one event. Called only by the owning thread.
+    pub fn push(&self, event: Event) {
+        let seq = self.head.load(Ordering::Relaxed);
+        self.slots[(seq as usize) % RING_CAP].store(event.encode(), Ordering::Relaxed);
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Drains every event recorded since the previous drain, oldest
+    /// first. Events overwritten before this drain are counted, not
+    /// returned.
+    pub fn drain(&self, out: &mut Vec<DrainedEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        let already = self.drained.load(Ordering::Relaxed);
+        let start = already.max(head.saturating_sub(RING_CAP as u64));
+        if start > already {
+            self.dropped.fetch_add(start - already, Ordering::Relaxed);
+        }
+        for seq in start..head {
+            let word = self.slots[(seq as usize) % RING_CAP].load(Ordering::Relaxed);
+            match Event::decode(word) {
+                Some(event) => out.push(DrainedEvent {
+                    thread: self.thread.clone(),
+                    seq,
+                    event,
+                }),
+                // Torn by a concurrent overwrite (or the writer hasn't
+                // finished this slot): lost to the reader.
+                None => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.drained.store(head, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.head.store(0, Ordering::Relaxed);
+        self.drained.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        for s in self.slots.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// All rings ever created, for merge-on-snapshot. Rings are never
+/// removed: a thread's events must stay drainable after it exits.
+fn registry() -> &'static Mutex<Vec<Arc<EventRing>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<EventRing>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_RING: Arc<EventRing> = {
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{:?}", std::thread::current().id()), String::from);
+        let ring = Arc::new(EventRing::new(name));
+        registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Records `event` into the calling thread's ring.
+pub(crate) fn push_local(event: Event) {
+    LOCAL_RING.with(|ring| ring.push(event));
+}
+
+/// Merges and drains every thread's ring. Within one thread events come
+/// out oldest-first; across threads they are grouped by ring.
+pub(crate) fn drain_all() -> Vec<DrainedEvent> {
+    let rings = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        ring.drain(&mut out);
+    }
+    out
+}
+
+/// Total events lost to overwrites across all rings.
+pub(crate) fn dropped_total() -> u64 {
+    let rings = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    rings
+        .iter()
+        .map(|r| r.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Clears every ring (tests and bench warm-up).
+pub(crate) fn reset_all() {
+    let rings = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for ring in rings.iter() {
+        ring.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::JniInterface;
+
+    #[test]
+    fn push_then_drain_preserves_order() {
+        let ring = EventRing::new("t".into());
+        for i in 0..10 {
+            ring.push(Event::GcScan { objects: i });
+        }
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out.len(), 10);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.event, Event::GcScan { objects: i as u32 });
+        }
+        // A second drain sees nothing new.
+        let mut again = Vec::new();
+        ring.drain(&mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_them() {
+        let ring = EventRing::new("t".into());
+        let n = (RING_CAP + 100) as u32;
+        for i in 0..n {
+            ring.push(Event::GcScan { objects: i });
+        }
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out.len(), RING_CAP);
+        assert_eq!(ring.dropped.load(Ordering::Relaxed), 100);
+        assert_eq!(out.first().unwrap().event, Event::GcScan { objects: 100 });
+        assert_eq!(out.last().unwrap().event, Event::GcScan { objects: n - 1 });
+    }
+
+    #[test]
+    fn cross_thread_drain_sees_owner_events() {
+        let ring = Arc::new(EventRing::new("producer".into()));
+        let r2 = Arc::clone(&ring);
+        std::thread::spawn(move || {
+            r2.push(Event::Acquire {
+                interface: JniInterface::ArrayElements,
+            });
+        })
+        .join()
+        .unwrap();
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].thread, "producer");
+    }
+}

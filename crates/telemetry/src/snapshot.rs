@@ -1,0 +1,225 @@
+//! The unified observability snapshot: counters + histogram summaries +
+//! an event digest, with a schema-versioned JSON form.
+
+use std::collections::BTreeMap;
+
+use crate::event::DrainedEvent;
+use crate::hist::{HistKey, LatencyOp, SizeClass};
+use crate::json::JsonValue;
+
+/// Version of the JSON schema emitted by [`Snapshot::to_json`] and the
+/// bench `--json` exports. Bump on any breaking shape change and
+/// document the migration in DESIGN.md §8.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Percentile summary of one registered latency histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Protection scheme name.
+    pub scheme: String,
+    /// Interface (or trampoline-kind) label.
+    pub interface: &'static str,
+    /// Payload size class.
+    pub size_class: SizeClass,
+    /// Timed operation.
+    pub op: LatencyOp,
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean nanoseconds.
+    pub mean_ns: u64,
+    /// 50th-percentile bucket ceiling, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile bucket ceiling, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile bucket ceiling, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Raw log2 bucket counts.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSummary {
+    fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.insert("scheme", self.scheme.as_str())
+            .insert("interface", self.interface)
+            .insert("size_class", self.size_class.label())
+            .insert("op", self.op.label())
+            .insert("count", self.count)
+            .insert("mean_ns", self.mean_ns)
+            .insert("p50_ns", self.p50_ns)
+            .insert("p90_ns", self.p90_ns)
+            .insert("p99_ns", self.p99_ns)
+            .insert("max_ns", self.max_ns)
+            .insert(
+                "buckets_log2",
+                JsonValue::Array(self.buckets.iter().map(|&b| JsonValue::U64(b)).collect()),
+            );
+        o
+    }
+}
+
+/// Digest of the drained event stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EventSummary {
+    /// Events drained into this snapshot.
+    pub total: u64,
+    /// Events lost to ring overwrites (process lifetime).
+    pub dropped: u64,
+    /// Count per event-kind label.
+    pub by_kind: BTreeMap<String, u64>,
+    /// Acquire/release/guard-drop count per interface label.
+    pub by_interface: BTreeMap<String, u64>,
+}
+
+impl EventSummary {
+    /// Builds a digest from drained events plus the global drop count.
+    pub fn from_events(events: &[DrainedEvent], dropped: u64) -> EventSummary {
+        let mut by_kind = BTreeMap::new();
+        let mut by_interface = BTreeMap::new();
+        for e in events {
+            *by_kind.entry(e.event.kind_label().to_owned()).or_insert(0) += 1;
+            if let Some(iface) = e.event.interface() {
+                *by_interface.entry(iface.label().to_owned()).or_insert(0) += 1;
+            }
+        }
+        EventSummary {
+            total: events.len() as u64,
+            dropped,
+            by_kind,
+            by_interface,
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.insert("total", self.total)
+            .insert("dropped", self.dropped)
+            .insert("by_kind", JsonValue::from(&self.by_kind))
+            .insert("by_interface", JsonValue::from(&self.by_interface));
+        o
+    }
+}
+
+/// One coherent view of everything the telemetry layer knows: the
+/// counter registry, every latency histogram, and a digest of the event
+/// stream drained at collection time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// The JSON schema version this snapshot serializes as.
+    pub schema_version: u32,
+    /// All named counters, sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// All latency histograms, sorted by key.
+    pub histograms: Vec<HistogramSummary>,
+    /// Event-stream digest.
+    pub events: EventSummary,
+}
+
+impl Snapshot {
+    /// Collects the process-wide snapshot. Drains pending ring events:
+    /// collecting is consuming for the event stream (counters and
+    /// histograms are cumulative and unaffected).
+    pub fn collect() -> Snapshot {
+        let events = crate::ring::drain_all();
+        let histograms = crate::hist::all_histograms()
+            .into_iter()
+            .map(|(key, h)| summarize(&key, &h))
+            .collect();
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            counters: crate::counters().snapshot(),
+            histograms,
+            events: EventSummary::from_events(&events, crate::ring::dropped_total()),
+        }
+    }
+
+    /// The schema-versioned JSON form.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.insert("schema_version", self.schema_version)
+            .insert("counters", JsonValue::from(&self.counters))
+            .insert(
+                "histograms",
+                JsonValue::Array(self.histograms.iter().map(HistogramSummary::to_json).collect()),
+            )
+            .insert("events", self.events.to_json());
+        o
+    }
+}
+
+fn summarize(key: &HistKey, h: &crate::hist::LatencyHistogram) -> HistogramSummary {
+    HistogramSummary {
+        scheme: key.scheme.clone(),
+        interface: key.interface,
+        size_class: key.size_class,
+        op: key.op,
+        count: h.count(),
+        mean_ns: h.mean_ns(),
+        p50_ns: h.quantile_ns(0.50),
+        p90_ns: h.quantile_ns(0.90),
+        p99_ns: h.quantile_ns(0.99),
+        max_ns: h.max_ns(),
+        buckets: h.bucket_counts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::interface::JniInterface;
+
+    #[test]
+    fn event_summary_counts_kinds_and_interfaces() {
+        let events = vec![
+            DrainedEvent {
+                thread: "t".into(),
+                seq: 0,
+                event: Event::Acquire {
+                    interface: JniInterface::ArrayElements,
+                },
+            },
+            DrainedEvent {
+                thread: "t".into(),
+                seq: 1,
+                event: Event::Release {
+                    interface: JniInterface::ArrayElements,
+                },
+            },
+            DrainedEvent {
+                thread: "t".into(),
+                seq: 2,
+                event: Event::GcScan { objects: 3 },
+            },
+        ];
+        let s = EventSummary::from_events(&events, 7);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.dropped, 7);
+        assert_eq!(s.by_kind["acquire"], 1);
+        assert_eq!(s.by_kind["gc_scan"], 1);
+        assert_eq!(s.by_interface["ArrayElements"], 2);
+    }
+
+    #[test]
+    fn snapshot_json_has_the_schema_version() {
+        let snap = Snapshot {
+            schema_version: SCHEMA_VERSION,
+            counters: BTreeMap::from([("a.b".to_owned(), 3u64)]),
+            histograms: vec![],
+            events: EventSummary::default(),
+        };
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("schema_version").and_then(JsonValue::as_u64),
+            Some(u64::from(SCHEMA_VERSION))
+        );
+        let text = json.to_pretty_string();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("counters").and_then(|c| c.get("a.b")).and_then(JsonValue::as_u64),
+            Some(3)
+        );
+    }
+}

@@ -12,13 +12,13 @@ fn buggy_native_method(vm: &Vm) -> Result<(), JniError> {
     let env = vm.env(&thread);
     let array = env.new_int_array(18)?;
     env.call_native("test_ofb", NativeKind::Normal, |env| {
-        let elems = env.get_primitive_array_critical(&array)?;
-        let mem = env.native_mem();
+        let guard = env.critical(&array)?;
+        let mem = guard.mem();
         // The bug: the original Java object is an array of 18 integers,
         // but the native code writes into it with the index of 21.
-        elems.write_i32(&mem, 21, 0x0BAD_F00D)?;
+        guard.array().write_i32(&mem, 21, 0x0BAD_F00D)?;
         env.log("wrote results")?; // ← first syscall after the corruption
-        env.release_primitive_array_critical(&array, elems, ReleaseMode::CopyBack)
+        guard.commit(ReleaseMode::CopyBack).map(drop)
     })
 }
 

@@ -16,34 +16,36 @@ fn main() {
     let prices = env.new_int_array_from(&[120, 250, 310, 99]).expect("alloc");
 
     // 3. Correct native code works exactly as before — it receives a
-    //    *tagged* pointer and every access is hardware-checked.
+    //    *tagged* pointer and every access is hardware-checked. The
+    //    `critical` guard pairs the Get/Release calls automatically.
     let total = env
         .call_native("sum_prices", NativeKind::Normal, |env| {
-            let elems = env.get_primitive_array_critical(&prices)?;
+            let guard = env.critical(&prices)?;
             println!(
                 "native code received pointer {} (tag {})",
-                elems.ptr(),
-                elems.ptr().tag()
+                guard.ptr(),
+                guard.ptr().tag()
             );
-            let mem = env.native_mem();
+            let mem = guard.mem();
             let mut total = 0;
-            for i in 0..elems.len() as isize {
-                total += elems.read_i32(&mem, i)?;
+            for i in 0..guard.array().len() as isize {
+                total += guard.array().read_i32(&mem, i)?;
             }
-            env.release_primitive_array_critical(&prices, elems, ReleaseMode::CopyBack)?;
+            guard.commit(ReleaseMode::CopyBack)?;
             Ok(total)
         })
         .expect("in-bounds native code runs unchanged");
     println!("sum computed by native code: {total}");
     assert_eq!(total, 779);
 
-    // 4. Buggy native code is caught at the exact faulting access.
+    // 4. Buggy native code is caught at the exact faulting access; the
+    //    early return drops the guard, which releases the borrow for us.
     let err = env
         .call_native("buggy_write", NativeKind::Normal, |env| {
-            let elems = env.get_primitive_array_critical(&prices)?;
-            let mem = env.native_mem();
-            elems.write_i32(&mem, 7, 0)?; // index 7 of a 4-element array!
-            env.release_primitive_array_critical(&prices, elems, ReleaseMode::CopyBack)
+            let guard = env.critical(&prices)?;
+            let mem = guard.mem();
+            guard.array().write_i32(&mem, 7, 0)?; // index 7 of a 4-element array!
+            guard.commit(ReleaseMode::CopyBack).map(drop)
         })
         .expect_err("the out-of-bounds write must fault");
     let fault = err.as_tag_check().expect("an MTE tag-check fault");

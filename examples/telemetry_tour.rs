@@ -1,0 +1,65 @@
+//! A tour of the telemetry layer: turn it on, drive some JNI traffic
+//! through an MTE4JNI VM (including one caught out-of-bounds write), and
+//! print the resulting schema-versioned snapshot — the same document the
+//! bench binaries attach to `BENCH_<name>.json` under `--json`.
+//!
+//! Run with `cargo run --example telemetry_tour`.
+
+use mte4jni_repro::prelude::*;
+
+fn main() {
+    // Telemetry is compiled in (feature "telemetry", on by default) but
+    // recording is off until enabled. `set_sample_every(1)` records every
+    // eligible event; production-style use would sample, e.g. every 64th.
+    telemetry::set_enabled(true);
+    telemetry::set_sample_every(1);
+
+    let vm = mte4jni::mte4jni_vm(TcfMode::Sync, Mte4JniConfig::default());
+    let thread = vm.attach_thread("tour");
+    let env = vm.env(&thread);
+
+    // Array traffic through two interfaces: the critical borrow (via the
+    // RAII guard) and the copying elements interface.
+    let a = env.new_int_array_from(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+    env.call_native("sum", NativeKind::Normal, |env| {
+        let guard = env.critical(&a)?;
+        let mem = guard.mem();
+        let mut total = 0i64;
+        for i in 0..guard.array().len() as isize {
+            total += i64::from(guard.array().read_i32(&mem, i)?);
+        }
+        guard.commit(ReleaseMode::CopyBack)?;
+        Ok(total)
+    })
+    .unwrap();
+    let elems = env.get_int_array_elements(&a).unwrap();
+    env.release_int_array_elements(&a, elems, ReleaseMode::Abort).unwrap();
+
+    // String traffic, and one out-of-bounds write that the sync MTE
+    // check catches — it shows up as a `fault_sync` event below.
+    let s = env.new_string("telemetry").unwrap();
+    let chars = env.get_string_critical(&s).unwrap();
+    env.release_string_critical(&s, chars).unwrap();
+    env.call_native("oob", NativeKind::Normal, |env| {
+        let guard = env.critical(&a)?;
+        let mem = guard.mem();
+        assert!(guard.array().write_i32(&mem, 64, 0).is_err(), "caught");
+        guard.abort()
+    })
+    .unwrap();
+
+    // One snapshot gathers everything: per-thread event rings are merged
+    // and drained, the scheme's counters are published into the registry,
+    // and latency histograms report p50/p90/p99 per
+    // (scheme, interface, size class).
+    let snapshot = vm.telemetry_snapshot();
+    println!("{}", snapshot.to_json().to_pretty_string());
+
+    eprintln!(
+        "-- {} events ({} kinds), {} counters, {} histograms --",
+        snapshot.events.total,
+        snapshot.events.by_kind.len(),
+        snapshot.counters.len(),
+        snapshot.histograms.len(),
+    );
+}

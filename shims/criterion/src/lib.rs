@@ -1,0 +1,227 @@
+//! Offline stand-in for the subset of `criterion` the benches use.
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` call surface
+//! with a deliberately simple measurement loop: per benchmark it
+//! auto-scales the iteration count until one sample takes ≥ 1 ms, takes
+//! `sample_size` samples, and reports the minimum, mean, and maximum
+//! per-iteration time. No statistical analysis, plots, or baselines —
+//! the harness binaries under `crates/bench/src/bin` are the primary
+//! measurement path; these benches are spot checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark identifier: `BenchmarkId::new("scheme", 4096)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::calibrated(&mut f);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            samples.push(bencher.per_iter());
+        }
+        report(&self.name, &id.into_id(), &samples);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; groups need no teardown).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples
+        .iter()
+        .sum::<Duration>()
+        .checked_div(samples.len() as u32)
+        .unwrap_or_default();
+    println!("{group}/{id}: min {min:>12.3?}  mean {mean:>12.3?}  max {max:>12.3?}");
+}
+
+/// The measurement handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Runs `f` once in calibration mode to pick an iteration count where
+    /// a sample lasts ≥ 1 ms (capped so tiny bodies still finish fast).
+    fn calibrated<F: FnMut(&mut Bencher)>(f: &mut F) -> Bencher {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            calibrating: true,
+        };
+        loop {
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(1) || b.iters >= 1 << 20 {
+                b.calibrating = false;
+                return b;
+            }
+            b.iters *= 8;
+        }
+    }
+
+    /// Times `routine`, running it a calibrated number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    fn per_iter(&self) -> Duration {
+        debug_assert!(!self.calibrating);
+        self.elapsed
+            .checked_div(self.iters.max(1) as u32)
+            .unwrap_or_default()
+    }
+}
+
+/// Prevents the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; nothing to parse.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the subset of `rand` 0.8 the workloads use:
+//! `StdRng::seed_from_u64`, `gen_range` over integer ranges, and
+//! `gen_ratio`.
+//!
+//! The generator is a splitmix64 core — statistically fine for synthetic
+//! workload data, deterministic for a given seed, and dependency-free.
+//! The stream differs from upstream `rand`'s ChaCha-based `StdRng`; the
+//! workspace never relies on a specific stream, only on per-seed
+//! determinism (kernels and their oracles consume the same generated
+//! data within one process).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on an empty range,
+    /// like upstream `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds_inclusive();
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = (hi - lo) as u128 + 1;
+        let v = (self.next_u64() as u128) % span;
+        T::from_i128(lo + v as i128)
+    }
+
+    /// Returns true with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        (self.next_u64() % u64::from(denominator)) < u64::from(numerator)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// The raw entropy source.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Copy {
+    /// Widens to `i128` (every integer type in use fits).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; the value is always in the type's range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// The inclusive `(low, high)` bounds, widened to `i128`.
+    fn bounds_inclusive(self) -> (i128, i128);
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn bounds_inclusive(self) -> (i128, i128) {
+        (self.start.to_i128(), self.end.to_i128() - 1)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn bounds_inclusive(self) -> (i128, i128) {
+        (self.start().to_i128(), self.end().to_i128())
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: a splitmix64 stream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood): full 64-bit period, passes
+            // BigCrush, and one addition + two xor-shift-multiplies per draw.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-8i32..=8);
+            assert!((-8..=8).contains(&v));
+            let b = rng.gen_range(b'0'..=b'9');
+            assert!(b.is_ascii_digit());
+            let u = rng.gen_range(0usize..13);
+            assert!(u < 13);
+        }
+    }
+
+    #[test]
+    fn gen_ratio_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 8)).count();
+        assert!((900..1600).contains(&hits), "1/8 ratio wildly off: {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end per-interface telemetry attribution for one MTE4JNI OOB
+//! scenario: acquire → tag ops → sync fault → release, all visible in a
+//! single [`telemetry::Snapshot`] keyed by `JniInterface`.
+//!
+//! Telemetry state is process-global (per-thread rings, one counter
+//! registry), so this file holds exactly one test: sharing a binary with
+//! other telemetry-enabling tests would race on the rings and counters.
+
+use mte4jni_repro::prelude::*;
+
+#[test]
+fn oob_scenario_attributes_events_to_primitive_array_critical() {
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    telemetry::set_sample_every(1);
+
+    let vm = Scheme::Mte4JniSync.build_vm();
+    let thread = vm.attach_thread("attribution");
+    let env = vm.env(&thread);
+    let a = env.new_int_array_from(&[1, 2, 3, 4]).unwrap();
+
+    env.call_native("oob", NativeKind::Normal, |env| {
+        let elems = env.get_primitive_array_critical(&a)?;
+        let mem = env.native_mem();
+        elems.write_i32(&mem, 0, 7)?; // in bounds: tag check passes
+        let oob = elems.write_i32(&mem, 100, 9); // 400 B past the end
+        assert!(oob.is_err(), "sync MTE faults on the spot");
+        env.release_primitive_array_critical(&a, elems, ReleaseMode::Abort)?;
+        Ok(())
+    })
+    .unwrap();
+
+    let snap = vm.telemetry_snapshot();
+    assert_eq!(snap.schema_version, telemetry::SCHEMA_VERSION);
+
+    // Interface attribution: the borrow opened and closed under
+    // PrimitiveArrayCritical.
+    let by_if = &snap.events.by_interface;
+    assert!(
+        by_if["PrimitiveArrayCritical"] >= 2,
+        "acquire + release both attributed: {by_if:?}"
+    );
+
+    // Event kinds: the whole causal chain is visible in one snapshot.
+    let kinds = &snap.events.by_kind;
+    assert!(kinds["acquire"] >= 1);
+    assert!(kinds["release"] >= 1);
+    assert!(
+        kinds.get("irg").copied().unwrap_or(0) >= 1,
+        "acquire drew a random tag: {kinds:?}"
+    );
+    assert!(
+        kinds.get("stg").copied().unwrap_or(0) >= 1,
+        "tags were written to granules: {kinds:?}"
+    );
+    assert!(
+        kinds["fault_sync"] >= 1,
+        "the OOB write tripped a synchronous fault: {kinds:?}"
+    );
+
+    // Scheme counters flow through the shared registry under one prefix.
+    assert!(snap.counters["scheme.mte4jni.acquires"] >= 1);
+    assert!(snap.counters["scheme.mte4jni.releases"] >= 1);
+    assert!(snap.counters["scheme.mte4jni.mte.sync_faults"] >= 1);
+    assert!(snap.counters["scheme.mte4jni.table_lock_acquisitions"] >= 1);
+
+    // Latency histograms are keyed by (scheme, interface, size class).
+    assert!(
+        snap.histograms
+            .iter()
+            .any(|h| h.scheme == "mte4jni" && h.interface == "PrimitiveArrayCritical"),
+        "histogram keyed to the interface: {:?}",
+        snap.histograms
+            .iter()
+            .map(|h| (&h.scheme, &h.interface))
+            .collect::<Vec<_>>()
+    );
+
+    telemetry::set_enabled(false);
+    telemetry::reset();
+}
