@@ -21,11 +21,27 @@ else
     echo "clippy not installed; skipping lint stage"
 fi
 
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+echo "== deterministic stress (fixed seed) =="
+# Fixed-seed schedule sweep over all three schemes with fault injection,
+# plus the mutation self-check: the run fails unless the harness catches
+# the deliberately broken tables (DESIGN.md §9). Fast: a few seconds.
+stress_flags=(--seed 0xC1 --schedules 120 --fault-ppm 2000 --self-check)
+cargo run --offline -q -p stress --bin stress -- \
+    "${stress_flags[@]}" --json "$out/stress1"
+test -s "$out/stress1/STRESS.json"
+# Bit-reproducibility: the identical invocation must produce an
+# identical report (traces are seeded; the JSON carries no timestamps).
+cargo run --offline -q -p stress --bin stress -- \
+    "${stress_flags[@]}" --json "$out/stress2" >/dev/null
+cmp "$out/stress1/STRESS.json" "$out/stress2/STRESS.json"
+echo "STRESS.json bit-reproducible across runs"
+
 echo "== bench JSON sanity =="
 # A fast fig5 run must emit a parseable, schema-versioned report whose
 # summary carries the headline ratios (README "Regenerating" section).
-out="$(mktemp -d)"
-trap 'rm -rf "$out"' EXIT
 cargo run --offline -q -p bench --bin fig5 -- \
     --repeats 1 --max-pow 4 --json "$out" >/dev/null
 test -s "$out/BENCH_fig5.json"

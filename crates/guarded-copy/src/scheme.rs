@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+// Via the `sync` facade so the stress harness can schedule around the
+// shadow-ledger lock; plain `parking_lot` in release builds.
+use mte_sim::sync::Mutex;
 
 use jni_rt::{AbortReport, AcquireOutcome, JniContext, JniError, Protection, ReleaseMode};
 use mte_sim::{Backtrace, Frame, TaggedPtr};
@@ -77,6 +79,12 @@ impl GuardedCopy {
     /// The active configuration.
     pub fn config(&self) -> GuardedCopyConfig {
         self.config
+    }
+
+    /// Number of live shadow copies (outstanding acquisitions) — the
+    /// stress harness's quiescence oracle.
+    pub fn tracked_shadows(&self) -> usize {
+        self.shadows.lock().len()
     }
 
     /// Operation counters.

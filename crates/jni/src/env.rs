@@ -487,14 +487,34 @@ impl<'a> JniEnv<'a> {
             mte.set_tco(false); // enable tag checking for the native section
             telemetry::record_rare(|| Event::TcoToggle { checking_enabled: true });
         }
+        // Undo the transitions from a drop guard so a panic inside `body`
+        // (unwinding past live `CriticalGuard`s, which auto-release) still
+        // restores `TCO` and the managed state, in the same order as a
+        // normal return.
+        struct Restore<'e, 'a> {
+            env: &'e JniEnv<'a>,
+            tco_control: bool,
+            transitions: bool,
+        }
+        impl Drop for Restore<'_, '_> {
+            fn drop(&mut self) {
+                let mte = self.env.thread.mte();
+                if self.tco_control {
+                    mte.set_tco(true); // back to unchecked managed execution
+                    telemetry::record_rare(|| Event::TcoToggle { checking_enabled: false });
+                }
+                if self.transitions {
+                    self.env.thread.transition_to_managed();
+                }
+            }
+        }
+        let restore = Restore {
+            env: self,
+            tco_control,
+            transitions: kind.transitions_state(),
+        };
         let result = body(self);
-        if tco_control {
-            mte.set_tco(true); // back to unchecked managed execution
-            telemetry::record_rare(|| Event::TcoToggle { checking_enabled: false });
-        }
-        if kind.transitions_state() {
-            self.thread.transition_to_managed();
-        }
+        drop(restore);
         drop(frame);
         // The return transition is the first kernel entry after native
         // code ran: surface any latched asynchronous fault here.

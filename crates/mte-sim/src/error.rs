@@ -30,6 +30,13 @@ pub enum MemError {
         /// Requested allocation size.
         requested: usize,
     },
+    /// A fault injected by the stress harness (`stress-hooks` builds
+    /// only; the variant exists unconditionally so matches stay
+    /// exhaustive across feature sets).
+    Injected {
+        /// Label of the operation the fault was injected into.
+        point: &'static str,
+    },
 }
 
 impl MemError {
@@ -54,6 +61,9 @@ impl fmt::Display for MemError {
             MemError::TagCheck(fault) => write!(f, "tag check fault: {fault}"),
             MemError::OutOfNativeMemory { requested } => {
                 write!(f, "simulated native allocator cannot satisfy {requested} bytes")
+            }
+            MemError::Injected { point } => {
+                write!(f, "injected fault at {point}")
             }
         }
     }
@@ -84,6 +94,7 @@ mod tests {
             MemError::OutOfRange { addr: 0x10, len: 4 }.to_string(),
             MemError::NotProtMte { addr: 0x10 }.to_string(),
             MemError::OutOfNativeMemory { requested: 64 }.to_string(),
+            MemError::Injected { point: "stg" }.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");

@@ -1,0 +1,199 @@
+//! Seeded fault injection for the simulator (`stress-hooks` builds
+//! only).
+//!
+//! The stress harness (`crates/stress`) installs a per-thread
+//! [`FaultPlan`] + seed before running a workload; the simulator then
+//! consults [`should_fail`] (crate-internal) at five points — `irg`
+//! tag-pool exhaustion, `ldg`/`stg` faults, native-allocation failure,
+//! and spurious tag-check faults — and forces the corresponding error
+//! path. Decisions come from a thread-local xorshift64* stream seeded
+//! from `(schedule seed, participant index)`, so the fault pattern a
+//! thread sees is deterministic regardless of how the scheduler
+//! interleaves it with other threads. Every injected fault bumps a
+//! shared [`InjectCounters`] slot and emits a
+//! [`telemetry::Event::InjectedFault`] so snapshots can attribute the
+//! failure to the injector rather than the scheme under test.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use telemetry::InjectPoint;
+
+/// Per-point injection rates in parts-per-million of eligible
+/// operations. Zero (the default) disables the point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `irg` returns the excluded zero tag.
+    pub irg_exhaust_ppm: u32,
+    /// `ldg` fails with [`MemError::Injected`](crate::MemError::Injected).
+    pub ldg_fail_ppm: u32,
+    /// `stg`/`st2g`/`set_tag_range` fail.
+    pub stg_fail_ppm: u32,
+    /// `NativeAllocator::alloc` reports arena exhaustion.
+    pub alloc_fail_ppm: u32,
+    /// A checked access faults despite matching tags.
+    pub spurious_check_ppm: u32,
+}
+
+impl FaultPlan {
+    /// The same rate at every injection point.
+    pub fn uniform(ppm: u32) -> FaultPlan {
+        FaultPlan {
+            irg_exhaust_ppm: ppm,
+            ldg_fail_ppm: ppm,
+            stg_fail_ppm: ppm,
+            alloc_fail_ppm: ppm,
+            spurious_check_ppm: ppm,
+        }
+    }
+
+    fn rate(&self, point: InjectPoint) -> u32 {
+        match point {
+            InjectPoint::Irg => self.irg_exhaust_ppm,
+            InjectPoint::Ldg => self.ldg_fail_ppm,
+            InjectPoint::Stg => self.stg_fail_ppm,
+            InjectPoint::Alloc => self.alloc_fail_ppm,
+            InjectPoint::Check => self.spurious_check_ppm,
+        }
+    }
+}
+
+/// Shared tally of injected faults, one slot per [`InjectPoint`].
+#[derive(Debug, Default)]
+pub struct InjectCounters {
+    counts: [AtomicU64; InjectPoint::ALL.len()],
+}
+
+impl InjectCounters {
+    /// Faults injected at `point` so far.
+    pub fn get(&self, point: InjectPoint) -> u64 {
+        self.counts[point.index() as usize].load(Ordering::Relaxed)
+    }
+
+    /// Faults injected across all points.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    fn bump(&self, point: InjectPoint) {
+        self.counts[point.index() as usize].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Injector {
+    plan: FaultPlan,
+    rng: u64,
+    counters: Arc<InjectCounters>,
+}
+
+thread_local! {
+    static INJECTOR: RefCell<Option<Injector>> = const { RefCell::new(None) };
+}
+
+/// Arms fault injection on the calling thread. `seed` is mixed through
+/// splitmix64 so correlated seeds (e.g. `base + thread index`) still
+/// yield independent streams.
+pub fn install(plan: FaultPlan, seed: u64, counters: Arc<InjectCounters>) {
+    let rng = splitmix64(seed) | 1; // xorshift state must be nonzero
+    INJECTOR.with(|i| {
+        *i.borrow_mut() = Some(Injector {
+            plan,
+            rng,
+            counters,
+        });
+    });
+}
+
+/// Disarms fault injection on the calling thread.
+pub fn clear() {
+    INJECTOR.with(|i| *i.borrow_mut() = None);
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// One injection decision at `point`; bumps the counters and emits the
+/// telemetry event when it fires. `false` whenever no injector is
+/// installed on this thread.
+pub(crate) fn should_fail(point: InjectPoint) -> bool {
+    INJECTOR.with(|i| {
+        let mut slot = i.borrow_mut();
+        let Some(inj) = slot.as_mut() else {
+            return false;
+        };
+        let rate = inj.plan.rate(point);
+        if rate == 0 {
+            return false;
+        }
+        let draw = xorshift64star(&mut inj.rng) % 1_000_000;
+        if draw < u64::from(rate) {
+            inj.counters.bump(point);
+            telemetry::record_rare(|| telemetry::Event::InjectedFault { point });
+            true
+        } else {
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_thread_never_fails() {
+        clear();
+        for _ in 0..100 {
+            assert!(!should_fail(InjectPoint::Ldg));
+        }
+    }
+
+    #[test]
+    fn rates_are_deterministic_and_roughly_proportional() {
+        let counters = Arc::new(InjectCounters::default());
+        install(FaultPlan::uniform(200_000), 42, counters.clone());
+        let hits: Vec<bool> = (0..1000).map(|_| should_fail(InjectPoint::Stg)).collect();
+        clear();
+        let n = hits.iter().filter(|&&h| h).count() as u64;
+        assert_eq!(counters.get(InjectPoint::Stg), n);
+        assert_eq!(counters.total(), n);
+        // ~20% rate over 1000 draws: allow a generous band.
+        assert!((100..350).contains(&(n as usize)), "hit count {n}");
+
+        // Same seed, same plan => identical decision stream.
+        install(
+            FaultPlan::uniform(200_000),
+            42,
+            Arc::new(InjectCounters::default()),
+        );
+        let replay: Vec<bool> = (0..1000).map(|_| should_fail(InjectPoint::Stg)).collect();
+        clear();
+        assert_eq!(hits, replay);
+    }
+
+    #[test]
+    fn zero_rate_point_never_fires() {
+        let plan = FaultPlan {
+            ldg_fail_ppm: 500_000,
+            ..FaultPlan::default()
+        };
+        install(plan, 7, Arc::new(InjectCounters::default()));
+        let any_irg = (0..500).any(|_| should_fail(InjectPoint::Irg));
+        clear();
+        assert!(!any_irg);
+    }
+}

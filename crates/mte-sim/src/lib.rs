@@ -52,10 +52,13 @@
 
 mod error;
 mod fault;
+#[cfg(feature = "stress-hooks")]
+pub mod inject;
 mod memory;
 mod nalloc;
 mod pointer;
 mod stats;
+pub mod sync;
 mod tag;
 mod thread;
 

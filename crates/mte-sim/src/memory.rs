@@ -176,6 +176,10 @@ impl TaggedMemory {
         if !t.checks_enabled() {
             return Ok(());
         }
+        #[cfg(feature = "stress-hooks")]
+        if crate::inject::should_fail(crate::inject::InjectPoint::Check) {
+            return Err(MemError::Injected { point: "tag-check" });
+        }
         let ptag = ptr.tag();
         let first = offset / GRANULE;
         let last = (offset + len.max(1) - 1) / GRANULE;
@@ -435,6 +439,13 @@ impl TaggedMemory {
     pub fn irg(&self, t: &MteThread, exclusion: TagExclusion) -> Tag {
         self.stats.count_irg();
         telemetry::record(|| Event::TagOp { op: TagOp::Irg, granules: 1 });
+        #[cfg(feature = "stress-hooks")]
+        if crate::inject::should_fail(crate::inject::InjectPoint::Irg) {
+            // Tag-pool exhaustion: the generator falls back to the
+            // always-excluded zero tag, as real irg does when the
+            // exclusion mask covers all 16 tags.
+            return Tag::UNTAGGED;
+        }
         t.irg(exclusion)
     }
 
@@ -447,6 +458,10 @@ impl TaggedMemory {
     /// [`MemError::OutOfRange`] outside the region.
     pub fn ldg(&self, ptr: TaggedPtr) -> Result<Tag> {
         let offset = self.offset_of(ptr.granule_base(), GRANULE)?;
+        #[cfg(feature = "stress-hooks")]
+        if crate::inject::should_fail(crate::inject::InjectPoint::Ldg) {
+            return Err(MemError::Injected { point: "ldg" });
+        }
         self.stats.count_ldg();
         telemetry::record(|| Event::TagOp { op: TagOp::Ldg, granules: 1 });
         if !self.page_is_mte(offset) {
@@ -465,6 +480,10 @@ impl TaggedMemory {
         let offset = self.offset_of(ptr.granule_base(), GRANULE)?;
         if !self.page_is_mte(offset) {
             return Err(MemError::NotProtMte { addr: ptr.addr() });
+        }
+        #[cfg(feature = "stress-hooks")]
+        if crate::inject::should_fail(crate::inject::InjectPoint::Stg) {
+            return Err(MemError::Injected { point: "stg" });
         }
         self.stats.count_stg(1);
         telemetry::record(|| Event::TagOp { op: TagOp::Stg, granules: 1 });
@@ -512,6 +531,10 @@ impl TaggedMemory {
         }
         let len = (end - start) as usize;
         let offset = self.offset_of(start, len)?;
+        #[cfg(feature = "stress-hooks")]
+        if crate::inject::should_fail(crate::inject::InjectPoint::Stg) {
+            return Err(MemError::Injected { point: "stg" });
+        }
         let first = offset / GRANULE;
         let last = (offset + len - 1) / GRANULE;
         for g in first..=last {

@@ -80,6 +80,10 @@ impl NativeAllocator {
     ///
     /// [`MemError::OutOfNativeMemory`] when no free block is large enough.
     pub fn alloc(&self, len: usize) -> Result<TaggedPtr> {
+        #[cfg(feature = "stress-hooks")]
+        if crate::inject::should_fail(crate::inject::InjectPoint::Alloc) {
+            return Err(MemError::OutOfNativeMemory { requested: len });
+        }
         let want = Self::block_size(len);
         let mut free = self.free.lock();
         let idx = free

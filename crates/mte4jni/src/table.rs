@@ -6,8 +6,10 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
+// The `sync` facade is plain `parking_lot` in release builds; under the
+// `stress-hooks` feature every lock operation becomes a schedule point
+// for the deterministic scheduler in `crates/stress` (DESIGN.md §9).
+use mte_sim::sync::Mutex;
 use mte_sim::{MteThread, Tag, TagExclusion, TaggedMemory, TaggedPtr, GRANULE};
 
 /// Multiply-shift hasher for object start addresses — the keys are
@@ -269,13 +271,22 @@ impl TagTable for TwoTierTable {
                 drop(obj);
                 self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
                 let mut t = table.lock();
-                if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry)) {
+                if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry))
+                    && entry.lock().dead
+                {
+                    // Re-check `dead` under both locks: between observing
+                    // the dead flag and getting here, the entry may have
+                    // been removed, pooled, and recycled *for this same
+                    // address* — `ptr_eq` alone would then remove a live
+                    // entry out from under its borrowers (ABA).
                     t.map.remove(&addr);
                 }
                 continue;
             }
-            obj.reference_num += 1;
-            let shared = obj.reference_num > 1;
+            // The fallible tag work runs *before* the count increment, so
+            // a failure (including an injected one) leaves the count — and
+            // therefore the table — unchanged.
+            let shared = obj.reference_num > 0;
             let tag = if shared {
                 // Load the existing memory tag (ldg) — concurrent threads
                 // share the same tag (§3.1.1).
@@ -306,10 +317,30 @@ impl TagTable for TwoTierTable {
                     }
                 }
                 let tag = mem.irg(thread, exclusion);
-                mem.set_tag_range(begin, end, tag)?;
+                if let Err(e) = mem.set_tag_range(begin, end, tag) {
+                    // Withdraw the entry inserted above so a failed first
+                    // acquire leaves no tracked object behind.
+                    obj.dead = true;
+                    drop(obj);
+                    self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+                    let mut t = table.lock();
+                    // Same ABA re-check as the retry path: only withdraw
+                    // the mapping if the entry is still the dead one we
+                    // marked, not a recycled live reincarnation.
+                    if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry))
+                        && entry.lock().dead
+                    {
+                        t.map.remove(&addr);
+                        if t.pool.len() < POOL_CAP {
+                            t.pool.push(Arc::clone(&entry));
+                        }
+                    }
+                    return Err(e);
+                }
                 obj.tag = tag;
                 tag
             };
+            obj.reference_num += 1;
             // 4. The caller applies `tag` to the returned pointer.
             return Ok(Acquired { tag, shared });
         }
@@ -337,22 +368,30 @@ impl TagTable for TwoTierTable {
         if obj.dead || obj.addr != addr || obj.reference_num == 0 {
             return Ok(ReleaseOutcome::NotTracked);
         }
-        obj.reference_num -= 1;
-        if obj.reference_num > 0 {
+        if obj.reference_num > 1 {
+            obj.reference_num -= 1;
             return Ok(ReleaseOutcome::Decremented {
                 remaining: obj.reference_num,
             });
         }
+        // Last borrower: zero the tags *before* dropping the count, so a
+        // failed (or injected) tag store leaves the entry live and the
+        // caller can retry the release.
         if self.release_tags {
             mem.set_tag_range(begin, end, Tag::UNTAGGED)?;
         }
+        obj.reference_num = 0;
         obj.dead = true;
         drop(obj);
         // Remove the dead entry so the table does not grow without bound,
         // recycling it into the pool for the next first-acquire.
         self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
         let mut t = table.lock();
-        if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry)) {
+        // ABA re-check (see the acquire retry path): the entry may already
+        // have been helper-removed, pooled, and recycled for this same
+        // address, in which case `ptr_eq` matches a *live* entry that must
+        // stay mapped.
+        if t.map.get(&addr).is_some_and(|e| Arc::ptr_eq(e, &entry)) && entry.lock().dead {
             t.map.remove(&addr);
             if t.pool.len() < POOL_CAP {
                 t.pool.push(entry);
@@ -422,20 +461,18 @@ impl TagTable for GlobalLockTable {
         end: u64,
     ) -> mte_sim::Result<Acquired> {
         // The whole algorithm runs under the single lock — every thread of
-        // every JNI interface competes here.
+        // every JNI interface competes here. The entry is only inserted
+        // (or its count bumped) after the fallible tag work succeeds, so
+        // errors leave the table unchanged.
         let mut entries = self.entries.lock();
-        let entry = entries.entry(begin.addr()).or_insert(GlobalEntry {
-            reference_num: 0,
-            tag: Tag::UNTAGGED,
-        });
-        entry.reference_num += 1;
-        if entry.reference_num > 1 {
+        if let Some(entry) = entries.get_mut(&begin.addr()) {
             mem.ldg(begin)?;
+            entry.reference_num += 1;
             Ok(Acquired { tag: entry.tag, shared: true })
         } else {
             let tag = mem.irg(thread, self.exclusion);
             mem.set_tag_range(begin, end, tag)?;
-            entry.tag = tag;
+            entries.insert(begin.addr(), GlobalEntry { reference_num: 1, tag });
             Ok(Acquired { tag, shared: false })
         }
     }
@@ -450,12 +487,14 @@ impl TagTable for GlobalLockTable {
         let Some(entry) = entries.get_mut(&begin.addr()) else {
             return Ok(ReleaseOutcome::NotTracked);
         };
-        entry.reference_num -= 1;
-        if entry.reference_num > 0 {
+        if entry.reference_num > 1 {
+            entry.reference_num -= 1;
             return Ok(ReleaseOutcome::Decremented {
                 remaining: entry.reference_num,
             });
         }
+        // Zero the tags before dropping the last reference so a failed
+        // tag store leaves the entry intact for a retry.
         if self.release_tags {
             mem.set_tag_range(begin, end, Tag::UNTAGGED)?;
         }

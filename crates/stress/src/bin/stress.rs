@@ -1,0 +1,399 @@
+//! Seeded schedule sweeps over the tag tables and guarded-copy ledger.
+//!
+//! ```text
+//! stress --seed 7 --schedules 200 --fault-ppm 2000 --self-check --json out/
+//! ```
+//!
+//! Runs `--schedules` deterministic interleavings per scheme (each with
+//! its own derived seed), checks the concurrency invariants after every
+//! schedule, and optionally proves the harness can still detect bugs by
+//! running the mutation self-check. Identical invocations produce
+//! bit-identical output: traces are seeded, and the JSON carries no
+//! timestamps.
+
+use std::process::ExitCode;
+
+use stress::harness::{run_schedule, SchemeKind, StressConfig};
+use stress::sched::trace_hash;
+use telemetry::json::JsonValue;
+
+struct Options {
+    seed: u64,
+    schedules: u64,
+    scheme: Option<SchemeKind>,
+    self_check: bool,
+    replay: Option<u64>,
+    json_dir: Option<String>,
+    cfg: StressConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 0x00C0_FFEE,
+            schedules: 200,
+            scheme: None,
+            self_check: false,
+            replay: None,
+            json_dir: None,
+            cfg: StressConfig {
+                fault_ppm: 2000,
+                ..StressConfig::default()
+            },
+        }
+    }
+}
+
+const USAGE: &str = "\
+stress: deterministic concurrency + fault-injection harness
+
+USAGE: stress [OPTIONS]
+
+  --seed N          master seed (default 0xC0FFEE)
+  --schedules N     interleavings per scheme (default 200)
+  --threads N       workers per schedule (default 3)
+  --objects N       contended objects per schedule (default 2)
+  --rounds N        acquire/release rounds per worker (default 3)
+  --max-steps N     schedule-point budget per schedule (default 20000)
+  --fault-ppm N     fault-injection rate, parts per million (default 2000)
+  --scheme S        two-tier | global | guarded | all (default all)
+  --self-check      also verify the harness catches the broken tables
+  --replay N        run only schedule index N and print its full trace
+  --json DIR        write DIR/STRESS.json
+  --help            this text
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut args = std::env::args().skip(1);
+    fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+        let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let v = v.trim();
+        let parsed = if let Some(hex) = v.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            v.parse()
+        };
+        parsed.map_err(|_| format!("{flag}: bad number {v:?}"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => o.seed = num(&mut args, "--seed")?,
+            "--schedules" => o.schedules = num(&mut args, "--schedules")?,
+            "--threads" => o.cfg.threads = num(&mut args, "--threads")? as usize,
+            "--objects" => o.cfg.objects = num(&mut args, "--objects")?.max(1) as usize,
+            "--rounds" => o.cfg.rounds = num(&mut args, "--rounds")? as usize,
+            "--max-steps" => o.cfg.max_steps = num(&mut args, "--max-steps")?,
+            "--fault-ppm" => o.cfg.fault_ppm = num(&mut args, "--fault-ppm")? as u32,
+            "--scheme" => {
+                let v = args.next().ok_or("--scheme needs a value")?;
+                o.scheme = match v.as_str() {
+                    "two-tier" => Some(SchemeKind::TwoTier),
+                    "global" => Some(SchemeKind::Global),
+                    "guarded" => Some(SchemeKind::Guarded),
+                    "all" => None,
+                    other => return Err(format!("--scheme: unknown scheme {other:?}")),
+                };
+            }
+            "--self-check" => o.self_check = true,
+            "--replay" => o.replay = Some(num(&mut args, "--replay")?),
+            "--json" => o.json_dir = Some(args.next().ok_or("--json needs a value")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(o)
+}
+
+/// Per-schedule seed: the master seed mixed with the schedule index.
+fn schedule_seed(seed: u64, idx: u64) -> u64 {
+    let mut x = seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct SchemeOutcome {
+    scheme: &'static str,
+    schedules_run: u64,
+    clean: bool,
+    /// FNV-fold of every schedule's trace hash — the reproducibility
+    /// fingerprint.
+    trace_hash: u64,
+    steps_total: u64,
+    injected_faults: u64,
+    violations: Vec<String>,
+    failing_schedule: Option<u64>,
+}
+
+fn sweep(kind: SchemeKind, o: &Options) -> SchemeOutcome {
+    let mut combined: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut steps_total = 0;
+    let mut injected = 0;
+    let mut run = 0;
+    for idx in 0..o.schedules {
+        let seed = schedule_seed(o.seed, idx);
+        let result = run_schedule(kind, seed, &o.cfg);
+        run += 1;
+        combined ^= trace_hash(&result.report.trace);
+        combined = combined.wrapping_mul(0x1000_0000_01b3);
+        steps_total += result.report.steps;
+        injected += result.injected;
+        if !result.violations.is_empty() {
+            eprintln!(
+                "[{}] schedule {idx} (seed {seed:#x}) violated invariants:",
+                kind.label()
+            );
+            for v in &result.violations {
+                eprintln!("  {v}");
+            }
+            eprintln!("  trace ({} events):", result.report.trace.len());
+            for ev in &result.report.trace {
+                eprintln!("    {ev}");
+            }
+            return SchemeOutcome {
+                scheme: kind.label(),
+                schedules_run: run,
+                clean: false,
+                trace_hash: combined,
+                steps_total,
+                injected_faults: injected,
+                violations: result.violations,
+                failing_schedule: Some(idx),
+            };
+        }
+    }
+    SchemeOutcome {
+        scheme: kind.label(),
+        schedules_run: run,
+        clean: true,
+        trace_hash: combined,
+        steps_total,
+        injected_faults: injected,
+        violations: Vec::new(),
+        failing_schedule: None,
+    }
+}
+
+fn replay(kind: SchemeKind, idx: u64, o: &Options) {
+    let seed = schedule_seed(o.seed, idx);
+    let result = run_schedule(kind, seed, &o.cfg);
+    println!(
+        "[{}] schedule {idx} seed {seed:#x}: {} events, {} steps, abort={:?}",
+        kind.label(),
+        result.report.trace.len(),
+        result.report.steps,
+        result.report.abort,
+    );
+    for ev in &result.report.trace {
+        println!("  {ev}");
+    }
+    for v in &result.violations {
+        println!("  violation: {v}");
+    }
+    println!(
+        "  fresh={} freed={} injected={} trace_hash={:#018x}",
+        result.fresh_acquires,
+        result.freed,
+        result.injected,
+        trace_hash(&result.report.trace)
+    );
+}
+
+struct SelfCheckOutcome {
+    scheme: &'static str,
+    caught: bool,
+    schedules_to_catch: Option<u64>,
+    first_violation: Option<String>,
+}
+
+/// Runs a broken scheme until the harness flags it; the harness fails
+/// its own audit if a seeded bug survives the whole budget.
+#[cfg(feature = "mutation")]
+fn self_check(kind: SchemeKind, o: &Options) -> SelfCheckOutcome {
+    // No fault injection here: the self-check isolates pure concurrency
+    // detection.
+    let cfg = StressConfig {
+        fault_ppm: 0,
+        ..o.cfg
+    };
+    for idx in 0..o.schedules {
+        let seed = schedule_seed(o.seed, idx);
+        let result = run_schedule(kind, seed, &cfg);
+        if !result.violations.is_empty() {
+            return SelfCheckOutcome {
+                scheme: kind.label(),
+                caught: true,
+                schedules_to_catch: Some(idx + 1),
+                first_violation: result.violations.first().cloned(),
+            };
+        }
+    }
+    SelfCheckOutcome {
+        scheme: kind.label(),
+        caught: false,
+        schedules_to_catch: None,
+        first_violation: None,
+    }
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stress: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Keep the run single-variable: telemetry events would add cross-test
+    // interference without changing what the oracle can see.
+    telemetry::set_enabled(false);
+
+    let schemes: Vec<SchemeKind> = match o.scheme {
+        Some(k) => vec![k],
+        None => SchemeKind::REAL.to_vec(),
+    };
+
+    if let Some(idx) = o.replay {
+        for &kind in &schemes {
+            replay(kind, idx, &o);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ok = true;
+    let mut outcomes = Vec::new();
+    for &kind in &schemes {
+        let out = sweep(kind, &o);
+        println!(
+            "[{}] {} schedules, {} steps, {} injected faults, {} — trace hash {:#018x}",
+            out.scheme,
+            out.schedules_run,
+            out.steps_total,
+            out.injected_faults,
+            if out.clean { "clean" } else { "VIOLATION" },
+            out.trace_hash,
+        );
+        ok &= out.clean;
+        outcomes.push(out);
+    }
+
+    let mut self_checks = Vec::new();
+    if o.self_check {
+        #[cfg(feature = "mutation")]
+        for kind in [SchemeKind::BrokenTwoTier, SchemeKind::BrokenGlobal] {
+            let out = self_check(kind, &o);
+            match (out.caught, out.schedules_to_catch) {
+                (true, Some(n)) => println!(
+                    "[self-check] {} caught in {n} schedule(s): {}",
+                    out.scheme,
+                    out.first_violation.as_deref().unwrap_or("?"),
+                ),
+                _ => {
+                    eprintln!(
+                        "[self-check] FAILED: {} survived {} schedules — \
+                         the harness is not detecting seeded bugs",
+                        out.scheme, o.schedules
+                    );
+                    ok = false;
+                }
+            }
+            self_checks.push(out);
+        }
+        #[cfg(not(feature = "mutation"))]
+        {
+            eprintln!("stress: --self-check requires the `mutation` feature");
+            ok = false;
+        }
+    }
+
+    if let Some(dir) = &o.json_dir {
+        let report = json_report(&o, &outcomes, &self_checks, ok);
+        let path = std::path::Path::new(dir).join("STRESS.json");
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&path, report.to_pretty_string()))
+        {
+            eprintln!("stress: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn json_report(
+    o: &Options,
+    outcomes: &[SchemeOutcome],
+    self_checks: &[SelfCheckOutcome],
+    ok: bool,
+) -> JsonValue {
+    let mut root = JsonValue::object();
+    root.insert("schema_version", 1u64);
+    root.insert("tool", "stress");
+
+    let mut params = JsonValue::object();
+    params.insert("seed", o.seed);
+    params.insert("schedules", o.schedules);
+    params.insert("threads", o.cfg.threads as u64);
+    params.insert("objects", o.cfg.objects as u64);
+    params.insert("rounds", o.cfg.rounds as u64);
+    params.insert("max_steps", o.cfg.max_steps);
+    params.insert("fault_ppm", u64::from(o.cfg.fault_ppm));
+    root.insert("params", params);
+
+    let schemes: Vec<JsonValue> = outcomes
+        .iter()
+        .map(|out| {
+            let mut s = JsonValue::object();
+            s.insert("scheme", out.scheme);
+            s.insert("schedules_run", out.schedules_run);
+            s.insert("clean", out.clean);
+            s.insert("trace_hash", format!("{:#018x}", out.trace_hash));
+            s.insert("steps_total", out.steps_total);
+            s.insert("injected_faults", out.injected_faults);
+            s.insert(
+                "violations",
+                JsonValue::Array(
+                    out.violations
+                        .iter()
+                        .map(|v| JsonValue::Str(v.clone()))
+                        .collect(),
+                ),
+            );
+            if let Some(idx) = out.failing_schedule {
+                s.insert("failing_schedule", idx);
+            }
+            s
+        })
+        .collect();
+    root.insert("schemes", JsonValue::Array(schemes));
+
+    if !self_checks.is_empty() {
+        let checks: Vec<JsonValue> = self_checks
+            .iter()
+            .map(|c| {
+                let mut s = JsonValue::object();
+                s.insert("scheme", c.scheme);
+                s.insert("caught", c.caught);
+                if let Some(n) = c.schedules_to_catch {
+                    s.insert("schedules_to_catch", n);
+                }
+                if let Some(v) = &c.first_violation {
+                    s.insert("first_violation", v.as_str());
+                }
+                s
+            })
+            .collect();
+        root.insert("self_check", JsonValue::Array(checks));
+    }
+    root.insert("ok", ok);
+    root
+}

@@ -1,0 +1,411 @@
+//! Workloads + invariant oracle: one seeded schedule per call.
+//!
+//! Each schedule builds a fresh simulated memory (and, in guarded mode,
+//! a fresh VM), runs N worker bodies under the deterministic scheduler,
+//! and checks the scheme's invariants two ways:
+//!
+//! * **online probes** — immediately after an acquire and again after a
+//!   yield while the borrow is held, the worker `ldg`s the object's
+//!   first granule and panics (`VIOLATION: …`) unless it matches the
+//!   acquired tag: a borrowed object's tags must never change underneath
+//!   its holder. Release outcomes are checked inline the same way
+//!   (`NotTracked` for a live borrow, impossible remaining counts).
+//! * **quiescence oracle** — after a clean schedule, every entry must be
+//!   gone, every object's tags re-zeroed, and the number of `Freed`
+//!   outcomes must equal the number of fresh (non-shared) acquires:
+//!   tags are released exactly when the last borrower leaves.
+//!
+//! Fault injection (when `fault_ppm > 0`) makes the error paths part of
+//! the explored state space: workers tolerate `MemError::Injected` /
+//! allocation failures and retry releases, so any imbalance that
+//! survives to the oracle is the scheme's fault, not the injector's.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use art_heap::HeapConfig;
+use guarded_copy::GuardedCopy;
+use jni_rt::{JniError, Protection, ReleaseMode, Vm};
+use mte4jni::{GlobalLockTable, ReleaseOutcome, TagTable, TwoTierTable};
+use mte_sim::inject::{self, FaultPlan, InjectCounters};
+use mte_sim::sync::yield_point;
+use mte_sim::{MemError, MemoryConfig, MteThread, Tag, TaggedMemory, TaggedPtr};
+
+use crate::sched::{self, RunReport};
+
+#[cfg(feature = "mutation")]
+use crate::broken::{BrokenGlobal, BrokenTwoTier};
+
+/// Base address of the per-schedule simulated memory.
+const BASE: u64 = 0x7a00_0000_0000;
+/// Per-schedule memory size: small, so hundreds of schedules stay cheap.
+const MEM_SIZE: usize = 1 << 20;
+/// Release retries under injection before a worker gives up.
+const RELEASE_RETRIES: usize = 64;
+
+/// Which scheme a schedule exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// The paper's two-tier locking table (§3.1.2).
+    TwoTier,
+    /// The global-lock ablation table.
+    Global,
+    /// The guarded-copy shadow ledger.
+    Guarded,
+    /// Deliberately broken two-tier variant (mutation self-check).
+    #[cfg(feature = "mutation")]
+    BrokenTwoTier,
+    /// Deliberately broken global variant (mutation self-check).
+    #[cfg(feature = "mutation")]
+    BrokenGlobal,
+}
+
+impl SchemeKind {
+    /// Display/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::TwoTier => "two-tier",
+            SchemeKind::Global => "global",
+            SchemeKind::Guarded => "guarded",
+            #[cfg(feature = "mutation")]
+            SchemeKind::BrokenTwoTier => "broken-two-tier",
+            #[cfg(feature = "mutation")]
+            SchemeKind::BrokenGlobal => "broken-global",
+        }
+    }
+
+    /// The real (non-mutated) schemes, in report order.
+    pub const REAL: [SchemeKind; 3] =
+        [SchemeKind::TwoTier, SchemeKind::Global, SchemeKind::Guarded];
+}
+
+/// Knobs for one schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct StressConfig {
+    /// Worker threads per schedule. Small counts explore deeper: the
+    /// interleaving space grows exponentially in thread count.
+    pub threads: usize,
+    /// Distinct objects; fewer objects means more contention.
+    pub objects: usize,
+    /// Acquire/release rounds per worker.
+    pub rounds: usize,
+    /// Schedule-point budget before the scheduler aborts the run.
+    pub max_steps: u64,
+    /// Fault-injection rate (parts per million) at every inject point;
+    /// zero disables injection.
+    pub fault_ppm: u32,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            threads: 3,
+            objects: 2,
+            rounds: 3,
+            max_steps: 20_000,
+            fault_ppm: 0,
+        }
+    }
+}
+
+/// Everything observed in one schedule.
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    /// The schedule trace and abort/panic state.
+    pub report: RunReport,
+    /// Invariant violations: worker panics plus quiescence-oracle
+    /// failures. Empty for a correct scheme.
+    pub violations: Vec<String>,
+    /// Fresh (non-shared) acquires across all workers.
+    pub fresh_acquires: u64,
+    /// `Freed` release outcomes across all workers.
+    pub freed: u64,
+    /// Faults the injector forced during the schedule.
+    pub injected: u64,
+}
+
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut x = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Runs one seeded schedule of `kind` and returns what happened. Same
+/// `(kind, seed, cfg)` ⇒ identical trace, violations and counts.
+pub fn run_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -> ScheduleResult {
+    match kind {
+        SchemeKind::TwoTier => {
+            run_table_schedule(Arc::new(TwoTierTable::new(16)), seed, cfg)
+        }
+        SchemeKind::Global => run_table_schedule(Arc::new(GlobalLockTable::new()), seed, cfg),
+        SchemeKind::Guarded => run_guarded_schedule(seed, cfg),
+        #[cfg(feature = "mutation")]
+        SchemeKind::BrokenTwoTier => {
+            run_table_schedule(Arc::new(BrokenTwoTier::new(16)), seed, cfg)
+        }
+        #[cfg(feature = "mutation")]
+        SchemeKind::BrokenGlobal => run_table_schedule(Arc::new(BrokenGlobal::new()), seed, cfg),
+    }
+}
+
+fn probe(mem: &TaggedMemory, begin: TaggedPtr, tag: Tag, when: &str) {
+    match mem.ldg(begin) {
+        Ok(seen) if seen == tag => {}
+        Ok(seen) => panic!(
+            "VIOLATION: {when}: memory tag {seen:?} does not match acquired tag {tag:?}"
+        ),
+        // An injected ldg failure makes this probe inconclusive.
+        Err(_) => {}
+    }
+}
+
+/// Shared tallies the oracle balances after the schedule.
+#[derive(Default)]
+struct Tallies {
+    fresh: AtomicU64,
+    freed: AtomicU64,
+    injected: Arc<InjectCounters>,
+}
+
+fn table_worker(
+    table: &dyn TagTable,
+    mem: &TaggedMemory,
+    objects: &[u64],
+    worker: usize,
+    seed: u64,
+    cfg: &StressConfig,
+    tallies: &Tallies,
+) {
+    if cfg.fault_ppm > 0 {
+        inject::install(
+            FaultPlan::uniform(cfg.fault_ppm),
+            mix(seed, worker as u64 + 1),
+            Arc::clone(&tallies.injected),
+        );
+    }
+    let t = MteThread::with_seed("stress", mix(seed, 0x7487) ^ worker as u64);
+    for round in 0..cfg.rounds {
+        let addr = objects[(worker + round) % objects.len()];
+        let begin = TaggedPtr::from_addr(addr);
+        let end = addr + 64;
+        let acq = match table.acquire(mem, &t, begin, end) {
+            Ok(a) => a,
+            // Injected failures are tolerated; the rollback contract says
+            // they must leave the table unchanged, which the oracle checks.
+            Err(MemError::Injected { .. }) | Err(MemError::OutOfNativeMemory { .. }) => continue,
+            Err(e) => panic!("VIOLATION: acquire failed unexpectedly: {e}"),
+        };
+        if !acq.shared {
+            tallies.fresh.fetch_add(1, Ordering::Relaxed);
+        }
+        probe(mem, begin, acq.tag, "just after acquire");
+        yield_point("holding");
+        probe(mem, begin, acq.tag, "after yield while held");
+        let mut released = false;
+        for _ in 0..RELEASE_RETRIES {
+            match table.release(mem, begin, end) {
+                Ok(ReleaseOutcome::Freed) => {
+                    tallies.freed.fetch_add(1, Ordering::Relaxed);
+                    released = true;
+                    break;
+                }
+                Ok(ReleaseOutcome::Decremented { remaining }) => {
+                    if remaining as usize >= cfg.threads {
+                        panic!(
+                            "VIOLATION: {remaining} borrowers remain after release \
+                             with only {} threads",
+                            cfg.threads
+                        );
+                    }
+                    released = true;
+                    break;
+                }
+                Ok(ReleaseOutcome::NotTracked) => {
+                    panic!("VIOLATION: release of a live borrow reported NotTracked")
+                }
+                // A failed release must leave the count intact: retry.
+                Err(MemError::Injected { .. }) => continue,
+                Err(e) => panic!("VIOLATION: release failed unexpectedly: {e}"),
+            }
+        }
+        assert!(
+            released,
+            "VIOLATION: release kept failing after {RELEASE_RETRIES} retries"
+        );
+    }
+    inject::clear();
+}
+
+fn run_table_schedule(
+    table: Arc<dyn TagTable>,
+    seed: u64,
+    cfg: &StressConfig,
+) -> ScheduleResult {
+    let mem = Arc::new(TaggedMemory::new(MemoryConfig {
+        base: BASE,
+        size: MEM_SIZE,
+    }));
+    mem.mprotect_mte(BASE, MEM_SIZE, true)
+        .expect("arena must map PROT_MTE");
+    let objects: Arc<Vec<u64>> =
+        Arc::new((0..cfg.objects).map(|i| BASE + 0x100 * i as u64).collect());
+    let tallies = Arc::new(Tallies::default());
+
+    let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..cfg.threads)
+        .map(|worker| {
+            let table = Arc::clone(&table);
+            let mem = Arc::clone(&mem);
+            let objects = Arc::clone(&objects);
+            let tallies = Arc::clone(&tallies);
+            let cfg = *cfg;
+            Box::new(move || {
+                table_worker(&*table, &mem, &objects, worker, seed, &cfg, &tallies);
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+
+    let report = sched::run(seed, cfg.max_steps, bodies);
+    let mut violations: Vec<String> = report
+        .panics
+        .iter()
+        .map(|(t, msg)| format!("t{t}: {msg}"))
+        .collect();
+    if report.clean() {
+        // Quiescence oracle: every borrow was returned, so no entry, no
+        // lingering tag, and one Freed per fresh acquire.
+        let tracked = table.tracked_objects();
+        if tracked != 0 {
+            violations.push(format!("oracle: {tracked} entries leaked after quiescence"));
+        }
+        for &addr in objects.iter() {
+            match mem.ldg(TaggedPtr::from_addr(addr)) {
+                Ok(tag) if tag.is_untagged() => {}
+                Ok(tag) => violations.push(format!(
+                    "oracle: object {addr:#x} still tagged {tag:?} after quiescence"
+                )),
+                Err(e) => violations.push(format!("oracle: ldg({addr:#x}) failed: {e}")),
+            }
+        }
+        let fresh_n = tallies.fresh.load(Ordering::Relaxed);
+        let freed_n = tallies.freed.load(Ordering::Relaxed);
+        if fresh_n != freed_n {
+            violations.push(format!(
+                "oracle: {fresh_n} fresh acquires but {freed_n} Freed releases"
+            ));
+        }
+    }
+    ScheduleResult {
+        report,
+        violations,
+        fresh_acquires: tallies.fresh.load(Ordering::Relaxed),
+        freed: tallies.freed.load(Ordering::Relaxed),
+        injected: tallies.injected.total(),
+    }
+}
+
+fn run_guarded_schedule(seed: u64, cfg: &StressConfig) -> ScheduleResult {
+    let protection = Arc::new(GuardedCopy::new());
+    let vm = Vm::builder()
+        .heap_config(HeapConfig {
+            memory: MemoryConfig {
+                base: BASE,
+                size: MEM_SIZE,
+            },
+            ..HeapConfig::stock_art()
+        })
+        .protection(Arc::clone(&protection) as Arc<dyn Protection>)
+        .build();
+    let setup = vm.attach_thread("stress-setup");
+    let arrays: Vec<_> = (0..cfg.objects)
+        .map(|i| {
+            let data: Vec<i32> = (0..16).map(|j| (i * 16 + j) as i32).collect();
+            vm.env(&setup)
+                .new_int_array_from(&data)
+                .expect("setup allocation must succeed")
+        })
+        .collect();
+    let counters = Arc::new(InjectCounters::default());
+    let acquired = Arc::new(AtomicU64::new(0));
+
+    let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..cfg.threads)
+        .map(|worker| {
+            let vm = &vm;
+            let arrays = &arrays;
+            let counters = Arc::clone(&counters);
+            let acquired = Arc::clone(&acquired);
+            let cfg = *cfg;
+            Box::new(move || {
+                if cfg.fault_ppm > 0 {
+                    inject::install(
+                        FaultPlan::uniform(cfg.fault_ppm),
+                        mix(seed, worker as u64 + 1),
+                        Arc::clone(&counters),
+                    );
+                }
+                let thread = vm.attach_thread("stress-guarded");
+                let env = vm.env(&thread);
+                for round in 0..cfg.rounds {
+                    let array = &arrays[(worker + round) % arrays.len()];
+                    match env.get_primitive_array_critical(array) {
+                        Ok(elems) => {
+                            acquired.fetch_add(1, Ordering::Relaxed);
+                            yield_point("guarded-holding");
+                            if let Err(e) = env.release_primitive_array_critical(
+                                array,
+                                elems,
+                                ReleaseMode::Abort,
+                            ) {
+                                panic!("VIOLATION: guarded release failed: {e}");
+                            }
+                        }
+                        // Injected shadow-allocation failure: tolerated.
+                        Err(JniError::Mem(
+                            MemError::OutOfNativeMemory { .. } | MemError::Injected { .. },
+                        )) => {}
+                        Err(e) => panic!("VIOLATION: guarded acquire failed: {e}"),
+                    }
+                }
+                inject::clear();
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+
+    let report = sched::run(seed, cfg.max_steps, bodies);
+    let mut violations: Vec<String> = report
+        .panics
+        .iter()
+        .map(|(t, msg)| format!("t{t}: {msg}"))
+        .collect();
+    if report.clean() {
+        let shadows = protection.tracked_shadows();
+        if shadows != 0 {
+            violations.push(format!("oracle: {shadows} shadow copies leaked"));
+        }
+        let in_use = vm.heap().native_alloc().stats().bytes_in_use;
+        if in_use != 0 {
+            violations.push(format!("oracle: {in_use} native bytes leaked"));
+        }
+        let stats = protection.stats();
+        if stats.corruptions_detected != 0 {
+            violations.push(format!(
+                "oracle: {} spurious corruption reports",
+                stats.corruptions_detected
+            ));
+        }
+        let acq = acquired.load(Ordering::Relaxed);
+        if stats.releases != acq {
+            violations.push(format!(
+                "oracle: {acq} acquires but {} releases",
+                stats.releases
+            ));
+        }
+    }
+    ScheduleResult {
+        report,
+        violations,
+        fresh_acquires: acquired.load(Ordering::Relaxed),
+        freed: protection.stats().releases,
+        injected: counters.total(),
+    }
+}

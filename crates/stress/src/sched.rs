@@ -1,0 +1,430 @@
+//! The seeded virtual scheduler.
+//!
+//! Runs N workload closures on real OS threads but serializes them:
+//! exactly one thread holds the *token* at any instant, and every
+//! schedule point (lock attempt, lock-blocked, explicit yield, thread
+//! finish) hands the token to a pseudo-randomly chosen runnable thread.
+//! Because the choice sequence is a pure function of the `u64` seed and
+//! the workload's control flow, a failing interleaving replays exactly
+//! by re-running with the same seed.
+//!
+//! The scheduler plugs into the instrumented `mte_sim::sync` facade as a
+//! thread-local [`SchedObserver`]: participant threads register it on
+//! entry, so concurrent schedulers in one test binary cannot observe
+//! each other, and non-participant threads pay one thread-local check.
+//!
+//! Blocking protocol: a facade `lock()` reports `lock_attempt` (schedule
+//! point), then `try_lock`s. On failure it reports `lock_blocked` and
+//! the thread is parked until the holder's release marks it runnable
+//! again. Under serialized execution a blocked status therefore always
+//! corresponds to a genuinely held lock, which makes deadlock detection
+//! sound: no runnable thread + unfinished threads ⇒ deadlock.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, Once};
+
+use mte_sim::sync::{set_thread_observer, SchedObserver};
+
+/// Why a schedule stopped before every thread finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Abort {
+    /// Every unfinished thread was blocked on a held lock.
+    Deadlock,
+    /// The schedule exceeded its step budget.
+    BudgetExhausted,
+}
+
+impl Abort {
+    /// Display label (used in reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            Abort::Deadlock => "deadlock",
+            Abort::BudgetExhausted => "budget_exhausted",
+        }
+    }
+}
+
+/// One operation in the schedule trace. Lock ids are *per-schedule
+/// aliases* in first-contact order, so the same seed produces the same
+/// trace even across processes (the global facade ids depend on how
+/// many locks were created earlier in the process).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// The thread attempted a lock.
+    LockAttempt(u64),
+    /// The attempt failed; the thread parked until release.
+    LockBlocked(u64),
+    /// The lock was taken.
+    LockAcquired(u64),
+    /// The lock was dropped.
+    LockReleased(u64),
+    /// A named preemption point.
+    Yield(&'static str),
+    /// The thread's body returned (or unwound).
+    Finish,
+}
+
+/// One entry of the schedule trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The participant index that performed the operation.
+    pub thread: usize,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.thread;
+        match self.op {
+            TraceOp::LockAttempt(l) => write!(f, "t{t} attempt L{l}"),
+            TraceOp::LockBlocked(l) => write!(f, "t{t} blocked L{l}"),
+            TraceOp::LockAcquired(l) => write!(f, "t{t} acquired L{l}"),
+            TraceOp::LockReleased(l) => write!(f, "t{t} released L{l}"),
+            TraceOp::Yield(label) => write!(f, "t{t} yield {label}"),
+            TraceOp::Finish => write!(f, "t{t} finish"),
+        }
+    }
+}
+
+/// The result of one schedule.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Every schedule point and lock transition, in execution order.
+    pub trace: Vec<TraceEvent>,
+    /// Schedule points consumed (compared against the budget).
+    pub steps: u64,
+    /// Why the schedule stopped early, if it did.
+    pub abort: Option<Abort>,
+    /// Real panics caught in workload bodies, as `(thread, message)` in
+    /// thread-index order. Scheduler-initiated unwinds are excluded.
+    pub panics: Vec<(usize, String)>,
+}
+
+impl RunReport {
+    /// Whether every thread ran to completion without panicking.
+    pub fn clean(&self) -> bool {
+        self.abort.is_none() && self.panics.is_empty()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Blocked(u64),
+    Finished,
+}
+
+struct State {
+    statuses: Vec<Status>,
+    current: Option<usize>,
+    rng: u64,
+    steps: u64,
+    max_steps: u64,
+    trace: Vec<TraceEvent>,
+    /// Global facade lock id → dense per-schedule alias.
+    lock_alias: HashMap<u64, u64>,
+    abort: Option<Abort>,
+}
+
+impl State {
+    fn alias(&mut self, id: u64) -> u64 {
+        let next = self.lock_alias.len() as u64;
+        *self.lock_alias.entry(id).or_insert(next)
+    }
+
+    fn record(&mut self, thread: usize, op: TraceOp) {
+        self.trace.push(TraceEvent { thread, op });
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Payload of a scheduler-initiated unwind (budget/deadlock abort);
+/// distinguished from real workload panics at the catch site.
+struct AbortUnwind;
+
+thread_local! {
+    static PARTICIPANT: Cell<Option<usize>> = const { Cell::new(None) };
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Participant panics are expected (violations, scheduler aborts) and
+/// reported through [`RunReport`]; keep them off stderr without
+/// touching the hook other threads see.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The deterministic scheduler. Construct per schedule via [`run`].
+pub struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new(seed: u64, max_steps: u64, threads: usize) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(State {
+                statuses: vec![Status::Ready; threads],
+                current: None,
+                rng: splitmix64(seed) | 1,
+                steps: 0,
+                max_steps,
+                trace: Vec::new(),
+                lock_alias: HashMap::new(),
+                abort: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn me() -> usize {
+        PARTICIPANT
+            .with(|p| p.get())
+            .expect("schedule point on a non-participant thread")
+    }
+
+    fn bail() -> ! {
+        panic::resume_unwind(Box::new(AbortUnwind));
+    }
+
+    /// Picks the next token holder among Ready threads; flags a deadlock
+    /// when none is runnable but some are unfinished.
+    fn pick_next(&self, st: &mut State) {
+        if st.abort.is_some() {
+            st.current = None;
+            return;
+        }
+        let ready: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            if st.statuses.iter().any(|s| *s != Status::Finished) {
+                st.abort = Some(Abort::Deadlock);
+            }
+            st.current = None;
+            return;
+        }
+        let k = (next_u64(&mut st.rng) % ready.len() as u64) as usize;
+        st.current = Some(ready[k]);
+    }
+
+    /// Waits until this thread holds the token; unwinds on abort.
+    fn wait_for_token<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, State>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, State> {
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                Self::bail();
+            }
+            if st.current == Some(me) {
+                return st;
+            }
+            st = self.cv.wait(st).expect("scheduler state poisoned");
+        }
+    }
+
+    /// A full schedule point: record, charge the budget, hand the token
+    /// to a seeded choice among runnable threads, wait to be picked.
+    fn schedule_point(&self, op_of: impl FnOnce(&mut State) -> TraceOp) {
+        let me = Self::me();
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        let op = op_of(&mut st);
+        st.record(me, op);
+        st.steps += 1;
+        if st.abort.is_none() && st.steps >= st.max_steps {
+            st.abort = Some(Abort::BudgetExhausted);
+        }
+        self.pick_next(&mut st);
+        self.cv.notify_all();
+        drop(self.wait_for_token(st, me));
+    }
+
+    fn kickoff(&self) {
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        self.pick_next(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn initial_wait(&self, me: usize) {
+        let st = self.state.lock().expect("scheduler state poisoned");
+        drop(self.wait_for_token(st, me));
+    }
+
+    fn finish(&self, me: usize) {
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        // After an abort every thread wakes and finishes in OS order;
+        // recording those events would make aborted traces racy.
+        if st.abort.is_none() {
+            st.record(me, TraceOp::Finish);
+            st.steps += 1;
+        }
+        st.statuses[me] = Status::Finished;
+        st.current = None;
+        self.pick_next(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+impl SchedObserver for Scheduler {
+    fn lock_attempt(&self, id: u64) {
+        self.schedule_point(|st| TraceOp::LockAttempt(st.alias(id)));
+    }
+
+    fn lock_blocked(&self, id: u64) {
+        let me = Self::me();
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        let alias = st.alias(id);
+        st.record(me, TraceOp::LockBlocked(alias));
+        st.steps += 1;
+        if st.abort.is_none() && st.steps >= st.max_steps {
+            st.abort = Some(Abort::BudgetExhausted);
+        }
+        st.statuses[me] = Status::Blocked(id);
+        self.pick_next(&mut st);
+        self.cv.notify_all();
+        drop(self.wait_for_token(st, me));
+    }
+
+    fn lock_acquired(&self, id: u64) {
+        let me = Self::me();
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        let alias = st.alias(id);
+        st.record(me, TraceOp::LockAcquired(alias));
+    }
+
+    fn lock_released(&self, id: u64) {
+        // Record + wake waiters only. Runs from guard `Drop`, possibly
+        // mid-unwind: must never deschedule or panic.
+        let me = Self::me();
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        let alias = st.alias(id);
+        st.record(me, TraceOp::LockReleased(alias));
+        for s in &mut st.statuses {
+            if *s == Status::Blocked(id) {
+                *s = Status::Ready;
+            }
+        }
+    }
+
+    fn yield_point(&self, label: &'static str) {
+        self.schedule_point(|_| TraceOp::Yield(label));
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Runs `bodies` under one seeded schedule and returns the trace.
+///
+/// Each body runs on its own OS thread with the scheduler installed as
+/// its `sync`-facade observer; bodies may panic (a workload invariant
+/// violation) without poisoning the harness — the message is collected
+/// into the report.
+pub fn run<'a>(seed: u64, max_steps: u64, bodies: Vec<Box<dyn FnOnce() + Send + 'a>>) -> RunReport {
+    install_quiet_hook();
+    let threads = bodies.len();
+    let sched = Arc::new(Scheduler::new(seed, max_steps, threads));
+    let mut panics = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let sched = Arc::clone(&sched);
+                scope.spawn(move || -> Option<String> {
+                    QUIET_PANICS.with(|q| q.set(true));
+                    PARTICIPANT.with(|p| p.set(Some(i)));
+                    set_thread_observer(Some(sched.clone() as Arc<dyn SchedObserver>));
+                    // Wait for the token before touching user code: only
+                    // the token holder ever runs, so every recorded event
+                    // (including each thread's first) is placed
+                    // deterministically.
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        sched.initial_wait(i);
+                        body();
+                    }));
+                    set_thread_observer(None);
+                    PARTICIPANT.with(|p| p.set(None));
+                    let message = match result {
+                        Ok(()) => None,
+                        Err(p) if p.is::<AbortUnwind>() => None,
+                        Err(p) => Some(panic_message(&*p)),
+                    };
+                    sched.finish(i);
+                    message
+                })
+            })
+            .collect();
+        sched.kickoff();
+        for (i, handle) in handles.into_iter().enumerate() {
+            if let Some(msg) = handle.join().expect("worker wrapper must not panic") {
+                panics.push((i, msg));
+            }
+        }
+    });
+    let st = sched.state.lock().expect("scheduler state poisoned");
+    RunReport {
+        trace: st.trace.clone(),
+        steps: st.steps,
+        abort: st.abort,
+        panics,
+    }
+}
+
+/// FNV-1a over the rendered trace — the bit-reproducibility fingerprint
+/// carried into the JSON report.
+pub fn trace_hash(trace: &[TraceEvent]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in trace {
+        for b in ev.to_string().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}

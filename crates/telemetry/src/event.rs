@@ -43,6 +43,69 @@ impl FaultClass {
     }
 }
 
+/// A fault-injection site inside the MTE simulator. The stress harness
+/// (`crates/stress`) installs a seeded injector and these identify which
+/// operation an injected fault hit, so snapshots can attribute failures
+/// to the injector rather than the scheme under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InjectPoint {
+    /// `irg` returned the excluded zero tag (tag-pool exhaustion).
+    Irg,
+    /// An `ldg` tag load failed.
+    Ldg,
+    /// An `stg`/`st2g`/tag-range store failed.
+    Stg,
+    /// The simulated native allocator reported arena exhaustion.
+    Alloc,
+    /// A spurious tag-check fault fired on a valid access.
+    Check,
+}
+
+impl InjectPoint {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectPoint::Irg => "irg",
+            InjectPoint::Ldg => "ldg",
+            InjectPoint::Stg => "stg",
+            InjectPoint::Alloc => "alloc",
+            InjectPoint::Check => "check",
+        }
+    }
+
+    /// Stable subcode used by the event encoding and counter arrays.
+    pub fn index(self) -> u8 {
+        match self {
+            InjectPoint::Irg => 0,
+            InjectPoint::Ldg => 1,
+            InjectPoint::Stg => 2,
+            InjectPoint::Alloc => 3,
+            InjectPoint::Check => 4,
+        }
+    }
+
+    /// Inverse of [`InjectPoint::index`].
+    pub fn from_index(index: u8) -> Option<InjectPoint> {
+        Some(match index {
+            0 => InjectPoint::Irg,
+            1 => InjectPoint::Ldg,
+            2 => InjectPoint::Stg,
+            3 => InjectPoint::Alloc,
+            4 => InjectPoint::Check,
+            _ => return None,
+        })
+    }
+
+    /// Every injection point, in `index` order.
+    pub const ALL: [InjectPoint; 5] = [
+        InjectPoint::Irg,
+        InjectPoint::Ldg,
+        InjectPoint::Stg,
+        InjectPoint::Alloc,
+        InjectPoint::Check,
+    ];
+}
+
 /// One structured telemetry event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
@@ -84,6 +147,12 @@ pub enum Event {
         /// The interface the guard belonged to.
         interface: JniInterface,
     },
+    /// The stress harness's fault injector forced a failure at a
+    /// simulator operation.
+    InjectedFault {
+        /// Which operation the fault was injected into.
+        point: InjectPoint,
+    },
 }
 
 impl Event {
@@ -102,6 +171,7 @@ impl Event {
             Event::TcoToggle { .. } => "tco_toggle",
             Event::GcScan { .. } => "gc_scan",
             Event::GuardDrop { .. } => "guard_drop",
+            Event::InjectedFault { .. } => "injected_fault",
         }
     }
 
@@ -134,6 +204,7 @@ impl Event {
             Event::TcoToggle { checking_enabled } => (5, u64::from(checking_enabled), 0),
             Event::GcScan { objects } => (6, 0, u64::from(objects)),
             Event::GuardDrop { interface } => (7, u64::from(interface.index()), 0),
+            Event::InjectedFault { point } => (8, u64::from(point.index()), 0),
         };
         (kind << 60) | (sub << 56) | payload
     }
@@ -176,6 +247,9 @@ impl Event {
             6 => Some(Event::GcScan { objects: payload }),
             7 => Some(Event::GuardDrop {
                 interface: JniInterface::from_index(sub)?,
+            }),
+            8 => Some(Event::InjectedFault {
+                point: InjectPoint::from_index(sub)?,
             }),
             _ => None,
         }
@@ -222,6 +296,9 @@ mod tests {
             Event::GcScan { objects: 77 },
             Event::GuardDrop {
                 interface: JniInterface::ArrayElements,
+            },
+            Event::InjectedFault {
+                point: InjectPoint::Stg,
             },
         ];
         for e in samples {
