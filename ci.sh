@@ -62,4 +62,40 @@ else
     echo "BENCH_fig5.json sane (schema marker present)"
 fi
 
+echo "== bench smoke: kernel throughput regression gate =="
+# Reduced-scale throughput run of the wide-word kernels (DESIGN.md §10),
+# written at the repo root so the report is inspectable after CI. Release
+# profile: the committed baseline was measured with optimizations on, and
+# debug numbers would gate nothing.
+cargo run --offline -q --release -p bench --bin throughput -- \
+    --quick --json . >/dev/null
+test -s BENCH_throughput.json
+baseline="crates/bench/baselines/BENCH_throughput.baseline.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_throughput.json "$baseline" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+cur, ref = doc["summary"], base["summary"]
+# Checked-path throughput may not regress more than 20% against the
+# committed baseline.
+gates = [k for k in ref if k.startswith("checked_") and k.endswith("_gbps_4k")]
+assert gates, "baseline summary carries no checked-path gate figures"
+for key in gates:
+    floor = 0.8 * ref[key]
+    assert cur[key] >= floor, (
+        f"{key} regressed: {cur[key]:.3f} GB/s < 80% of baseline {ref[key]:.3f}"
+    )
+# The optimization's acceptance floor: >=4x over the scalar reference on
+# 4 KiB checked read/write and on set_tag_range.
+for key in ("speedup_read_4k", "speedup_write_4k", "speedup_set_tag_range"):
+    assert cur[key] >= 4.0, f"{key} below 4x: {cur[key]:.2f}"
+print("throughput gate:", ", ".join(f"{k}={cur[k]:.2f}" for k in sorted(gates)))
+PY
+else
+    # No python3: at least require the report and its headline fields.
+    grep -q '"speedup_read_4k"' BENCH_throughput.json
+    echo "throughput report present (python3 unavailable; gate skipped)"
+fi
+
 echo "== CI green =="

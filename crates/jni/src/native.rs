@@ -87,6 +87,16 @@ impl<'a> NativeMem<'a> {
     pub fn write_bytes(&self, ptr: TaggedPtr, buf: &[u8]) -> Result<(), MemError> {
         self.memory.write_bytes(self.mte, ptr, buf)
     }
+
+    /// Bulk fill — the native `memset` over an acquired buffer
+    /// (tag-checked per granule, word-wide like the other bulk paths).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::read_u8`].
+    pub fn fill(&self, ptr: TaggedPtr, len: usize, value: u8) -> Result<(), MemError> {
+        self.memory.fill(self.mte, ptr, len, value)
+    }
 }
 
 impl fmt::Debug for NativeMem<'_> {

@@ -181,3 +181,23 @@ fn empty_arrays_and_strings_work_through_every_interface() {
     assert_eq!(utf.read_byte(&mem, 0).unwrap(), 0, "just the NUL terminator");
     env.release_string_utf_chars(&s, utf).unwrap();
 }
+
+#[test]
+fn native_fill_memsets_an_acquired_buffer() {
+    let vm = vm();
+    let t = vm.attach_thread("t");
+    let env = vm.env(&t);
+    let a = env.new_byte_array_from(&[1i8; 64]).unwrap();
+    env.call_native("memset", NativeKind::Normal, |env| {
+        let c = env.get_primitive_array_critical(&a)?;
+        let mem = env.native_mem();
+        // The native memset analogue: one tag-checked bulk fill.
+        mem.fill(c.ptr(), 32, 0x7F)?;
+        env.release_primitive_array_critical(&a, c, ReleaseMode::CopyBack)
+    })
+    .unwrap();
+    let mut out = vec![0i8; 64];
+    env.get_byte_array_region(&a, 0, &mut out).unwrap();
+    assert_eq!(&out[..32], &[0x7Fi8; 32][..]);
+    assert_eq!(&out[32..], &[1i8; 32][..]);
+}

@@ -57,6 +57,7 @@ pub mod inject;
 mod memory;
 mod nalloc;
 mod pointer;
+pub mod reference;
 mod stats;
 pub mod sync;
 mod tag;
@@ -67,8 +68,9 @@ pub use fault::{AccessKind, Backtrace, FaultKind, Frame, TagCheckFault};
 pub use memory::{MemoryConfig, TaggedMemory};
 pub use nalloc::{NativeAllocator, NativeAllocatorStats};
 pub use pointer::TaggedPtr;
+pub use reference::ScalarMemory;
 pub use stats::{MteStats, MteStatsSnapshot};
-pub use tag::{Tag, TagExclusion, GRANULE, PAGE_SIZE, TAG_BITS};
+pub use tag::{Tag, TagExclusion, GRANULE, PAGE_SIZE, TAG_BITS, TAGS_PER_WORD};
 pub use thread::{FrameGuard, MteThread, TcfMode};
 
 /// Convenience alias for results whose error type is [`MemError`].

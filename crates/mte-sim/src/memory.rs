@@ -1,18 +1,27 @@
 //! The simulated tagged physical memory.
+//!
+//! Storage is word-packed for throughput (DESIGN.md §10): data lives in
+//! little-endian `AtomicU64` words accessed in 8-byte chunks, and tags
+//! live 16-per-word (4 bits each, [`TAGS_PER_WORD`]), so a checked bulk
+//! access compares 16 granules' tags against a broadcast pointer tag per
+//! loop iteration instead of one. A scalar reference implementation with
+//! byte-granular storage is kept in [`crate::reference`]; the
+//! differential property suite (`tests/differential.rs`) pins the two
+//! bit-equivalent.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::error::MemError;
 use crate::fault::{AccessKind, FaultKind, TagCheckFault};
 use crate::pointer::TaggedPtr;
 use crate::stats::MteStats;
-use crate::tag::{Tag, TagExclusion, GRANULE, PAGE_SIZE};
+use crate::tag::{Tag, TagExclusion, GRANULE, PAGE_SIZE, TAGS_PER_WORD};
 use crate::thread::{MteThread, TcfMode};
 use crate::Result;
 
-use telemetry::{Event, FaultClass, TagOp};
+use telemetry::TagOp;
 
 /// Configuration for a [`TaggedMemory`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +44,22 @@ impl Default for MemoryConfig {
     }
 }
 
+/// Bytes per data word.
+const WORD: usize = 8;
+
+/// Nibble mask covering granule nibbles `lo..=hi` of one tag word.
+#[inline]
+fn nibble_span_mask(lo: usize, hi: usize) -> u64 {
+    debug_assert!(lo <= hi && hi < TAGS_PER_WORD);
+    let n = hi - lo + 1;
+    let ones = if n == TAGS_PER_WORD {
+        u64::MAX
+    } else {
+        (1u64 << (n * 4)) - 1
+    };
+    ones << (lo * 4)
+}
+
 /// A flat byte-addressable memory with a 4-bit tag per 16-byte granule and
 /// page-granular `PROT_MTE` tracking.
 ///
@@ -46,20 +71,44 @@ impl Default for MemoryConfig {
 /// Data and tag storage use relaxed atomics, so a `TaggedMemory` can be
 /// shared across simulated threads exactly like physical RAM. (Racy
 /// simulated programs observe racy — but memory-safe — results, as on real
-/// hardware.)
+/// hardware. The word packing does not widen the race surface: partial
+/// stores inside a word are single read-modify-write operations, so bytes
+/// outside the store are never clobbered; see DESIGN.md §10 for the
+/// aliasing/ordering argument.)
 pub struct TaggedMemory {
     base: u64,
     size: usize,
-    data: Box<[AtomicU8]>,
-    /// One tag per granule, stored in the low 4 bits.
-    tags: Box<[AtomicU8]>,
+    /// Data bytes, packed little-endian 8 per word.
+    data: Box<[AtomicU64]>,
+    /// Granule tags, packed 16 per word ([`TAGS_PER_WORD`]): granule `g`
+    /// occupies nibble `g % 16` of word `g / 16`.
+    tags: Box<[AtomicU64]>,
     /// One byte per page; bit 0 = `PROT_MTE`.
     prot: Box<[AtomicU8]>,
     stats: MteStats,
 }
 
-fn zeroed(len: usize) -> Box<[AtomicU8]> {
+fn zeroed_words(len: usize) -> Box<[AtomicU64]> {
+    (0..len).map(|_| AtomicU64::new(0)).collect()
+}
+
+fn zeroed_bytes(len: usize) -> Box<[AtomicU8]> {
     (0..len).map(|_| AtomicU8::new(0)).collect()
+}
+
+/// Outlined constructor for the out-of-range error so the bounds check
+/// inlines to a compare + predictable branch.
+#[cold]
+#[inline(never)]
+fn out_of_range(addr: u64, len: usize) -> MemError {
+    MemError::OutOfRange { addr, len }
+}
+
+/// Ditto for `PROT_MTE` violations on tag stores.
+#[cold]
+#[inline(never)]
+fn not_prot_mte(addr: u64) -> MemError {
+    MemError::NotProtMte { addr }
 }
 
 impl TaggedMemory {
@@ -80,12 +129,14 @@ impl TaggedMemory {
             config.base.checked_add(size as u64).is_some_and(|end| end < (1 << 56)),
             "region must fit below 2^56"
         );
+        // A page is 512 data words and 16 tag words, so page rounding
+        // guarantees whole words.
         Arc::new(TaggedMemory {
             base: config.base,
             size,
-            data: zeroed(size),
-            tags: zeroed(size / GRANULE),
-            prot: zeroed(size / PAGE_SIZE),
+            data: zeroed_words(size / WORD),
+            tags: zeroed_words(size / GRANULE / TAGS_PER_WORD),
+            prot: zeroed_bytes(size / PAGE_SIZE),
             stats: MteStats::default(),
         })
     }
@@ -115,14 +166,16 @@ impl TaggedMemory {
         &self.stats
     }
 
+    #[inline]
     fn offset_of(&self, addr: u64, len: usize) -> Result<usize> {
         if self.contains(addr, len) {
             Ok((addr - self.base) as usize)
         } else {
-            Err(MemError::OutOfRange { addr, len })
+            Err(out_of_range(addr, len))
         }
     }
 
+    #[inline]
     fn page_is_mte(&self, offset: usize) -> bool {
         self.prot[offset / PAGE_SIZE].load(Ordering::Relaxed) & 1 != 0
     }
@@ -158,12 +211,181 @@ impl TaggedMemory {
     }
 
     // ------------------------------------------------------------------
+    // Word-packed data plumbing
+    // ------------------------------------------------------------------
+
+    /// Copies `buf.len()` bytes out of the data store starting at
+    /// `offset`: partial head/tail bytes come from single word loads,
+    /// the aligned middle moves 8 bytes per iteration.
+    fn copy_out(&self, offset: usize, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let mut off = offset;
+        let mut i = 0;
+        let misalign = off % WORD;
+        if misalign != 0 {
+            let head = (WORD - misalign).min(buf.len());
+            let bytes = self.data[off / WORD].load(Ordering::Relaxed).to_le_bytes();
+            buf[..head].copy_from_slice(&bytes[misalign..misalign + head]);
+            off += head;
+            i = head;
+        }
+        let mid_words = (buf.len() - i) / WORD;
+        let start = off / WORD;
+        for (w, chunk) in self.data[start..start + mid_words]
+            .iter()
+            .zip(buf[i..].chunks_exact_mut(WORD))
+        {
+            chunk.copy_from_slice(&w.load(Ordering::Relaxed).to_le_bytes());
+        }
+        off += mid_words * WORD;
+        i += mid_words * WORD;
+        if i < buf.len() {
+            let rem = buf.len() - i;
+            let bytes = self.data[off / WORD].load(Ordering::Relaxed).to_le_bytes();
+            buf[i..].copy_from_slice(&bytes[..rem]);
+        }
+    }
+
+    /// Merges `bytes` into word `word_idx` starting at byte `byte_off`,
+    /// leaving the other lanes untouched. One atomic read-modify-write,
+    /// so concurrent writers to sibling bytes of the same word cannot be
+    /// clobbered.
+    #[inline]
+    fn store_partial(&self, word_idx: usize, byte_off: usize, bytes: &[u8]) {
+        debug_assert!(byte_off + bytes.len() <= WORD);
+        let mut mask = 0u64;
+        let mut value = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            let shift = (byte_off + i) * 8;
+            mask |= 0xFF << shift;
+            value |= u64::from(b) << shift;
+        }
+        // The closure always returns Some, so this cannot fail.
+        let _ = self.data[word_idx]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| {
+                Some((w & !mask) | value)
+            });
+    }
+
+    /// Copies `buf` into the data store starting at `offset`: full words
+    /// are plain stores, partial head/tail words are masked RMWs.
+    fn copy_in(&self, offset: usize, buf: &[u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let mut off = offset;
+        let mut i = 0;
+        let misalign = off % WORD;
+        if misalign != 0 {
+            let head = (WORD - misalign).min(buf.len());
+            self.store_partial(off / WORD, misalign, &buf[..head]);
+            off += head;
+            i = head;
+        }
+        let mid_words = (buf.len() - i) / WORD;
+        let start = off / WORD;
+        for (w, chunk) in self.data[start..start + mid_words]
+            .iter()
+            .zip(buf[i..].chunks_exact(WORD))
+        {
+            w.store(
+                u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")),
+                Ordering::Relaxed,
+            );
+        }
+        off += mid_words * WORD;
+        i += mid_words * WORD;
+        if i < buf.len() {
+            self.store_partial(off / WORD, 0, &buf[i..]);
+        }
+    }
+
+    /// Fills `len` bytes at `offset` with `value`, word-at-a-time.
+    fn fill_words(&self, offset: usize, len: usize, value: u8) {
+        if len == 0 {
+            return;
+        }
+        let splat = u64::from(value) * 0x0101_0101_0101_0101;
+        let bytes = [value; WORD];
+        let mut off = offset;
+        let mut remaining = len;
+        let misalign = off % WORD;
+        if misalign != 0 {
+            let head = (WORD - misalign).min(remaining);
+            self.store_partial(off / WORD, misalign, &bytes[..head]);
+            off += head;
+            remaining -= head;
+        }
+        let mid_words = remaining / WORD;
+        let start = off / WORD;
+        for w in &self.data[start..start + mid_words] {
+            w.store(splat, Ordering::Relaxed);
+        }
+        off += mid_words * WORD;
+        remaining -= mid_words * WORD;
+        if remaining > 0 {
+            self.store_partial(off / WORD, 0, &bytes[..remaining]);
+        }
+    }
+
+    /// The stored tag nibble of granule `g`.
+    #[inline]
+    fn tag_nibble(&self, g: usize) -> Tag {
+        let word = self.tags[g / TAGS_PER_WORD].load(Ordering::Relaxed);
+        Tag::from_low_bits((word >> ((g % TAGS_PER_WORD) * 4)) as u8)
+    }
+
+    /// Stores `tag` into granule `g`'s nibble, leaving siblings intact.
+    #[inline]
+    fn set_tag_nibble(&self, g: usize, tag: Tag) {
+        let shift = (g % TAGS_PER_WORD) * 4;
+        let mask = 0xFu64 << shift;
+        let value = u64::from(tag.value()) << shift;
+        let _ = self.tags[g / TAGS_PER_WORD]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| {
+                Some((w & !mask) | value)
+            });
+    }
+
+    /// Broadcast-stores `tag` into granules `first..=last`, whole words
+    /// where possible.
+    fn set_tag_span(&self, first: usize, last: usize, tag: Tag) {
+        let splat = tag.broadcast64();
+        let first_word = first / TAGS_PER_WORD;
+        let last_word = last / TAGS_PER_WORD;
+        for w in first_word..=last_word {
+            let lo = if w == first_word { first % TAGS_PER_WORD } else { 0 };
+            let hi = if w == last_word {
+                last % TAGS_PER_WORD
+            } else {
+                TAGS_PER_WORD - 1
+            };
+            if lo == 0 && hi == TAGS_PER_WORD - 1 {
+                self.tags[w].store(splat, Ordering::Relaxed);
+            } else {
+                let mask = nibble_span_mask(lo, hi);
+                let _ = self.tags[w]
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |word| {
+                        Some((word & !mask) | (splat & mask))
+                    });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Tag checking
     // ------------------------------------------------------------------
 
     /// Performs the hardware tag check for an access of `len` bytes at
     /// `ptr` by thread `t`. Called on every data access; a no-op when the
     /// thread's checks are disabled or the page lacks `PROT_MTE`.
+    ///
+    /// The `PROT_MTE` bit is read once per *page* spanned by the access
+    /// (not once per granule), and granule tags are compared 16 at a
+    /// time: the packed tag word XOR the broadcast pointer tag is zero
+    /// in every matching nibble, so one word compare clears 256 bytes.
     #[inline]
     fn check_access(
         &self,
@@ -180,45 +402,110 @@ impl TaggedMemory {
         if crate::inject::should_fail(crate::inject::InjectPoint::Check) {
             return Err(MemError::Injected { point: "tag-check" });
         }
-        let ptag = ptr.tag();
         let first = offset / GRANULE;
         let last = (offset + len.max(1) - 1) / GRANULE;
-        for g in first..=last {
-            if !self.page_is_mte(g * GRANULE) {
+        let mut g = first;
+        while g <= last {
+            let page = g * GRANULE / PAGE_SIZE;
+            let page_last = (page + 1) * PAGE_SIZE / GRANULE - 1;
+            let segment_last = page_last.min(last);
+            if self.prot[page].load(Ordering::Relaxed) & 1 != 0 {
+                self.check_granule_span(t, ptr, g, segment_last, offset, access)?;
+            }
+            g = segment_last + 1;
+        }
+        Ok(())
+    }
+
+    /// Word-wide tag compare over granules `first..=last` (all on one
+    /// `PROT_MTE` page). The fast path is one load + XOR + mask per 16
+    /// granules; mismatches drop to the cold handler.
+    #[inline]
+    fn check_granule_span(
+        &self,
+        t: &MteThread,
+        ptr: TaggedPtr,
+        first: usize,
+        last: usize,
+        offset: usize,
+        access: AccessKind,
+    ) -> Result<()> {
+        let broadcast = ptr.tag().broadcast64();
+        let first_word = first / TAGS_PER_WORD;
+        let last_word = last / TAGS_PER_WORD;
+        for w in first_word..=last_word {
+            let lo = if w == first_word { first % TAGS_PER_WORD } else { 0 };
+            let hi = if w == last_word {
+                last % TAGS_PER_WORD
+            } else {
+                TAGS_PER_WORD - 1
+            };
+            let word = self.tags[w].load(Ordering::Relaxed);
+            let diff = (word ^ broadcast) & nibble_span_mask(lo, hi);
+            if diff != 0 {
+                self.tag_mismatch(t, ptr, word, w, lo, hi, offset, access)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cold path: at least one granule in `word` mismatched. Resolves
+    /// the thread's fault mode per granule in address order, exactly as
+    /// the scalar kernel did: a sync fault aborts at the first mismatch,
+    /// async faults latch per mismatching granule and continue.
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn tag_mismatch(
+        &self,
+        t: &MteThread,
+        ptr: TaggedPtr,
+        word: u64,
+        word_idx: usize,
+        lo: usize,
+        hi: usize,
+        offset: usize,
+        access: AccessKind,
+    ) -> Result<()> {
+        let ptag = ptr.tag();
+        // Asymmetric mode resolves per access direction.
+        let effective = match (t.mode(), access) {
+            (TcfMode::Asymm, AccessKind::Read) => TcfMode::Sync,
+            (TcfMode::Asymm, AccessKind::Write) => TcfMode::Async,
+            (m, _) => m,
+        };
+        for nibble in lo..=hi {
+            let mtag = Tag::from_low_bits((word >> (nibble * 4)) as u8);
+            if mtag == ptag {
                 continue;
             }
-            let mtag = Tag::from_low_bits(self.tags[g].load(Ordering::Relaxed));
-            if mtag != ptag {
-                // Asymmetric mode resolves per access direction.
-                let effective = match (t.mode(), access) {
-                    (TcfMode::Asymm, AccessKind::Read) => TcfMode::Sync,
-                    (TcfMode::Asymm, AccessKind::Write) => TcfMode::Async,
-                    (m, _) => m,
-                };
-                match effective {
-                    TcfMode::Sync => {
-                        self.stats.count_sync_fault();
-                        telemetry::record_rare(|| Event::Fault { class: FaultClass::Sync });
-                        let fault_addr =
-                            self.base + (g * GRANULE).max(offset) as u64;
-                        return Err(MemError::TagCheck(Box::new(TagCheckFault {
-                            kind: FaultKind::Sync,
-                            pointer: TaggedPtr::from_addr(fault_addr).with_tag(ptag),
-                            pointer_tag: ptag,
-                            memory_tag: mtag,
-                            access,
-                            thread: t.name_arc(),
-                            backtrace: t.backtrace(),
-                        })));
-                    }
-                    TcfMode::Async => {
-                        self.stats.count_async_fault();
-                        telemetry::record_rare(|| Event::Fault { class: FaultClass::Async });
-                        t.latch_async_fault(ptr, mtag, access);
-                        // Execution continues: async mode only logs.
-                    }
-                    TcfMode::None | TcfMode::Asymm => unreachable!("resolved above"),
+            let g = word_idx * TAGS_PER_WORD + nibble;
+            match effective {
+                TcfMode::Sync => {
+                    self.stats.count_sync_fault();
+                    telemetry::record_rare(|| telemetry::Event::Fault {
+                        class: telemetry::FaultClass::Sync,
+                    });
+                    let fault_addr = self.base + (g * GRANULE).max(offset) as u64;
+                    return Err(MemError::TagCheck(Box::new(TagCheckFault {
+                        kind: FaultKind::Sync,
+                        pointer: TaggedPtr::from_addr(fault_addr).with_tag(ptag),
+                        pointer_tag: ptag,
+                        memory_tag: mtag,
+                        access,
+                        thread: t.name_arc(),
+                        backtrace: t.backtrace(),
+                    })));
                 }
+                TcfMode::Async => {
+                    self.stats.count_async_fault();
+                    telemetry::record_rare(|| telemetry::Event::Fault {
+                        class: telemetry::FaultClass::Async,
+                    });
+                    t.latch_async_fault(ptr, mtag, access);
+                    // Execution continues: async mode only logs.
+                }
+                TcfMode::None | TcfMode::Asymm => unreachable!("resolved above"),
             }
         }
         Ok(())
@@ -238,7 +525,8 @@ impl TaggedMemory {
     pub fn load_u8(&self, t: &MteThread, ptr: TaggedPtr) -> Result<u8> {
         let offset = self.offset_of(ptr.addr(), 1)?;
         self.check_access(t, ptr, offset, 1, AccessKind::Read)?;
-        Ok(self.data[offset].load(Ordering::Relaxed))
+        let word = self.data[offset / WORD].load(Ordering::Relaxed);
+        Ok((word >> ((offset % WORD) * 8)) as u8)
     }
 
     /// Stores one byte.
@@ -250,7 +538,7 @@ impl TaggedMemory {
     pub fn store_u8(&self, t: &MteThread, ptr: TaggedPtr, value: u8) -> Result<()> {
         let offset = self.offset_of(ptr.addr(), 1)?;
         self.check_access(t, ptr, offset, 1, AccessKind::Write)?;
-        self.data[offset].store(value, Ordering::Relaxed);
+        self.store_partial(offset / WORD, offset % WORD, &[value]);
         Ok(())
     }
 
@@ -258,22 +546,16 @@ impl TaggedMemory {
     fn load_le(&self, t: &MteThread, ptr: TaggedPtr, len: usize) -> Result<u64> {
         let offset = self.offset_of(ptr.addr(), len)?;
         self.check_access(t, ptr, offset, len, AccessKind::Read)?;
-        let mut v = 0u64;
-        for i in (0..len).rev() {
-            v = (v << 8) | u64::from(self.data[offset + i].load(Ordering::Relaxed));
-        }
-        Ok(v)
+        let mut bytes = [0u8; WORD];
+        self.copy_out(offset, &mut bytes[..len]);
+        Ok(u64::from_le_bytes(bytes))
     }
 
     #[inline]
     fn store_le(&self, t: &MteThread, ptr: TaggedPtr, len: usize, value: u64) -> Result<()> {
         let offset = self.offset_of(ptr.addr(), len)?;
         self.check_access(t, ptr, offset, len, AccessKind::Write)?;
-        let mut v = value;
-        for i in 0..len {
-            self.data[offset + i].store((v & 0xFF) as u8, Ordering::Relaxed);
-            v >>= 8;
-        }
+        self.copy_in(offset, &value.to_le_bytes()[..len]);
         Ok(())
     }
 
@@ -347,9 +629,7 @@ impl TaggedMemory {
         let offset = self.offset_of(ptr.addr(), buf.len())?;
         self.check_access(t, ptr, offset, buf.len(), AccessKind::Read)?;
         self.stats.count_load();
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.data[offset + i].load(Ordering::Relaxed);
-        }
+        self.copy_out(offset, buf);
         Ok(())
     }
 
@@ -362,9 +642,7 @@ impl TaggedMemory {
         let offset = self.offset_of(ptr.addr(), buf.len())?;
         self.check_access(t, ptr, offset, buf.len(), AccessKind::Write)?;
         self.stats.count_store();
-        for (i, &b) in buf.iter().enumerate() {
-            self.data[offset + i].store(b, Ordering::Relaxed);
-        }
+        self.copy_in(offset, buf);
         Ok(())
     }
 
@@ -377,9 +655,7 @@ impl TaggedMemory {
         let offset = self.offset_of(ptr.addr(), len)?;
         self.check_access(t, ptr, offset, len, AccessKind::Write)?;
         self.stats.count_store();
-        for i in 0..len {
-            self.data[offset + i].store(value, Ordering::Relaxed);
-        }
+        self.fill_words(offset, len, value);
         Ok(())
     }
 
@@ -396,9 +672,7 @@ impl TaggedMemory {
     pub fn read_bytes_unchecked(&self, ptr: TaggedPtr, buf: &mut [u8]) -> Result<()> {
         let offset = self.offset_of(ptr.addr(), buf.len())?;
         self.stats.count_load();
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.data[offset + i].load(Ordering::Relaxed);
-        }
+        self.copy_out(offset, buf);
         Ok(())
     }
 
@@ -410,9 +684,7 @@ impl TaggedMemory {
     pub fn write_bytes_unchecked(&self, ptr: TaggedPtr, buf: &[u8]) -> Result<()> {
         let offset = self.offset_of(ptr.addr(), buf.len())?;
         self.stats.count_store();
-        for (i, &b) in buf.iter().enumerate() {
-            self.data[offset + i].store(b, Ordering::Relaxed);
-        }
+        self.copy_in(offset, buf);
         Ok(())
     }
 
@@ -424,9 +696,7 @@ impl TaggedMemory {
     pub fn fill_unchecked(&self, ptr: TaggedPtr, len: usize, value: u8) -> Result<()> {
         let offset = self.offset_of(ptr.addr(), len)?;
         self.stats.count_store();
-        for i in 0..len {
-            self.data[offset + i].store(value, Ordering::Relaxed);
-        }
+        self.fill_words(offset, len, value);
         Ok(())
     }
 
@@ -438,7 +708,7 @@ impl TaggedMemory {
     /// thread's random source.
     pub fn irg(&self, t: &MteThread, exclusion: TagExclusion) -> Tag {
         self.stats.count_irg();
-        telemetry::record(|| Event::TagOp { op: TagOp::Irg, granules: 1 });
+        telemetry::record_tag_op(TagOp::Irg, 1);
         #[cfg(feature = "stress-hooks")]
         if crate::inject::should_fail(crate::inject::InjectPoint::Irg) {
             // Tag-pool exhaustion: the generator falls back to the
@@ -463,11 +733,11 @@ impl TaggedMemory {
             return Err(MemError::Injected { point: "ldg" });
         }
         self.stats.count_ldg();
-        telemetry::record(|| Event::TagOp { op: TagOp::Ldg, granules: 1 });
+        telemetry::record_tag_op(TagOp::Ldg, 1);
         if !self.page_is_mte(offset) {
             return Ok(Tag::UNTAGGED);
         }
-        Ok(Tag::from_low_bits(self.tags[offset / GRANULE].load(Ordering::Relaxed)))
+        Ok(self.tag_nibble(offset / GRANULE))
     }
 
     /// The `stg` instruction: stores `tag` on the granule containing `ptr`.
@@ -479,47 +749,80 @@ impl TaggedMemory {
     pub fn stg(&self, ptr: TaggedPtr, tag: Tag) -> Result<()> {
         let offset = self.offset_of(ptr.granule_base(), GRANULE)?;
         if !self.page_is_mte(offset) {
-            return Err(MemError::NotProtMte { addr: ptr.addr() });
+            return Err(not_prot_mte(ptr.addr()));
         }
         #[cfg(feature = "stress-hooks")]
         if crate::inject::should_fail(crate::inject::InjectPoint::Stg) {
             return Err(MemError::Injected { point: "stg" });
         }
         self.stats.count_stg(1);
-        telemetry::record(|| Event::TagOp { op: TagOp::Stg, granules: 1 });
-        self.tags[offset / GRANULE].store(tag.value(), Ordering::Relaxed);
+        telemetry::record_tag_op(TagOp::Stg, 1);
+        self.set_tag_nibble(offset / GRANULE, tag);
         Ok(())
     }
 
     /// The `st2g` instruction: tags the granule containing `ptr` and the
     /// next one.
     ///
+    /// One bounds check, one `PROT_MTE` validation pass, and one
+    /// telemetry event cover both granules; if either granule is
+    /// unmappable neither is tagged.
+    ///
     /// # Errors
     ///
     /// See [`Self::stg`].
     pub fn st2g(&self, ptr: TaggedPtr, tag: Tag) -> Result<()> {
-        self.stg(ptr, tag)?;
-        self.stg(ptr.wrapping_add(GRANULE as u64), tag)
+        let offset = self.offset_of(ptr.granule_base(), 2 * GRANULE)?;
+        if !self.page_is_mte(offset) {
+            return Err(not_prot_mte(ptr.addr()));
+        }
+        if !self.page_is_mte(offset + GRANULE) {
+            return Err(not_prot_mte(self.base + (offset + GRANULE) as u64));
+        }
+        #[cfg(feature = "stress-hooks")]
+        if crate::inject::should_fail(crate::inject::InjectPoint::Stg) {
+            return Err(MemError::Injected { point: "stg" });
+        }
+        self.stats.count_stg(2);
+        telemetry::record_tag_op(TagOp::Stg, 2);
+        let g = offset / GRANULE;
+        self.set_tag_span(g, g + 1, tag);
+        Ok(())
     }
 
     /// The `stzg` instruction: tags the granule and zeroes its data.
+    ///
+    /// The granule offset is computed once and shared by the tag store
+    /// and the data zeroing (two aligned word stores).
     ///
     /// # Errors
     ///
     /// See [`Self::stg`].
     pub fn stzg(&self, ptr: TaggedPtr, tag: Tag) -> Result<()> {
-        self.stg(ptr, tag)?;
         let offset = self.offset_of(ptr.granule_base(), GRANULE)?;
-        for i in 0..GRANULE {
-            self.data[offset + i].store(0, Ordering::Relaxed);
+        if !self.page_is_mte(offset) {
+            return Err(not_prot_mte(ptr.addr()));
         }
+        #[cfg(feature = "stress-hooks")]
+        if crate::inject::should_fail(crate::inject::InjectPoint::Stg) {
+            return Err(MemError::Injected { point: "stg" });
+        }
+        self.stats.count_stg(1);
+        telemetry::record_tag_op(TagOp::Stg, 1);
+        self.set_tag_nibble(offset / GRANULE, tag);
+        // A granule is 16-byte aligned, so its data is exactly two words.
+        self.data[offset / WORD].store(0, Ordering::Relaxed);
+        self.data[offset / WORD + 1].store(0, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Tags every granule covering `[begin, end)` with `tag`, using `st2g`
-    /// for pairs and `stg` for a trailing odd granule — the loop Algorithm 1
-    /// describes ("apply new tags to memory from begin to end using st2g and
-    /// stg instructions").
+    /// Tags every granule covering `[begin, end)` with `tag` — the loop
+    /// Algorithm 1 describes ("apply new tags to memory from begin to end
+    /// using st2g and stg instructions"), implemented as broadcast word
+    /// stores 16 granules at a time.
+    ///
+    /// `PROT_MTE` is validated over the *whole* range before any granule
+    /// is retagged, so a failed call leaves the tag map untouched.
     ///
     /// # Errors
     ///
@@ -537,19 +840,20 @@ impl TaggedMemory {
         }
         let first = offset / GRANULE;
         let last = (offset + len - 1) / GRANULE;
-        for g in first..=last {
-            if !self.page_is_mte(g * GRANULE) {
-                return Err(MemError::NotProtMte {
-                    addr: self.base + (g * GRANULE) as u64,
-                });
+        // Validate every page up front: no partial tagging on failure.
+        let first_page = first * GRANULE / PAGE_SIZE;
+        let last_page = last * GRANULE / PAGE_SIZE;
+        for page in first_page..=last_page {
+            if self.prot[page].load(Ordering::Relaxed) & 1 == 0 {
+                // Report the first granule of the range on the bad page,
+                // as the scalar loop did.
+                let g = first.max(page * PAGE_SIZE / GRANULE);
+                return Err(not_prot_mte(self.base + (g * GRANULE) as u64));
             }
-            self.tags[g].store(tag.value(), Ordering::Relaxed);
         }
+        self.set_tag_span(first, last, tag);
         self.stats.count_stg((last - first + 1) as u64);
-        telemetry::record(|| Event::TagOp {
-            op: TagOp::Stg,
-            granules: u32::try_from(last - first + 1).unwrap_or(u32::MAX),
-        });
+        telemetry::record_tag_op(TagOp::Stg, (last - first + 1) as u64);
         Ok(())
     }
 
@@ -569,7 +873,7 @@ impl TaggedMemory {
             if i > 0 && i % 64 == 0 {
                 out.push('\n');
             }
-            let tag = Tag::from_low_bits(self.tags[g].load(Ordering::Relaxed));
+            let tag = self.tag_nibble(g);
             if tag.is_untagged() {
                 out.push('.');
             } else {
@@ -587,7 +891,7 @@ impl TaggedMemory {
     /// [`MemError::OutOfRange`] outside the region.
     pub fn raw_tag_at(&self, addr: u64) -> Result<Tag> {
         let offset = self.offset_of(addr & !(GRANULE as u64 - 1), GRANULE)?;
-        Ok(Tag::from_low_bits(self.tags[offset / GRANULE].load(Ordering::Relaxed)))
+        Ok(self.tag_nibble(offset / GRANULE))
     }
 }
 
@@ -599,7 +903,6 @@ impl fmt::Debug for TaggedMemory {
             .finish()
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// the guarded-copy baseline shows up as bulk byte traffic while MTE4JNI
 /// shows up as `stg`/`st2g` traffic roughly 1/16th the object size.
 ///
+/// Counts are per *operation* (one `read_bytes` of any length is one
+/// load; one `set_tag_range` adds its granule count once), so the wide
+/// kernels (DESIGN.md §10) and the scalar reference report identical
+/// deltas — the differential suite asserts exactly that.
+///
 /// [`TaggedMemory`]: crate::TaggedMemory
 #[derive(Debug, Default)]
 pub struct MteStats {
@@ -21,9 +26,11 @@ pub struct MteStats {
 }
 
 impl MteStats {
+    #[inline]
     pub(crate) fn count_load(&self) {
         self.loads.fetch_add(1, Ordering::Relaxed);
     }
+    #[inline]
     pub(crate) fn count_store(&self) {
         self.stores.fetch_add(1, Ordering::Relaxed);
     }
@@ -33,12 +40,15 @@ impl MteStats {
     pub(crate) fn count_async_fault(&self) {
         self.async_faults.fetch_add(1, Ordering::Relaxed);
     }
+    #[inline]
     pub(crate) fn count_irg(&self) {
         self.irg_ops.fetch_add(1, Ordering::Relaxed);
     }
+    #[inline]
     pub(crate) fn count_ldg(&self) {
         self.ldg_ops.fetch_add(1, Ordering::Relaxed);
     }
+    #[inline]
     pub(crate) fn count_stg(&self, granules: u64) {
         self.stg_ops.fetch_add(granules, Ordering::Relaxed);
     }

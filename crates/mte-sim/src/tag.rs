@@ -15,6 +15,12 @@ pub const PAGE_SIZE: usize = 4096;
 /// Number of tag bits. Tags range over `0..16`.
 pub const TAG_BITS: u32 = 4;
 
+/// Granule tags packed into one `u64` tag word (16 × 4 bits). The tag
+/// store keeps the tag of granule *g* in nibble `g % TAGS_PER_WORD` of
+/// word `g / TAGS_PER_WORD`, so one word covers 256 bytes of data and a
+/// single comparison checks 16 granules at once (DESIGN.md §10).
+pub const TAGS_PER_WORD: usize = 16;
+
 /// A 4-bit MTE tag.
 ///
 /// Tag `0` is the *untagged* value: freshly mapped `PROT_MTE` memory carries
@@ -53,6 +59,14 @@ impl Tag {
     /// Whether this is the reserved untagged value.
     pub fn is_untagged(self) -> bool {
         self.0 == 0
+    }
+
+    /// This tag replicated into every nibble of a `u64` — the broadcast
+    /// operand of the word-wide tag compare: a packed tag word XORed
+    /// with the broadcast is zero in exactly the nibbles whose granule
+    /// tag matches.
+    pub fn broadcast64(self) -> u64 {
+        u64::from(self.0) * 0x1111_1111_1111_1111
     }
 }
 
@@ -151,6 +165,19 @@ mod tests {
                     assert_eq!(t.value(), v);
                 }
                 None => assert!(v >= 16),
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_fills_every_nibble() {
+        assert_eq!(Tag::UNTAGGED.broadcast64(), 0);
+        assert_eq!(Tag::new(0xF).unwrap().broadcast64(), u64::MAX);
+        assert_eq!(Tag::new(0xA).unwrap().broadcast64(), 0xAAAA_AAAA_AAAA_AAAA);
+        for v in 0..16u8 {
+            let w = Tag::new(v).unwrap().broadcast64();
+            for nibble in 0..TAGS_PER_WORD {
+                assert_eq!(((w >> (nibble * 4)) & 0xF) as u8, v);
             }
         }
     }

@@ -122,6 +122,10 @@ impl Snapshot {
     /// collecting is consuming for the event stream (counters and
     /// histograms are cumulative and unaffected).
     pub fn collect() -> Snapshot {
+        // Push the calling thread's batched tag ops into the rings first,
+        // or a snapshot taken right after a burst of tag instructions
+        // would miss the partial batch (see `record_tag_op`).
+        crate::flush_tag_ops();
         let events = crate::ring::drain_all();
         let histograms = crate::hist::all_histograms()
             .into_iter()
