@@ -39,6 +39,45 @@ cargo run --offline -q -p stress --bin stress -- \
 cmp "$out/stress1/STRESS.json" "$out/stress2/STRESS.json"
 echo "STRESS.json bit-reproducible across runs"
 
+echo "== pin-aware lifecycle: fixed-seed stress gate =="
+# The object-lifecycle schedules (acquire, drop the last Java handle,
+# sweep, release — DESIGN.md §11): 1000 schedules per scheme under fault
+# injection. Any reclaimed-while-borrowed object, unbalanced pin, stale
+# table entry, or recycled-address tag alias fails the run.
+cargo run --offline -q -p stress --bin stress -- \
+    --lifecycle --seed 0xC1 --schedules 1000 --fault-ppm 2000 \
+    --json "$out/lifecycle"
+test -s "$out/lifecycle/STRESS.json"
+grep -q '"workload": "lifecycle"' "$out/lifecycle/STRESS.json"
+
+echo "== bench smoke: compaction + pinning =="
+# Quick fragmentation-under-churn run (sweep-only vs mark-compact around
+# a pinned borrow). The binary itself asserts the pinned survivor was
+# treated as an obstacle in every compaction pass; the report lands at
+# the repo root like the other bench smoke outputs.
+cargo run --offline -q --release -p bench --bin compaction -- \
+    --quick --json . >/dev/null
+test -s BENCH_compaction.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_compaction.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+s = doc["summary"]
+assert doc["bench"] == "compaction"
+assert s["pinned_skipped_total"] >= doc["params"]["rounds"], s
+assert s["moved_objects_total"] > 0, s
+assert s["final_largest_alloc_compact"] >= s["final_largest_alloc_sweep"], s
+hists = json.dumps(doc["telemetry"])
+assert "gc_pause" in hists, "telemetry must carry the gc_pause histogram"
+print("compaction gate: recovery %.2fx, %d moved, %d pinned skips"
+      % (s["largest_alloc_recovery"], s["moved_objects_total"],
+         s["pinned_skipped_total"]))
+PY
+else
+    grep -q '"pinned_skipped_total"' BENCH_compaction.json
+    echo "compaction report present (python3 unavailable; gate skipped)"
+fi
+
 echo "== bench JSON sanity =="
 # A fast fig5 run must emit a parseable, schema-versioned report whose
 # summary carries the headline ratios (README "Regenerating" section).

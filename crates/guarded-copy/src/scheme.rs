@@ -460,6 +460,41 @@ mod tests {
     }
 
     #[test]
+    fn sweep_spares_a_borrowed_object_so_copy_back_succeeds() {
+        let scheme = Arc::new(GuardedCopy::new());
+        let vm = Vm::builder().protection(scheme.clone()).build();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let (elems, obj_addr) = {
+            let a = env.new_int_array_from(&[1, 2, 3]).unwrap();
+            let e = env.get_primitive_array_critical(&a).unwrap();
+            (e, a.addr())
+            // The only Java handle drops here, mid-borrow.
+        };
+        let stats = vm.heap().sweep();
+        assert_eq!(stats.swept, 0, "pin ledger holds the borrowed object");
+        assert_eq!(stats.pinned, 1);
+        assert_eq!(scheme.tracked_shadows(), 1, "shadow survives the sweep");
+        // Native code keeps writing through the shadow copy...
+        let mem = env.native_mem();
+        elems.write_i32(&mem, 1, 42).unwrap();
+        // ...and the final release copies back into the *original* object,
+        // which the sweep left in place instead of recycling its block.
+        let a = vm
+            .heap()
+            .pinned_handle(obj_addr)
+            .expect("borrowed object is pinned")
+            .as_array()
+            .unwrap();
+        env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
+            .unwrap();
+        assert_eq!(vm.heap().int_at(&t, &a, 1).unwrap(), 42);
+        drop(a);
+        assert_eq!(vm.heap().sweep().swept, 1, "borrow over: reclaimable");
+        assert_eq!(scheme.tracked_shadows(), 0);
+    }
+
+    #[test]
     fn native_buffers_are_freed_after_release() {
         let vm = vm();
         let t = vm.attach_thread("main");

@@ -122,6 +122,39 @@ impl BlockAllocator {
         self.in_use.fetch_sub(len, Ordering::Relaxed);
     }
 
+    /// Replaces the free list with the complement of `allocated`, a
+    /// sorted, non-overlapping list of `(addr, block_len)` blocks — the
+    /// post-compaction heap layout. The cumulative request/allocation
+    /// counters are untouched (compaction moves blocks, it does not
+    /// allocate), but `bytes_in_use` is re-derived from the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allocated` is unsorted, overlapping, misaligned, or
+    /// outside the managed range.
+    pub fn reset_layout(&self, allocated: &[(u64, u64)]) {
+        let mut free = self.free.lock();
+        free.clear();
+        let mut cursor = self.start;
+        let mut in_use = 0u64;
+        for &(addr, len) in allocated {
+            assert!(
+                addr >= cursor && addr + len <= self.end && addr.is_multiple_of(self.align),
+                "layout block {addr:#x}+{len} invalid for this allocator"
+            );
+            if addr > cursor {
+                free.push((cursor, addr - cursor));
+            }
+            cursor = addr + len;
+            in_use += len;
+        }
+        if cursor < self.end {
+            free.push((cursor, self.end - cursor));
+        }
+        drop(free);
+        self.in_use.store(in_use, Ordering::Relaxed);
+    }
+
     /// Bytes currently allocated (rounded sizes).
     pub fn bytes_in_use(&self) -> u64 {
         self.in_use.load(Ordering::Relaxed)
@@ -207,6 +240,36 @@ mod tests {
         let (p, l) = a.alloc(8).unwrap();
         a.free(p, l);
         a.free(p, l);
+    }
+
+    #[test]
+    fn reset_layout_rebuilds_the_free_list() {
+        let a = BlockAllocator::new(0x1000, 0x1000, 16);
+        let blocks: Vec<_> = (0..4).map(|_| a.alloc(0x100).unwrap()).collect();
+        assert_eq!(a.bytes_in_use(), 0x400);
+        // Compacted layout: the middle two blocks slid left, the last
+        // stayed pinned in place.
+        let layout = [
+            (0x1000u64, 0x100u64),
+            (0x1100, 0x100),
+            (0x1200, 0x100),
+            (blocks[3].0, 0x100),
+        ];
+        a.reset_layout(&layout);
+        assert_eq!(a.bytes_in_use(), 0x400);
+        // The next allocations come from the coalesced tail gap.
+        let (p, _) = a.alloc(0x100).unwrap();
+        assert_eq!(p, 0x1400);
+        // Freeing a layout block round-trips with the rebuilt list.
+        a.free(0x1100, 0x100);
+        assert_eq!(a.alloc(0x100).unwrap().0, 0x1100);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for this allocator")]
+    fn reset_layout_rejects_overlap() {
+        let a = BlockAllocator::new(0, 0x1000, 16);
+        a.reset_layout(&[(0, 0x100), (0x80, 0x100)]);
     }
 
     #[test]

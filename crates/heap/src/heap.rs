@@ -4,20 +4,28 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use mte_sim::{
-    MemoryConfig, MteThread, NativeAllocator, TagCheckFault, Tag, TaggedMemory, TaggedPtr,
+    MemoryConfig, MteThread, NativeAllocator, TagCheckFault, Tag, TaggedMemory, TaggedPtr, GRANULE,
 };
 
 use crate::block_alloc::BlockAllocator;
 use crate::error::HeapError;
 use crate::jstring::utf16_units;
 use crate::object::{ArrayRef, LiveToken, ObjKind, ObjectRef, StringRef};
+use crate::pin::PinLedger;
 use crate::thread::JavaThread;
+use crate::world::WorldGate;
 use crate::types::PrimitiveType;
 use crate::Result;
+
+/// Callback invoked for every relocated object during compaction, with
+/// the old and new *payload* addresses — the keys a protection scheme's
+/// tag table uses.
+pub type RelocationHook = Arc<dyn Fn(u64, u64) + Send + Sync>;
 
 /// Size of the simulated object header.
 ///
@@ -106,9 +114,22 @@ struct HeapInner {
     native: NativeAllocator,
     config: HeapConfig,
     objects: Mutex<HashMap<u64, ObjectMeta>>,
+    /// Natively-borrowed objects: never swept, never moved.
+    pins: PinLedger,
+    /// The stop-the-world gate for the compacting collector: object
+    /// relocation holds it exclusively; payload accessors and pin
+    /// insertion hold it shared (recursively — an accessor may nest
+    /// inside another gated section on the same thread).
+    world: WorldGate,
+    /// Notified for each moved object so protection schemes can rehome
+    /// tag-table entries keyed by payload address.
+    relocation_hook: Mutex<Option<RelocationHook>>,
     allocated_total: AtomicU64,
     swept_total: AtomicU64,
     sweeps: AtomicU64,
+    compactions: AtomicU64,
+    moved_objects_total: AtomicU64,
+    moved_bytes_total: AtomicU64,
     /// xorshift state for allocation-time tag generation.
     tag_rng: AtomicU64,
 }
@@ -172,9 +193,15 @@ impl Heap {
                 memory,
                 config,
                 objects: Mutex::new(HashMap::new()),
+                pins: PinLedger::default(),
+                world: WorldGate::default(),
+                relocation_hook: Mutex::new(None),
                 allocated_total: AtomicU64::new(0),
                 swept_total: AtomicU64::new(0),
                 sweeps: AtomicU64::new(0),
+                compactions: AtomicU64::new(0),
+                moved_objects_total: AtomicU64::new(0),
+                moved_bytes_total: AtomicU64::new(0),
                 tag_rng: AtomicU64::new(0x2545_F491_4F6C_DD1D),
             }),
         }
@@ -203,6 +230,12 @@ impl Heap {
     fn alloc_object(&self, kind: ObjKind, len: usize) -> Result<Arc<LiveToken>> {
         let byte_len = len * kind.element_type().size();
         let total = HEADER_SIZE + byte_len;
+        // Block reservation and object registration happen under one
+        // objects-lock hold: the compacting collector rebuilds the
+        // allocator's free list from the objects map, so a block must
+        // never exist in one without the other.
+        let _gate = self.inner.world.read_recursive();
+        let mut objects = self.inner.objects.lock();
         let (addr, block_len) = self
             .inner
             .blocks
@@ -225,8 +258,8 @@ impl Heap {
             let tag = self.next_alloc_tag();
             mem.set_tag_range(header, addr + block_len as u64, tag)?;
         }
-        let token = Arc::new(LiveToken { addr, kind, len });
-        self.inner.objects.lock().insert(
+        let token = Arc::new(LiveToken::new(addr, kind, len));
+        objects.insert(
             addr,
             ObjectMeta {
                 block_len,
@@ -234,6 +267,7 @@ impl Heap {
                 live: Arc::downgrade(&token),
             },
         );
+        drop(objects);
         self.inner.allocated_total.fetch_add(1, Ordering::Relaxed);
         Ok(token)
     }
@@ -241,12 +275,22 @@ impl Heap {
     /// Generates a non-zero allocation tag (xorshift over the shared
     /// state; tag 0 is reserved for untagged memory).
     fn next_alloc_tag(&self) -> Tag {
-        loop {
-            let mut x = self.inner.tag_rng.load(Ordering::Relaxed);
+        fn xorshift(mut x: u64) -> u64 {
             x ^= x >> 12;
             x ^= x << 25;
             x ^= x >> 27;
-            self.inner.tag_rng.store(x, Ordering::Relaxed);
+            x
+        }
+        loop {
+            // One atomic step: a separate load/store pair let racing
+            // allocators observe the same state and walk away with
+            // identical "random" tags.
+            let prev = self
+                .inner
+                .tag_rng
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| Some(xorshift(x)))
+                .expect("xorshift update is infallible");
+            let x = xorshift(prev);
             let tag = Tag::from_low_bits((x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as u8);
             if !tag.is_untagged() {
                 return tag;
@@ -286,8 +330,9 @@ impl Heap {
         for u in units {
             bytes.extend_from_slice(&u.to_le_bytes());
         }
+        let _gate = self.inner.world.read_recursive();
         self.inner.memory.write_bytes_unchecked(
-            TaggedPtr::from_addr(token.addr + HEADER_SIZE as u64),
+            TaggedPtr::from_addr(token.addr() + HEADER_SIZE as u64),
             &bytes,
         )?;
         Ok(StringRef { token })
@@ -303,6 +348,7 @@ impl Heap {
     /// instead.
     pub fn read_string(&self, s: &StringRef) -> Result<String> {
         let mut bytes = vec![0u8; s.byte_len()];
+        let _gate = self.inner.world.read_recursive();
         self.inner
             .memory
             .read_bytes_unchecked(TaggedPtr::from_addr(s.data_addr()), &mut bytes)?;
@@ -351,6 +397,7 @@ impl Heap {
     /// Propagates [`HeapError::Mem`] range errors.
     pub fn read_payload(&self, obj: &ObjectRef, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), obj.byte_len());
+        let _gate = self.inner.world.read_recursive();
         self.inner
             .memory
             .read_bytes_unchecked(TaggedPtr::from_addr(obj.data_addr()), buf)?;
@@ -365,10 +412,57 @@ impl Heap {
     /// Propagates [`HeapError::Mem`] range errors.
     pub fn write_payload(&self, obj: &ObjectRef, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), obj.byte_len());
+        let _gate = self.inner.world.read_recursive();
         self.inner
             .memory
             .write_bytes_unchecked(TaggedPtr::from_addr(obj.data_addr()), buf)?;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Pinning (the JNI critical-section contract)
+    // ------------------------------------------------------------------
+
+    /// Pins `obj` against collection and relocation, returning the new pin
+    /// count. Every acquire through a protection scheme pins; the final
+    /// `Release*` unpins. While pinned, [`Heap::sweep`] never reclaims and
+    /// [`Heap::compact`] never moves the object — even after the last Java
+    /// handle dies mid-borrow.
+    pub fn pin(&self, obj: &ObjectRef) -> u32 {
+        // Shared world-gate hold: a pin can never land on an address the
+        // collector is concurrently rewriting.
+        let _gate = self.inner.world.read_recursive();
+        self.inner.pins.pin(&obj.token)
+    }
+
+    /// Drops one pin from the object at header address `addr`, returning
+    /// the remaining count (`Some(0)` means the borrow fully ended), or
+    /// `None` if the address was not pinned.
+    pub fn unpin(&self, addr: u64) -> Option<u32> {
+        self.inner.pins.unpin(addr)
+    }
+
+    /// Whether the object at header address `addr` is currently pinned.
+    pub fn is_pinned(&self, addr: u64) -> bool {
+        self.inner.pins.is_pinned(addr)
+    }
+
+    /// Number of distinct currently-pinned objects.
+    pub fn pinned_count(&self) -> usize {
+        self.inner.pins.pinned_objects()
+    }
+
+    /// Resurrects a handle to the pinned object at header address `addr` —
+    /// how a `Release*` reaches an object whose last Java handle died
+    /// during the native borrow.
+    pub fn pinned_handle(&self, addr: u64) -> Option<ObjectRef> {
+        self.inner.pins.token(addr).map(|token| ObjectRef { token })
+    }
+
+    /// Installs the compaction relocation callback (old payload address,
+    /// new payload address). Replaces any previous hook.
+    pub fn set_relocation_hook(&self, hook: impl Fn(u64, u64) + Send + Sync + 'static) {
+        *self.inner.relocation_hook.lock() = Some(Arc::new(hook));
     }
 
     // ------------------------------------------------------------------
@@ -378,11 +472,18 @@ impl Heap {
     /// Sweeps dead objects (those with no live handles), returning their
     /// blocks to the allocator and clearing their memory tags so a stale
     /// tag can never alias a future allocation.
+    ///
+    /// Pinned objects are never reclaimed: an object borrowed by native
+    /// code through a critical interface survives — at a stable address,
+    /// with its tag-table entry intact — until the final `Release*`
+    /// unpins it, per the JNI pinning contract.
     pub fn sweep(&self) -> GcStats {
         let mut objects = self.inner.objects.lock();
         let dead: Vec<(u64, usize)> = objects
             .iter()
-            .filter(|(_, m)| m.live.strong_count() == 0)
+            .filter(|(&addr, m)| {
+                m.live.strong_count() == 0 && !self.inner.pins.is_pinned(addr)
+            })
             .map(|(&addr, m)| (addr, m.block_len))
             .collect();
         let mut bytes = 0usize;
@@ -406,7 +507,182 @@ impl Heap {
             swept: dead.len(),
             bytes_freed: bytes,
             live,
+            pinned: self.inner.pins.pinned_objects(),
         }
+    }
+
+    /// Mark–compact collection over the block allocator: slides every
+    /// unpinned live object toward the bottom of the heap, reclaims dead
+    /// objects, rewrites handles through their shared liveness tokens,
+    /// migrates memory tags with the payload (re-tags the destination,
+    /// zeroes the source), and fires the relocation hook per move so the
+    /// protection scheme can rehome tag-table entries. Pinned objects are
+    /// immovable obstacles, exactly like ART's critical-section pinning.
+    ///
+    /// Runs stop-the-world: payload accessors block on the world gate for
+    /// the duration.
+    pub fn compact(&self) -> CompactStats {
+        let timing = telemetry::start_timing();
+        let t0 = std::time::Instant::now();
+        let world = self.inner.world.write();
+        let mut objects = self.inner.objects.lock();
+        let mem = &self.inner.memory;
+        let mut entries: Vec<(u64, ObjectMeta)> = objects.drain().collect();
+        entries.sort_unstable_by_key(|&(addr, _)| addr);
+        let heap_start = self.inner.blocks.start();
+        let old_extent = entries
+            .last()
+            .map_or(heap_start, |&(addr, ref m)| addr + m.block_len as u64);
+        // Tag migration needs granule-aligned blocks; the misaligned_mte
+        // ablation config deliberately violates that, so it moves bytes
+        // but leaves tags alone (its granule-sharing hazard is the point).
+        let migrate_tags =
+            self.inner.config.prot_mte && self.inner.config.alignment.is_multiple_of(GRANULE);
+        let mut stats = CompactStats::default();
+        let mut cursor = heap_start;
+        let mut layout: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
+        let mut moves: Vec<(u64, u64)> = Vec::new();
+        let mut buf = Vec::new();
+        for (addr, meta) in entries {
+            let block_len = meta.block_len as u64;
+            let Some(token) = meta.live.upgrade() else {
+                if self.inner.pins.is_pinned(addr) {
+                    // Unreachable in practice — the ledger holds a strong
+                    // token — but the contract is stated defensively.
+                    stats.pinned_skipped += 1;
+                    cursor = cursor.max(addr + block_len);
+                    layout.push((addr, block_len));
+                    objects.insert(addr, meta);
+                    continue;
+                }
+                // Dead: reclaiming is simply not carrying the block into
+                // the new layout; its tags are zeroed with the free space.
+                stats.reclaimed_dead += 1;
+                stats.bytes_freed += meta.block_len;
+                continue;
+            };
+            if self.inner.pins.is_pinned(addr) {
+                // Natively borrowed: the raw pointer handed out by the
+                // protection scheme must stay valid, so the object is an
+                // obstacle the slide flows around.
+                stats.pinned_skipped += 1;
+                cursor = cursor.max(addr + block_len);
+                layout.push((addr, block_len));
+                objects.insert(addr, meta);
+                continue;
+            }
+            let new_addr = cursor;
+            cursor += block_len;
+            layout.push((new_addr, block_len));
+            if new_addr == addr {
+                objects.insert(addr, meta);
+                continue;
+            }
+            debug_assert!(new_addr < addr, "sliding compaction only moves down");
+            buf.resize(meta.block_len, 0);
+            mem.read_bytes_unchecked(TaggedPtr::from_addr(addr), &mut buf)
+                .expect("live blocks lie inside the heap");
+            mem.write_bytes_unchecked(TaggedPtr::from_addr(new_addr), &buf)
+                .expect("destination blocks lie inside the heap");
+            if migrate_tags {
+                // Migrate granule tags with the payload, coalescing
+                // equal-tag runs into single range stores. Source tags are
+                // read before the destination store of the same granule
+                // can clobber them: new_addr < addr and granules advance
+                // upward, so granule g's source read happens before any
+                // destination store at or above it.
+                let granule = GRANULE as u64;
+                let granules = block_len / granule;
+                let mut g = 0;
+                while g < granules {
+                    let tag = mem
+                        .raw_tag_at(addr + g * granule)
+                        .expect("live blocks lie inside the heap");
+                    let mut run = 1;
+                    while g + run < granules
+                        && mem
+                            .raw_tag_at(addr + (g + run) * granule)
+                            .expect("live blocks lie inside the heap")
+                            == tag
+                    {
+                        run += 1;
+                    }
+                    mem.set_tag_range(
+                        TaggedPtr::from_addr(new_addr + g * granule),
+                        new_addr + (g + run) * granule,
+                        tag,
+                    )
+                    .expect("heap blocks are PROT_MTE");
+                    g += run;
+                }
+            }
+            token.relocate(new_addr);
+            moves.push((addr + HEADER_SIZE as u64, new_addr + HEADER_SIZE as u64));
+            stats.moved_objects += 1;
+            stats.moved_bytes += meta.block_len;
+            objects.insert(new_addr, meta);
+        }
+        self.inner.blocks.reset_layout(&layout);
+        if migrate_tags {
+            // Zero the tags of every vacated region below the old
+            // high-water mark so a stale tag can never alias a future
+            // allocation ("zero the source").
+            let mut free_cursor = heap_start;
+            for &(addr, len) in &layout {
+                if addr > free_cursor && free_cursor < old_extent {
+                    mem.set_tag_range(
+                        TaggedPtr::from_addr(free_cursor),
+                        addr.min(old_extent),
+                        Tag::UNTAGGED,
+                    )
+                    .expect("heap blocks are PROT_MTE");
+                }
+                free_cursor = addr + len;
+            }
+            if free_cursor < old_extent {
+                mem.set_tag_range(
+                    TaggedPtr::from_addr(free_cursor),
+                    old_extent,
+                    Tag::UNTAGGED,
+                )
+                .expect("heap blocks are PROT_MTE");
+            }
+        }
+        drop(objects);
+        // Rehome tag-table entries keyed by moved payload addresses while
+        // the world is still stopped, so no acquire can observe a
+        // half-moved key.
+        let hook = self.inner.relocation_hook.lock().clone();
+        if let Some(hook) = hook {
+            for &(old, new) in &moves {
+                hook(old, new);
+            }
+        }
+        drop(world);
+        stats.pause = t0.elapsed();
+        self.inner
+            .swept_total
+            .fetch_add(stats.reclaimed_dead as u64, Ordering::Relaxed);
+        self.inner.compactions.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .moved_objects_total
+            .fetch_add(stats.moved_objects as u64, Ordering::Relaxed);
+        self.inner
+            .moved_bytes_total
+            .fetch_add(stats.moved_bytes as u64, Ordering::Relaxed);
+        telemetry::record_rare(|| telemetry::Event::GcCompact {
+            moved: u32::try_from(stats.moved_objects).unwrap_or(u32::MAX),
+        });
+        if let Some(start) = timing {
+            telemetry::record_latency(
+                "heap",
+                "Compact",
+                telemetry::SizeClass::from_bytes(stats.moved_bytes as u64),
+                telemetry::LatencyOp::GcPause,
+                start,
+            );
+        }
+        stats
     }
 
     /// Scans every live object's memory — header and payload — through
@@ -418,6 +694,7 @@ impl Heap {
     /// this scan fault on every object currently tagged for native code
     /// (paper §3.3).
     pub fn scan_live(&self, scanner: &MteThread) -> ScanOutcome {
+        let _gate = self.inner.world.read_recursive();
         let tokens: Vec<(u64, usize)> = {
             let objects = self.inner.objects.lock();
             objects
@@ -434,7 +711,10 @@ impl Heap {
             match self.inner.memory.read_bytes(scanner, ptr, &mut buf) {
                 Ok(()) => {}
                 Err(mte_sim::MemError::TagCheck(fault)) => outcome.faults.push(*fault),
-                Err(_) => unreachable!("live objects lie inside the heap"),
+                // Reachable if an object moves between snapshot and read
+                // (e.g. a concurrent compaction); report, don't panic the
+                // GC thread.
+                Err(other) => outcome.errors.push(other),
             }
             outcome.objects += 1;
             outcome.bytes += len;
@@ -466,6 +746,12 @@ impl Heap {
             allocated_total: self.inner.allocated_total.load(Ordering::Relaxed),
             swept_total: self.inner.swept_total.load(Ordering::Relaxed),
             sweeps: self.inner.sweeps.load(Ordering::Relaxed),
+            pinned_objects: self.inner.pins.pinned_objects(),
+            pins_total: self.inner.pins.pins_total(),
+            unpins_total: self.inner.pins.unpins_total(),
+            compactions: self.inner.compactions.load(Ordering::Relaxed),
+            moved_objects_total: self.inner.moved_objects_total.load(Ordering::Relaxed),
+            moved_bytes_total: self.inner.moved_bytes_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -488,6 +774,25 @@ pub struct GcStats {
     pub bytes_freed: usize,
     /// Objects still live after the sweep.
     pub live: usize,
+    /// Objects held back by the pin ledger (natively borrowed).
+    pub pinned: usize,
+}
+
+/// Result of one [`Heap::compact`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Objects relocated.
+    pub moved_objects: usize,
+    /// Block bytes relocated.
+    pub moved_bytes: usize,
+    /// Pinned objects left in place as obstacles.
+    pub pinned_skipped: usize,
+    /// Dead objects reclaimed during the pass.
+    pub reclaimed_dead: usize,
+    /// Block bytes those dead objects covered.
+    pub bytes_freed: usize,
+    /// Stop-the-world duration of the pass.
+    pub pause: Duration,
 }
 
 /// Result of one [`Heap::scan_live`].
@@ -500,6 +805,9 @@ pub struct ScanOutcome {
     /// Tag-check faults the scanner hit (empty for a correctly configured
     /// runtime thread).
     pub faults: Vec<TagCheckFault>,
+    /// Non-tag-check memory errors (e.g. a racing relocation moved an
+    /// object out from under the snapshot).
+    pub errors: Vec<mte_sim::MemError>,
 }
 
 /// Point-in-time heap statistics.
@@ -517,6 +825,18 @@ pub struct HeapStats {
     pub swept_total: u64,
     /// Sweep cycles run.
     pub sweeps: u64,
+    /// Currently-pinned (natively borrowed) objects.
+    pub pinned_objects: usize,
+    /// Cumulative pins ever taken.
+    pub pins_total: u64,
+    /// Cumulative pins ever dropped.
+    pub unpins_total: u64,
+    /// Compaction passes run.
+    pub compactions: u64,
+    /// Objects ever relocated by compaction.
+    pub moved_objects_total: u64,
+    /// Block bytes ever relocated by compaction.
+    pub moved_bytes_total: u64,
 }
 
 macro_rules! element_accessors {
@@ -547,6 +867,7 @@ macro_rules! element_accessors {
                     let enc = $encode(v);
                     bytes.extend_from_slice(&enc.to_le_bytes());
                 }
+                let _gate = self.inner.world.read_recursive();
                 self.inner
                     .memory
                     .write_bytes_unchecked(TaggedPtr::from_addr(a.data_addr()), &bytes)?;
@@ -561,6 +882,7 @@ macro_rules! element_accessors {
             /// [`HeapError::IndexOutOfBounds`] or [`HeapError::TypeMismatch`]
             /// on a bad access; [`HeapError::Mem`] on memory errors.
             pub fn $at(&self, t: &JavaThread, a: &ArrayRef, index: usize) -> Result<$rust> {
+                let _gate = self.inner.world.read_recursive();
                 let p = self.elem_ptr(a, $prim, index)?;
                 let raw = self.inner.memory.$load(t.mte(), p)?;
                 Ok($decode(raw))
@@ -578,6 +900,7 @@ macro_rules! element_accessors {
                 index: usize,
                 value: $rust,
             ) -> Result<()> {
+                let _gate = self.inner.world.read_recursive();
                 let p = self.elem_ptr(a, $prim, index)?;
                 self.inner.memory.$store(t.mte(), p, $encode(value))?;
                 Ok(())
@@ -831,5 +1154,167 @@ mod tests {
         assert_eq!(s.live_objects, 1);
         assert_eq!(s.sweeps, 1);
         assert!(s.bytes_in_use >= 56);
+    }
+
+    /// The headline regression: a dead-but-borrowed object survives sweep
+    /// until its last release.
+    #[test]
+    fn sweep_never_reclaims_a_pinned_object() {
+        let h = heap();
+        let t = JavaThread::new("main");
+        let a = h.alloc_int_array_from(&[11, 22, 33]).unwrap();
+        let addr = a.addr();
+        assert_eq!(h.pin(&a.as_object()), 1);
+        drop(a); // the last Java handle dies mid-borrow
+        let stats = h.sweep();
+        assert_eq!(stats.swept, 0, "pinned object must survive the sweep");
+        assert_eq!(stats.pinned, 1);
+        // Native code can still reach the object through the pin ledger.
+        let resurrected = h.pinned_handle(addr).expect("still pinned");
+        let arr = resurrected.as_array().unwrap();
+        assert_eq!(h.int_array_as_vec(&t, &arr).unwrap(), vec![11, 22, 33]);
+        assert_eq!(h.unpin(addr), Some(0)); // the final Release*
+        drop(arr);
+        drop(resurrected);
+        assert_eq!(h.sweep().swept, 1, "collected after the final release");
+        assert!(h.pinned_handle(addr).is_none());
+        let s = h.stats();
+        assert_eq!((s.pins_total, s.unpins_total, s.pinned_objects), (1, 1, 0));
+    }
+
+    #[test]
+    fn compaction_round_trip_preserves_payloads_and_migrates_tags() {
+        let h = heap();
+        let t = JavaThread::new("main");
+        // Fragment the heap: interleave survivors with garbage.
+        let mut keep = Vec::new();
+        for i in 0..8i32 {
+            keep.push(h.alloc_int_array_from(&[i; 16]).unwrap());
+            let _garbage = h.alloc_int_array(16).unwrap();
+        }
+        h.sweep();
+        // Give one survivor a lingering JNI-style tag over header + two
+        // payload granules.
+        let tag = Tag::new(0x7).unwrap();
+        let tagged_old = keep[5].addr();
+        h.memory()
+            .set_tag_range(TaggedPtr::from_addr(tagged_old), tagged_old + 48, tag)
+            .unwrap();
+        let old_addrs: Vec<u64> = keep.iter().map(|k| k.addr()).collect();
+        let stats = h.compact();
+        // keep[0] was already bottom-most; the other seven slide down.
+        assert_eq!(stats.moved_objects, 7);
+        assert_eq!(stats.pinned_skipped, 0);
+        for (k, &old) in keep.iter().zip(&old_addrs) {
+            assert!(k.addr() <= old, "sliding compaction only moves down");
+        }
+        // Payloads are bit-identical through the relocated handles.
+        for (i, k) in keep.iter().enumerate() {
+            assert_eq!(h.int_array_as_vec(&t, k).unwrap(), vec![i as i32; 16]);
+        }
+        // Tags migrated: valid at the destination…
+        let tagged_new = keep[5].addr();
+        assert_ne!(tagged_new, tagged_old);
+        for g in 0..3 {
+            assert_eq!(h.memory().raw_tag_at(tagged_new + g * 16).unwrap(), tag);
+        }
+        // …and zeroed at the (now free) source.
+        for g in 0..3 {
+            assert_eq!(
+                h.memory().raw_tag_at(tagged_old + g * 16).unwrap(),
+                Tag::UNTAGGED
+            );
+        }
+        let s = h.stats();
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.moved_objects_total, 7);
+        assert_eq!(s.moved_bytes_total, stats.moved_bytes as u64);
+    }
+
+    #[test]
+    fn compaction_never_moves_a_pinned_object() {
+        let h = heap();
+        let garbage = h.alloc_int_array(16).unwrap();
+        let pinned = h.alloc_int_array_from(&[9; 16]).unwrap();
+        let mover = h.alloc_int_array_from(&[4; 16]).unwrap();
+        let pinned_addr = pinned.addr();
+        let mover_old = mover.addr();
+        h.pin(&pinned.as_object());
+        drop(garbage);
+        let stats = h.compact();
+        assert_eq!(pinned.addr(), pinned_addr, "pinned object is an obstacle");
+        assert_eq!(stats.pinned_skipped, 1);
+        assert_eq!(stats.reclaimed_dead, 1);
+        // The mover cannot slide below the pinned obstacle; it stays put
+        // because its slot already followed the obstacle.
+        assert_eq!(mover.addr(), mover_old);
+        assert_eq!(stats.moved_objects, 0);
+        // Unpin, then compact again: now everything slides down.
+        h.unpin(pinned_addr);
+        let stats = h.compact();
+        assert_eq!(stats.pinned_skipped, 0);
+        assert_eq!(stats.moved_objects, 2);
+        assert!(pinned.addr() < pinned_addr);
+        let t = JavaThread::new("main");
+        assert_eq!(h.int_array_as_vec(&t, &pinned).unwrap(), vec![9; 16]);
+        assert_eq!(h.int_array_as_vec(&t, &mover).unwrap(), vec![4; 16]);
+    }
+
+    #[test]
+    fn relocation_hook_reports_payload_moves() {
+        let h = heap();
+        let moves = Arc::new(Mutex::new(Vec::new()));
+        {
+            let m = Arc::clone(&moves);
+            h.set_relocation_hook(move |old, new| m.lock().push((old, new)));
+        }
+        let garbage = h.alloc_int_array(16).unwrap();
+        let live = h.alloc_int_array(16).unwrap();
+        let old_payload = live.data_addr();
+        drop(garbage);
+        h.sweep();
+        let stats = h.compact();
+        assert_eq!(stats.moved_objects, 1);
+        assert_ne!(live.data_addr(), old_payload);
+        assert_eq!(*moves.lock(), vec![(old_payload, live.data_addr())]);
+    }
+
+    #[test]
+    fn compaction_reuses_reclaimed_space_for_new_allocations() {
+        let h = heap();
+        let mut survivors = Vec::new();
+        for _ in 0..4 {
+            let _garbage = h.alloc_int_array(64).unwrap();
+            survivors.push(h.alloc_int_array(4).unwrap());
+        }
+        let before = h.stats().bytes_in_use;
+        h.compact();
+        let after = h.stats().bytes_in_use;
+        assert!(after < before, "dead blocks reclaimed by the pass");
+        // The heap is dense: the next allocation lands right after the
+        // last survivor.
+        let expected = survivors.iter().map(|s| s.addr()).max().unwrap() + 32;
+        let next = h.alloc_int_array(4).unwrap();
+        assert_eq!(next.addr(), expected);
+    }
+
+    #[test]
+    fn racing_allocators_get_distinct_tag_streams() {
+        let h = Heap::new(HeapConfig::alloc_tagged());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let a = h.alloc_byte_array(8).unwrap();
+                        let tag = h.memory().raw_tag_at(a.addr()).unwrap();
+                        assert!(!tag.is_untagged(), "allocation tags are never zero");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
     }
 }

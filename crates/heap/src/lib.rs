@@ -27,13 +27,15 @@ mod gc;
 mod heap;
 mod jstring;
 mod object;
+mod pin;
 mod thread;
 mod types;
+mod world;
 
 pub use block_alloc::BlockAllocator;
 pub use error::HeapError;
-pub use gc::{GcScanner, GcScannerConfig, GcStats, ScanOutcome};
-pub use heap::{Heap, HeapConfig, HeapStats, HEADER_SIZE};
+pub use gc::{GcReport, GcScanner, GcScannerConfig, GcStats, ScanOutcome};
+pub use heap::{CompactStats, Heap, HeapConfig, HeapStats, RelocationHook, HEADER_SIZE};
 pub use jstring::{decode_modified_utf8, encode_modified_utf8, utf16_units, Utf8Error};
 pub use object::{ArrayRef, ObjKind, ObjectRef, StringRef};
 pub use thread::{JavaThread, ThreadState};

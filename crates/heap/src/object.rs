@@ -7,6 +7,7 @@
 //! [`Heap::sweep`]: crate::Heap::sweep
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::heap::HEADER_SIZE;
@@ -32,11 +33,35 @@ impl ObjKind {
 }
 
 /// Shared liveness token; the heap holds a `Weak` to it.
+///
+/// The address is atomic because the compacting collector relocates
+/// objects in place: every handle sharing this token observes the new
+/// address the moment [`LiveToken::relocate`] stores it.
 #[derive(Debug)]
 pub(crate) struct LiveToken {
-    pub(crate) addr: u64,
+    addr: AtomicU64,
     pub(crate) kind: ObjKind,
     pub(crate) len: usize,
+}
+
+impl LiveToken {
+    pub(crate) fn new(addr: u64, kind: ObjKind, len: usize) -> LiveToken {
+        LiveToken {
+            addr: AtomicU64::new(addr),
+            kind,
+            len,
+        }
+    }
+
+    /// Current header address.
+    pub(crate) fn addr(&self) -> u64 {
+        self.addr.load(Ordering::Acquire)
+    }
+
+    /// Rewrites the header address after the collector moved the object.
+    pub(crate) fn relocate(&self, new_addr: u64) {
+        self.addr.store(new_addr, Ordering::Release);
+    }
 }
 
 /// An untyped reference to any heap object.
@@ -48,12 +73,12 @@ pub struct ObjectRef {
 impl ObjectRef {
     /// Address of the object header in the simulated heap.
     pub fn addr(&self) -> u64 {
-        self.token.addr
+        self.token.addr()
     }
 
     /// Address of the first payload byte.
     pub fn data_addr(&self) -> u64 {
-        self.token.addr + HEADER_SIZE as u64
+        self.token.addr() + HEADER_SIZE as u64
     }
 
     /// Object kind.
@@ -116,12 +141,12 @@ macro_rules! typed_handle {
         impl $name {
             /// Address of the object header.
             pub fn addr(&self) -> u64 {
-                self.token.addr
+                self.token.addr()
             }
 
             /// Address of the first payload byte.
             pub fn data_addr(&self) -> u64 {
-                self.token.addr + HEADER_SIZE as u64
+                self.token.addr() + HEADER_SIZE as u64
             }
 
             /// Element count.
@@ -197,7 +222,7 @@ mod tests {
     use super::*;
 
     fn token(kind: ObjKind, len: usize) -> Arc<LiveToken> {
-        Arc::new(LiveToken { addr: 0x7a00_0000_1000, kind, len })
+        Arc::new(LiveToken::new(0x7a00_0000_1000, kind, len))
     }
 
     #[test]
@@ -234,6 +259,16 @@ mod tests {
         let s = ObjectRef { token: token(ObjKind::String, 2) };
         assert!(s.as_string().is_some());
         assert!(s.as_array().is_none());
+    }
+
+    #[test]
+    fn relocation_updates_every_handle() {
+        let a = ArrayRef { token: token(ObjKind::Array(PrimitiveType::Int), 4) };
+        let o = a.as_object();
+        a.token.relocate(0x7a00_0000_2000);
+        assert_eq!(a.addr(), 0x7a00_0000_2000);
+        assert_eq!(o.addr(), 0x7a00_0000_2000, "clones share the token");
+        assert_eq!(o.data_addr(), 0x7a00_0000_2000 + HEADER_SIZE as u64);
     }
 
     #[test]

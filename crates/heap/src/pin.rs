@@ -1,0 +1,157 @@
+//! The pin ledger: the heap half of the JNI pinning contract.
+//!
+//! `GetPrimitiveArrayCritical` and friends promise native code a stable
+//! pointer until the matching `Release*`. Real ART honours that promise
+//! by pinning the object against the moving collector; before this module
+//! existed, [`Heap::sweep`] would happily reclaim a natively-borrowed
+//! object the moment its last Java handle died — leaving the protection
+//! scheme's tag-table entry keyed at a recyclable address (the stale-tag
+//! use-after-free class the paper's timely tag release is built to kill).
+//!
+//! The ledger keeps one entry per pinned object: a pin count plus a
+//! *strong* [`LiveToken`] reference. The strong reference makes the fix
+//! airtight at the liveness level (a pinned object can never look dead),
+//! and the explicit ledger check in [`Heap::sweep`] / the compacting
+//! collector makes the contract auditable: sweep never reclaims, and
+//! compaction never moves, a pinned object.
+//!
+//! [`Heap::sweep`]: crate::Heap::sweep
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::object::LiveToken;
+
+struct PinEntry {
+    count: u32,
+    token: Arc<LiveToken>,
+}
+
+/// Per-heap registry of natively-borrowed objects.
+#[derive(Default)]
+pub(crate) struct PinLedger {
+    entries: Mutex<HashMap<u64, PinEntry>>,
+    pins_total: AtomicU64,
+    unpins_total: AtomicU64,
+}
+
+impl PinLedger {
+    /// Pins the object behind `token`, returning the new pin count.
+    ///
+    /// The caller must hold the heap's world gate (shared) so a pin can
+    /// never race the compacting collector relocating the same object.
+    pub(crate) fn pin(&self, token: &Arc<LiveToken>) -> u32 {
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(token.addr()).or_insert_with(|| PinEntry {
+            count: 0,
+            token: Arc::clone(token),
+        });
+        entry.count += 1;
+        self.pins_total.fetch_add(1, Ordering::Relaxed);
+        entry.count
+    }
+
+    /// Drops one pin from the object at `addr`. Returns the remaining pin
+    /// count, or `None` when the address was not pinned (a tolerated
+    /// caller error, like `Release*` without a matching `Get*`).
+    pub(crate) fn unpin(&self, addr: u64) -> Option<u32> {
+        let mut entries = self.entries.lock();
+        let entry = entries.get_mut(&addr)?;
+        entry.count -= 1;
+        let remaining = entry.count;
+        if remaining == 0 {
+            entries.remove(&addr);
+        }
+        self.unpins_total.fetch_add(1, Ordering::Relaxed);
+        Some(remaining)
+    }
+
+    /// Whether the object at `addr` is currently pinned.
+    pub(crate) fn is_pinned(&self, addr: u64) -> bool {
+        self.entries.lock().contains_key(&addr)
+    }
+
+    /// Number of distinct pinned objects.
+    pub(crate) fn pinned_objects(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// The liveness token of the pinned object at `addr`, if any — this
+    /// is how a `Release*` can resurrect a handle after native code
+    /// outlived the last Java reference.
+    pub(crate) fn token(&self, addr: u64) -> Option<Arc<LiveToken>> {
+        self.entries.lock().get(&addr).map(|e| Arc::clone(&e.token))
+    }
+
+    /// Cumulative pins ever taken.
+    pub(crate) fn pins_total(&self) -> u64 {
+        self.pins_total.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative pins ever dropped.
+    pub(crate) fn unpins_total(&self) -> u64 {
+        self.unpins_total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjKind;
+    use crate::types::PrimitiveType;
+
+    fn token(addr: u64) -> Arc<LiveToken> {
+        Arc::new(LiveToken::new(addr, ObjKind::Array(PrimitiveType::Int), 4))
+    }
+
+    #[test]
+    fn pin_counts_nest() {
+        let ledger = PinLedger::default();
+        let t = token(0x1000);
+        assert_eq!(ledger.pin(&t), 1);
+        assert_eq!(ledger.pin(&t), 2);
+        assert!(ledger.is_pinned(0x1000));
+        assert_eq!(ledger.unpin(0x1000), Some(1));
+        assert!(ledger.is_pinned(0x1000), "still borrowed once");
+        assert_eq!(ledger.unpin(0x1000), Some(0));
+        assert!(!ledger.is_pinned(0x1000));
+        assert_eq!(ledger.pins_total(), 2);
+        assert_eq!(ledger.unpins_total(), 2);
+    }
+
+    #[test]
+    fn unpin_of_unpinned_address_is_tolerated() {
+        let ledger = PinLedger::default();
+        assert_eq!(ledger.unpin(0xdead), None);
+        assert_eq!(ledger.unpins_total(), 0);
+    }
+
+    #[test]
+    fn ledger_holds_the_object_live() {
+        let ledger = PinLedger::default();
+        let t = token(0x2000);
+        let weak = Arc::downgrade(&t);
+        ledger.pin(&t);
+        drop(t); // last "Java handle" dies
+        assert!(weak.upgrade().is_some(), "the pin keeps the token alive");
+        let resurrected = ledger.token(0x2000).expect("pinned");
+        assert_eq!(resurrected.addr(), 0x2000);
+        ledger.unpin(0x2000);
+        drop(resurrected);
+        assert!(weak.upgrade().is_none(), "unpinned and unreferenced: dead");
+    }
+
+    #[test]
+    fn pinned_objects_counts_distinct_addresses() {
+        let ledger = PinLedger::default();
+        let a = token(0x1000);
+        let b = token(0x2000);
+        ledger.pin(&a);
+        ledger.pin(&a);
+        ledger.pin(&b);
+        assert_eq!(ledger.pinned_objects(), 2);
+    }
+}

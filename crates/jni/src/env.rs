@@ -103,8 +103,20 @@ impl<'a> JniEnv<'a> {
         interface: JniInterface,
     ) -> Result<AcquireOutcome> {
         let cx = self.cx(interface);
+        // Pin first: from this instant the object can neither be swept
+        // nor moved, so the raw pointer the scheme derives below stays
+        // valid for the whole borrow (the JNI pinning contract).
+        self.vm.heap().pin(scheme_obj);
         let started = telemetry::start_timing();
-        let out = self.vm.protection().on_acquire(&cx, scheme_obj)?;
+        let out = match self.vm.protection().on_acquire(&cx, scheme_obj) {
+            Ok(out) => out,
+            Err(e) => {
+                // Nothing was handed to native code: the borrow never
+                // started.
+                self.vm.heap().unpin(scheme_obj.addr());
+                return Err(e);
+            }
+        };
         if let Some(t0) = started {
             telemetry::record_latency(
                 self.vm.protection().name(),
@@ -159,6 +171,16 @@ impl<'a> JniEnv<'a> {
             );
         }
         telemetry::record(|| Event::Release { interface });
+        // The borrow ends — and the pin with it — when the scheme tore
+        // its tracking down: on success, or on a CheckJNI abort (the
+        // buffer is gone either way). `JNI_COMMIT` keeps the borrow, and
+        // a transient failure (e.g. an injected tag-store fault) leaves
+        // the pointer handed out, so the pin must survive the retry.
+        let ends_borrow = mode != ReleaseMode::Commit
+            && matches!(result, Ok(()) | Err(JniError::CheckJniAbort(_)));
+        if ends_borrow {
+            self.vm.heap().unpin(scheme_obj.addr());
+        }
         result
     }
 

@@ -121,6 +121,17 @@ impl Vm {
         for (key, value) in self.protection.counters() {
             reg.set(&format!("scheme.{scheme}.{key}"), value);
         }
+        let hs = self.heap.stats();
+        for (key, value) in [
+            ("heap.pinned_objects", hs.pinned_objects as u64),
+            ("heap.pins_total", hs.pins_total),
+            ("heap.unpins_total", hs.unpins_total),
+            ("heap.compactions", hs.compactions),
+            ("heap.moved_objects", hs.moved_objects_total),
+            ("heap.moved_bytes", hs.moved_bytes_total),
+        ] {
+            reg.set(&format!("scheme.{scheme}.{key}"), value);
+        }
     }
 
     /// Publishes this VM's counters ([`Self::publish_counters`]) and
@@ -141,6 +152,24 @@ impl Vm {
                 interval,
                 mode: self.config.check_mode,
                 tco: true,
+                ..GcScannerConfig::default()
+            },
+        )
+    }
+
+    /// Starts a background scanner whose cycles run the compacting
+    /// collector instead of the plain sweep ([`Heap::compact`]): pinned
+    /// objects are left in place, everything else slides down, and the
+    /// protection scheme's [`Protection::on_relocate`] hook rehomes any
+    /// per-object state (e.g. tag-table entries) for each move.
+    pub fn start_compacting_gc(&self, interval: Duration) -> GcScanner {
+        GcScanner::start(
+            &self.heap,
+            GcScannerConfig {
+                interval,
+                mode: self.config.check_mode,
+                tco: true,
+                compact: true,
                 ..GcScannerConfig::default()
             },
         )
@@ -201,11 +230,20 @@ impl VmBuilder {
         self
     }
 
-    /// Builds the VM.
+    /// Builds the VM. The heap's relocation hook is wired to the
+    /// protection scheme so a compacting collection rehomes whatever
+    /// per-object state the scheme keeps (e.g. MTE4JNI tag-table
+    /// entries) before mutators resume.
     pub fn build(self) -> Vm {
+        let heap = Heap::new(self.heap);
+        let protection = self.protection.unwrap_or_else(|| Arc::new(NoProtection));
+        heap.set_relocation_hook({
+            let protection = Arc::clone(&protection);
+            move |old_payload, new_payload| protection.on_relocate(old_payload, new_payload)
+        });
         Vm {
-            heap: Heap::new(self.heap),
-            protection: self.protection.unwrap_or_else(|| Arc::new(NoProtection)),
+            heap,
+            protection,
             config: VmConfig {
                 heap: self.heap,
                 check_mode: self.check_mode,

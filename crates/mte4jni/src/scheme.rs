@@ -53,6 +53,7 @@ pub struct Mte4Jni {
     shared_acquires: AtomicU64,
     releases: AtomicU64,
     tag_frees: AtomicU64,
+    rehomes: AtomicU64,
 }
 
 impl Mte4Jni {
@@ -78,6 +79,7 @@ impl Mte4Jni {
             shared_acquires: AtomicU64::new(0),
             releases: AtomicU64::new(0),
             tag_frees: AtomicU64::new(0),
+            rehomes: AtomicU64::new(0),
         }
     }
 
@@ -98,6 +100,7 @@ impl Mte4Jni {
             shared_acquires: self.shared_acquires.load(Ordering::Relaxed),
             releases: self.releases.load(Ordering::Relaxed),
             tag_frees: self.tag_frees.load(Ordering::Relaxed),
+            rehomes: self.rehomes.load(Ordering::Relaxed),
             tracked_objects: self.table.tracked_objects(),
         }
     }
@@ -172,6 +175,17 @@ impl Protection for Mte4Jni {
         true
     }
 
+    fn on_relocate(&self, old_payload: u64, new_payload: u64) {
+        // The pin ledger keeps every borrowed object in place, so the
+        // table normally has no entry for a moved object — but if one
+        // exists (broken table ablations, future schemes tracking
+        // unborrowed state), it must follow the payload or the next
+        // release would miss it and leave the tags stale.
+        if self.table.rehome(old_payload, new_payload) {
+            self.rehomes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn counters(&self) -> Vec<(&'static str, u64)> {
         let s = self.stats();
         let mut out = vec![
@@ -179,6 +193,7 @@ impl Protection for Mte4Jni {
             ("shared_acquires", s.shared_acquires),
             ("releases", s.releases),
             ("tag_frees", s.tag_frees),
+            ("rehomes", s.rehomes),
             ("tracked_objects", s.tracked_objects as u64),
         ];
         out.extend(self.table.counters());
@@ -197,6 +212,8 @@ pub struct Mte4JniStats {
     pub releases: u64,
     /// Releases that dropped the count to zero and freed the tags.
     pub tag_frees: u64,
+    /// Tag-table entries rehomed by the compacting collector.
+    pub rehomes: u64,
     /// Objects currently tracked.
     pub tracked_objects: usize,
 }
@@ -425,6 +442,84 @@ mod tests {
             Ok(())
         })
         .unwrap();
+    }
+
+    #[test]
+    fn sweep_spares_a_natively_borrowed_object_until_release() {
+        let vm = sync_vm();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let (elems, obj_addr) = {
+            let a = env.new_int_array_from(&[9, 8, 7]).unwrap();
+            let elems = env.get_primitive_array_critical(&a).unwrap();
+            (elems, a.addr())
+            // The only Java handle drops here: the object is dead to the
+            // GC but still borrowed by native code.
+        };
+        let ptr = elems.ptr();
+        let stats = vm.heap().sweep();
+        assert_eq!(stats.swept, 0, "pin ledger holds the borrowed object");
+        assert_eq!(stats.pinned, 1);
+        // The memory tag is still live at the payload.
+        assert_eq!(vm.heap().memory().raw_tag_at(ptr.addr()).unwrap(), ptr.tag());
+        // The final release, through a handle resurrected from the pin
+        // ledger, ends the borrow and frees the tags...
+        let a = vm
+            .heap()
+            .pinned_handle(obj_addr)
+            .expect("borrowed object is pinned")
+            .as_array()
+            .unwrap();
+        env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
+            .unwrap();
+        assert_eq!(vm.heap().memory().raw_tag_at(ptr.addr()).unwrap(), Tag::UNTAGGED);
+        drop(a);
+        // ...and only now may the sweep reclaim the object.
+        let stats = vm.heap().sweep();
+        assert_eq!(stats.swept, 1);
+        assert_eq!(stats.pinned, 0);
+    }
+
+    #[test]
+    fn compaction_leaves_borrowed_objects_in_place() {
+        let scheme = Arc::new(Mte4Jni::new());
+        let vm = Vm::builder()
+            .heap_config(HeapConfig::mte4jni())
+            .check_mode(TcfMode::Sync)
+            .protection(scheme.clone())
+            .build();
+        let t = vm.attach_thread("main");
+        let env = vm.env(&t);
+        let held = env.new_int_array_from(&[5; 16]).unwrap();
+        let garbage = env.new_int_array(16).unwrap();
+        let mover = env.new_int_array_from(&[6; 16]).unwrap();
+        let elems = env.get_primitive_array_critical(&held).unwrap();
+        let held_ptr = elems.ptr();
+        let mover_old = mover.data_addr();
+        drop(garbage);
+
+        let stats = vm.heap().compact();
+        assert_eq!(stats.pinned_skipped, 1, "the borrowed object is an obstacle");
+        assert_eq!(stats.moved_objects, 1);
+        assert!(mover.data_addr() < mover_old, "slid into the reclaimed gap");
+        // The borrowed object kept its address and its live tag, so the
+        // native pointer handed out before the collection still works.
+        assert_eq!(held.data_addr(), held_ptr.addr());
+        assert_eq!(
+            vm.heap().memory().raw_tag_at(held_ptr.addr()).unwrap(),
+            held_ptr.tag()
+        );
+        // Pinning kept every tracked entry in place — nothing to rehome.
+        assert_eq!(scheme.stats().rehomes, 0);
+        // The ordinary release path still finds the entry and frees tags.
+        env.release_primitive_array_critical(&held, elems, ReleaseMode::CopyBack)
+            .unwrap();
+        assert_eq!(
+            vm.heap().memory().raw_tag_at(held_ptr.addr()).unwrap(),
+            Tag::UNTAGGED
+        );
+        // And the moved object's payload followed it.
+        assert_eq!(vm.heap().int_at(&t, &mover, 0).unwrap(), 6);
     }
 
     #[test]

@@ -96,6 +96,18 @@ pub trait TagTable: Send + Sync + fmt::Debug {
         end: u64,
     ) -> mte_sim::Result<ReleaseOutcome>;
 
+    /// Rehomes the entry keyed by `old` (a payload begin address) to
+    /// `new` after the compacting collector moved the object. Called with
+    /// the world stopped, so no acquire or release runs concurrently.
+    /// Returns `true` when a live entry was moved; `false` when nothing
+    /// was tracked at `old`. The pin ledger keeps every borrowed object
+    /// in place, so in a correctly pinned run tracked entries never move
+    /// — this hook is the defensive backstop (and the ablation path for
+    /// deliberately broken tables).
+    fn rehome(&self, _old: u64, _new: u64) -> bool {
+        false
+    }
+
     /// Number of objects currently tracked (for tests and reports).
     fn tracked_objects(&self) -> usize;
 
@@ -400,6 +412,41 @@ impl TagTable for TwoTierTable {
         Ok(ReleaseOutcome::Freed)
     }
 
+    fn rehome(&self, old: u64, new: u64) -> bool {
+        if old == new {
+            return false;
+        }
+        // Detach from the old table under its table lock. `old` and `new`
+        // usually hash to different tables, so this cannot be one lock
+        // scope.
+        let entry = {
+            self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+            let mut t = self.tables[self.table_index(old)].lock();
+            match t.map.remove(&old) {
+                Some(e) => e,
+                None => return false,
+            }
+        };
+        {
+            let mut obj = entry.lock();
+            if obj.dead || obj.addr != old || obj.reference_num == 0 {
+                // The mapping pointed at a dead (possibly recycled) entry;
+                // there is nothing live to move and the stale mapping is
+                // already gone.
+                return false;
+            }
+            obj.addr = new;
+        }
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let mut t = self.tables[self.table_index(new)].lock();
+        let previous = t.map.insert(new, entry);
+        debug_assert!(
+            previous.is_none(),
+            "relocation target {new:#x} was already tracked"
+        );
+        true
+    }
+
     fn tracked_objects(&self) -> usize {
         self.tables.iter().map(|t| t.lock().map.len()).sum()
     }
@@ -500,6 +547,24 @@ impl TagTable for GlobalLockTable {
         }
         entries.remove(&begin.addr());
         Ok(ReleaseOutcome::Freed)
+    }
+
+    fn rehome(&self, old: u64, new: u64) -> bool {
+        if old == new {
+            return false;
+        }
+        let mut entries = self.entries.lock();
+        match entries.remove(&old) {
+            Some(e) => {
+                let previous = entries.insert(new, e);
+                debug_assert!(
+                    previous.is_none(),
+                    "relocation target {new:#x} was already tracked"
+                );
+                true
+            }
+            None => false,
+        }
     }
 
     fn tracked_objects(&self) -> usize {
@@ -650,6 +715,49 @@ mod tests {
     #[should_panic(expected = "at least one hash table")]
     fn zero_tables_rejected() {
         let _ = TwoTierTable::new(0);
+    }
+
+    #[test]
+    fn rehome_moves_the_entry_to_the_new_address() {
+        for table in tables() {
+            let m = mem();
+            let t = MteThread::with_seed("t", 17);
+            let old = TaggedPtr::from_addr(BASE + 0x700);
+            let new = TaggedPtr::from_addr(BASE + 0x9000); // different table index
+            let tag = table.acquire(&m, &t, old, old.addr() + 32).unwrap().tag;
+            assert!(table.rehome(old.addr(), new.addr()), "{table:?}");
+            assert_eq!(table.tracked_objects(), 1, "still one entry, rekeyed");
+            // The old key is gone...
+            assert_eq!(
+                table.release(&m, old, old.addr() + 32).unwrap(),
+                ReleaseOutcome::NotTracked
+            );
+            // ...and a shared acquire at the new address finds the entry
+            // with its tag intact (the heap migrated the memory tags).
+            m.set_tag_range(new, new.addr() + 32, tag).unwrap();
+            let again = table.acquire(&m, &t, new, new.addr() + 32).unwrap();
+            assert!(again.shared, "{table:?}: rehomed entry was found");
+            assert_eq!(again.tag, tag);
+            table.release(&m, new, new.addr() + 32).unwrap();
+            assert_eq!(
+                table.release(&m, new, new.addr() + 32).unwrap(),
+                ReleaseOutcome::Freed
+            );
+            assert_eq!(table.tracked_objects(), 0);
+        }
+    }
+
+    #[test]
+    fn rehome_of_untracked_or_unmoved_address_is_a_no_op() {
+        for table in tables() {
+            let m = mem();
+            let t = MteThread::with_seed("t", 18);
+            assert!(!table.rehome(BASE + 0x800, BASE + 0x900), "{table:?}");
+            let begin = TaggedPtr::from_addr(BASE + 0x800);
+            table.acquire(&m, &t, begin, begin.addr() + 16).unwrap();
+            assert!(!table.rehome(begin.addr(), begin.addr()), "same address");
+            assert_eq!(table.tracked_objects(), 1, "entry untouched");
+        }
     }
 
     #[test]

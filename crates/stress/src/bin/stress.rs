@@ -13,7 +13,9 @@
 
 use std::process::ExitCode;
 
-use stress::harness::{run_schedule, SchemeKind, StressConfig};
+use stress::harness::{
+    run_lifecycle_schedule, run_schedule, ScheduleResult, SchemeKind, StressConfig,
+};
 use stress::sched::trace_hash;
 use telemetry::json::JsonValue;
 
@@ -21,6 +23,7 @@ struct Options {
     seed: u64,
     schedules: u64,
     scheme: Option<SchemeKind>,
+    lifecycle: bool,
     self_check: bool,
     replay: Option<u64>,
     json_dir: Option<String>,
@@ -33,6 +36,7 @@ impl Default for Options {
             seed: 0x00C0_FFEE,
             schedules: 200,
             scheme: None,
+            lifecycle: false,
             self_check: false,
             replay: None,
             json_dir: None,
@@ -40,6 +44,19 @@ impl Default for Options {
                 fault_ppm: 2000,
                 ..StressConfig::default()
             },
+        }
+    }
+}
+
+impl Options {
+    /// The selected workload: contended acquire/release rounds, or the
+    /// object-lifecycle (acquire → drop handle → sweep → release)
+    /// regression schedule.
+    fn run(&self, kind: SchemeKind, seed: u64) -> ScheduleResult {
+        if self.lifecycle {
+            run_lifecycle_schedule(kind, seed, &self.cfg)
+        } else {
+            run_schedule(kind, seed, &self.cfg)
         }
     }
 }
@@ -57,6 +74,7 @@ USAGE: stress [OPTIONS]
   --max-steps N     schedule-point budget per schedule (default 20000)
   --fault-ppm N     fault-injection rate, parts per million (default 2000)
   --scheme S        two-tier | global | guarded | all (default all)
+  --lifecycle       run the object-lifecycle (pin-aware sweep) schedules
   --self-check      also verify the harness catches the broken tables
   --replay N        run only schedule index N and print its full trace
   --json DIR        write DIR/STRESS.json
@@ -95,6 +113,7 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("--scheme: unknown scheme {other:?}")),
                 };
             }
+            "--lifecycle" => o.lifecycle = true,
             "--self-check" => o.self_check = true,
             "--replay" => o.replay = Some(num(&mut args, "--replay")?),
             "--json" => o.json_dir = Some(args.next().ok_or("--json needs a value")?),
@@ -136,7 +155,7 @@ fn sweep(kind: SchemeKind, o: &Options) -> SchemeOutcome {
     let mut run = 0;
     for idx in 0..o.schedules {
         let seed = schedule_seed(o.seed, idx);
-        let result = run_schedule(kind, seed, &o.cfg);
+        let result = o.run(kind, seed);
         run += 1;
         combined ^= trace_hash(&result.report.trace);
         combined = combined.wrapping_mul(0x1000_0000_01b3);
@@ -180,7 +199,7 @@ fn sweep(kind: SchemeKind, o: &Options) -> SchemeOutcome {
 
 fn replay(kind: SchemeKind, idx: u64, o: &Options) {
     let seed = schedule_seed(o.seed, idx);
-    let result = run_schedule(kind, seed, &o.cfg);
+    let result = o.run(kind, seed);
     println!(
         "[{}] schedule {idx} seed {seed:#x}: {} events, {} steps, abort={:?}",
         kind.label(),
@@ -340,6 +359,10 @@ fn json_report(
     root.insert("tool", "stress");
 
     let mut params = JsonValue::object();
+    params.insert(
+        "workload",
+        if o.lifecycle { "lifecycle" } else { "contention" },
+    );
     params.insert("seed", o.seed);
     params.insert("schedules", o.schedules);
     params.insert("threads", o.cfg.threads as u64);

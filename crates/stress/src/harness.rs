@@ -23,13 +23,15 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use art_heap::HeapConfig;
+use art_heap::{HeapConfig, PrimitiveType};
 use guarded_copy::GuardedCopy;
-use jni_rt::{JniError, Protection, ReleaseMode, Vm};
-use mte4jni::{GlobalLockTable, ReleaseOutcome, TagTable, TwoTierTable};
+use jni_rt::{JniError, NativeArray, Protection, ReleaseMode, Vm};
+use mte4jni::{
+    GlobalLockTable, Locking, Mte4Jni, Mte4JniConfig, ReleaseOutcome, TagTable, TwoTierTable,
+};
 use mte_sim::inject::{self, FaultPlan, InjectCounters};
 use mte_sim::sync::yield_point;
-use mte_sim::{MemError, MemoryConfig, MteThread, Tag, TaggedMemory, TaggedPtr};
+use mte_sim::{MemError, MemoryConfig, MteThread, Tag, TaggedMemory, TaggedPtr, TcfMode};
 
 use crate::sched::{self, RunReport};
 
@@ -302,6 +304,219 @@ fn run_table_schedule(
         freed: tallies.freed.load(Ordering::Relaxed),
         injected: tallies.injected.total(),
     }
+}
+
+/// Runs one seeded **object-lifecycle** schedule: each worker repeatedly
+/// allocates an array, acquires it through the scheme, drops the last
+/// Java handle, runs a sweep (which must spare the dead-but-borrowed
+/// object), then releases through a handle resurrected from the pin
+/// ledger and sweeps again. The quiescence oracle asserts that no table
+/// entry or shadow copy leaked, that every pin was returned, and that no
+/// stale tag aliases a recycled address.
+///
+/// The broken-table mutants cannot be mounted behind a VM (the scheme
+/// builds its own table), so they map to their real counterparts here;
+/// the mutation self-check exercises them through [`run_schedule`].
+pub fn run_lifecycle_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -> ScheduleResult {
+    let memory = MemoryConfig {
+        base: BASE,
+        size: MEM_SIZE,
+    };
+    let (vm, tracked): (Vm, Box<dyn Fn() -> usize>) = match kind {
+        SchemeKind::Guarded => {
+            let p = Arc::new(GuardedCopy::new());
+            let vm = Vm::builder()
+                .heap_config(HeapConfig {
+                    memory,
+                    ..HeapConfig::stock_art()
+                })
+                .protection(Arc::clone(&p) as Arc<dyn Protection>)
+                .build();
+            (vm, Box::new(move || p.tracked_shadows()))
+        }
+        _ => {
+            let locking = match kind {
+                SchemeKind::Global => Locking::Global,
+                #[cfg(feature = "mutation")]
+                SchemeKind::BrokenGlobal => Locking::Global,
+                _ => Locking::TwoTier,
+            };
+            let p = Arc::new(Mte4Jni::with_config(Mte4JniConfig {
+                locking,
+                ..Mte4JniConfig::default()
+            }));
+            let vm = Vm::builder()
+                .heap_config(HeapConfig {
+                    memory,
+                    ..HeapConfig::mte4jni()
+                })
+                .check_mode(TcfMode::Sync)
+                .protection(Arc::clone(&p) as Arc<dyn Protection>)
+                .build();
+            (vm, Box::new(move || p.table().tracked_objects()))
+        }
+    };
+    let tallies = Arc::new(Tallies::default());
+
+    let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..cfg.threads)
+        .map(|worker| {
+            let vm = &vm;
+            let tallies = Arc::clone(&tallies);
+            let cfg = *cfg;
+            Box::new(move || lifecycle_worker(vm, worker, seed, &cfg, &tallies))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+
+    let report = sched::run(seed, cfg.max_steps, bodies);
+    let mut violations: Vec<String> = report
+        .panics
+        .iter()
+        .map(|(t, msg)| format!("t{t}: {msg}"))
+        .collect();
+    if report.clean() {
+        let left = tracked();
+        if left != 0 {
+            violations.push(format!("oracle: {left} scheme entries leaked after quiescence"));
+        }
+        let hs = vm.heap().stats();
+        if hs.pinned_objects != 0 {
+            violations.push(format!(
+                "oracle: {} objects still pinned after quiescence",
+                hs.pinned_objects
+            ));
+        }
+        if hs.pins_total != hs.unpins_total {
+            violations.push(format!(
+                "oracle: {} pins but {} unpins after quiescence",
+                hs.pins_total, hs.unpins_total
+            ));
+        }
+        // No tag aliasing on recycled addresses: blocks reclaimed during
+        // the schedule must come back untagged, or a fresh object at the
+        // same address would appear borrowed (and fault checking threads)
+        // through no act of its own.
+        let _ = vm.heap().sweep();
+        let oracle = vm.attach_thread("lifecycle-oracle");
+        for _ in 0..cfg.objects.max(4) {
+            match vm.env(&oracle).new_int_array(16) {
+                Ok(a) => match vm.heap().memory().raw_tag_at(a.data_addr()) {
+                    Ok(tag) if tag.is_untagged() => {}
+                    Ok(tag) => violations.push(format!(
+                        "oracle: recycled address {:#x} still tagged {tag:?}",
+                        a.data_addr()
+                    )),
+                    Err(e) => violations.push(format!("oracle: tag read failed: {e}")),
+                },
+                Err(e) => violations.push(format!("oracle: post-quiescence alloc failed: {e}")),
+            }
+        }
+    }
+    ScheduleResult {
+        report,
+        violations,
+        fresh_acquires: tallies.fresh.load(Ordering::Relaxed),
+        freed: tallies.freed.load(Ordering::Relaxed),
+        injected: tallies.injected.total(),
+    }
+}
+
+fn lifecycle_worker(vm: &Vm, worker: usize, seed: u64, cfg: &StressConfig, tallies: &Tallies) {
+    if cfg.fault_ppm > 0 {
+        inject::install(
+            FaultPlan::uniform(cfg.fault_ppm),
+            mix(seed, worker as u64 + 1),
+            Arc::clone(&tallies.injected),
+        );
+    }
+    // Sweeps run disarmed: the collector is a runtime-internal path (ART's
+    // HeapTaskDaemon), while injection models faults on the native-facing
+    // acquire/release paths. The heap treats its own tag stores as
+    // infallible, so an injected `stg` inside a sweep would only panic
+    // the simulation, not explore a reachable state. Re-arming derives a
+    // fresh per-site seed, keeping the schedule deterministic.
+    let sweep_disarmed = |salt: u64| {
+        if cfg.fault_ppm > 0 {
+            inject::clear();
+        }
+        let stats = vm.heap().sweep();
+        if cfg.fault_ppm > 0 {
+            inject::install(
+                FaultPlan::uniform(cfg.fault_ppm),
+                mix(seed, salt),
+                Arc::clone(&tallies.injected),
+            );
+        }
+        stats
+    };
+    let thread = vm.attach_thread("lifecycle");
+    let env = vm.env(&thread);
+    for round in 0..cfg.rounds {
+        let marker = (worker * cfg.rounds + round) as i32 + 1;
+        let (elems, obj_addr) = {
+            // Allocate and immediately borrow; the only Java handle drops
+            // at the end of this block, mid-borrow.
+            let Ok(a) = env.new_int_array_from(&[marker; 16]) else {
+                continue; // injected allocation failure: setup, not oracle
+            };
+            match env.get_int_array_elements(&a) {
+                Ok(e) => (e, a.addr()),
+                // Injected scheme failures (tag store, shadow alloc/read)
+                // are tolerated; the quiescence oracle still balances.
+                Err(JniError::Mem(
+                    MemError::Injected { .. } | MemError::OutOfNativeMemory { .. },
+                ))
+                | Err(JniError::Heap(_)) => continue,
+                Err(e) => panic!("VIOLATION: lifecycle acquire failed: {e}"),
+            }
+        };
+        tallies.fresh.fetch_add(1, Ordering::Relaxed);
+        yield_point("lifecycle-borrowed");
+        // The headline bug: a sweep here used to reclaim the object (its
+        // last Java handle is gone) while native code still held `elems`.
+        let _ = sweep_disarmed(mix(0x5EED_0001, (worker * cfg.rounds + round) as u64));
+        let Some(resurrected) = vm.heap().pinned_handle(obj_addr) else {
+            panic!("VIOLATION: sweep reclaimed a natively borrowed object at {obj_addr:#x}")
+        };
+        let array = resurrected.as_array().expect("lifecycle objects are arrays");
+        match vm.heap().int_at(&thread, &array, 0) {
+            Ok(v) if v == marker => {}
+            Ok(v) => panic!(
+                "VIOLATION: borrowed payload changed underneath the sweep: {v} != {marker}"
+            ),
+            Err(_) => {} // injected read failure: inconclusive
+        }
+        yield_point("lifecycle-swept");
+        // The release must still verify and free against the surviving
+        // object; a failed (injected) release keeps the pin, so retry.
+        let ptr = elems.ptr();
+        let is_copy = elems.is_copy();
+        let mut pending = Some(elems);
+        let mut released = false;
+        for _ in 0..RELEASE_RETRIES {
+            let e = pending
+                .take()
+                .unwrap_or_else(|| NativeArray::new(ptr, 16, PrimitiveType::Int, is_copy));
+            match env.release_int_array_elements(&array, e, ReleaseMode::Abort) {
+                Ok(()) => {
+                    released = true;
+                    break;
+                }
+                Err(JniError::Mem(MemError::Injected { .. })) => continue,
+                Err(e) => panic!("VIOLATION: lifecycle release failed: {e}"),
+            }
+        }
+        assert!(
+            released,
+            "VIOLATION: release kept failing after {RELEASE_RETRIES} retries"
+        );
+        tallies.freed.fetch_add(1, Ordering::Relaxed);
+        drop(array);
+        drop(resurrected);
+        // Borrow over, handles gone: this sweep may reclaim the object.
+        let _ = sweep_disarmed(mix(0x5EED_0002, (worker * cfg.rounds + round) as u64));
+    }
+    inject::clear();
 }
 
 fn run_guarded_schedule(seed: u64, cfg: &StressConfig) -> ScheduleResult {

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use stress::harness::{run_schedule, SchemeKind, StressConfig};
+use stress::harness::{run_lifecycle_schedule, run_schedule, SchemeKind, StressConfig};
 use stress::sched::{self, trace_hash, Abort};
 
 fn render(result: &stress::harness::ScheduleResult) -> String {
@@ -72,6 +72,52 @@ fn real_schemes_survive_contention_and_heavy_fault_injection() {
                 kind.label(),
                 r.violations,
                 render(&r)
+            );
+        }
+    }
+}
+
+#[test]
+fn lifecycle_schedules_replay_bit_for_bit() {
+    let cfg = StressConfig {
+        fault_ppm: 2000,
+        ..StressConfig::default()
+    };
+    for kind in SchemeKind::REAL {
+        for seed in [3u64, 0xBEEF] {
+            let a = run_lifecycle_schedule(kind, seed, &cfg);
+            let b = run_lifecycle_schedule(kind, seed, &cfg);
+            assert_eq!(render(&a), render(&b), "{}: seed {seed:#x}", kind.label());
+            assert_eq!(a.violations, b.violations);
+            assert_eq!(a.fresh_acquires, b.fresh_acquires);
+            assert_eq!(a.freed, b.freed);
+        }
+    }
+}
+
+#[test]
+fn lifecycle_schedules_stay_clean_under_fault_injection() {
+    // The dead-but-borrowed regression schedule: every seed must keep the
+    // sweep away from borrowed objects and leave no entry, pin, or stale
+    // tag behind — even with the error paths forced into the state space.
+    let cfg = StressConfig {
+        fault_ppm: 20_000,
+        ..StressConfig::default()
+    };
+    for kind in SchemeKind::REAL {
+        for seed in 0..20u64 {
+            let r = run_lifecycle_schedule(kind, seed, &cfg);
+            assert!(
+                r.violations.is_empty(),
+                "{} seed {seed}: {:?}\ntrace:\n{}",
+                kind.label(),
+                r.violations,
+                render(&r)
+            );
+            assert_eq!(
+                r.fresh_acquires, r.freed,
+                "{} seed {seed}: every acquire must reach its final release",
+                kind.label()
             );
         }
     }

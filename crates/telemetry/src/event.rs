@@ -153,6 +153,11 @@ pub enum Event {
         /// Which operation the fault was injected into.
         point: InjectPoint,
     },
+    /// The compacting collector completed one pass.
+    GcCompact {
+        /// Objects relocated during the pass.
+        moved: u32,
+    },
 }
 
 impl Event {
@@ -172,6 +177,7 @@ impl Event {
             Event::GcScan { .. } => "gc_scan",
             Event::GuardDrop { .. } => "guard_drop",
             Event::InjectedFault { .. } => "injected_fault",
+            Event::GcCompact { .. } => "gc_compact",
         }
     }
 
@@ -205,6 +211,7 @@ impl Event {
             Event::GcScan { objects } => (6, 0, u64::from(objects)),
             Event::GuardDrop { interface } => (7, u64::from(interface.index()), 0),
             Event::InjectedFault { point } => (8, u64::from(point.index()), 0),
+            Event::GcCompact { moved } => (9, 0, u64::from(moved)),
         };
         (kind << 60) | (sub << 56) | payload
     }
@@ -251,6 +258,7 @@ impl Event {
             8 => Some(Event::InjectedFault {
                 point: InjectPoint::from_index(sub)?,
             }),
+            9 => Some(Event::GcCompact { moved: payload }),
             _ => None,
         }
     }
@@ -300,6 +308,7 @@ mod tests {
             Event::InjectedFault {
                 point: InjectPoint::Stg,
             },
+            Event::GcCompact { moved: 4242 },
         ];
         for e in samples {
             let word = e.encode();

@@ -56,6 +56,8 @@ pub enum LatencyOp {
     Release,
     /// A whole `call_native` trampoline invocation.
     Trampoline,
+    /// A stop-the-world compacting GC pass.
+    GcPause,
 }
 
 impl LatencyOp {
@@ -65,6 +67,7 @@ impl LatencyOp {
             LatencyOp::Acquire => "acquire",
             LatencyOp::Release => "release",
             LatencyOp::Trampoline => "trampoline",
+            LatencyOp::GcPause => "gc_pause",
         }
     }
 }
