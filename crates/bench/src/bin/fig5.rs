@@ -6,7 +6,10 @@
 //! MTE4JNI+Sync 2.36×, MTE4JNI+Async 2.24×) and the abstract's
 //! single-thread overhead-reduction factor (paper: ~11×).
 
-use bench::{json_output, log_bar_chart, print_environment, ratio, time_copy, Args, BenchReport};
+use bench::{
+    json_output, log_bar_chart, print_environment, ratio, time_copy, time_copy_degraded, Args,
+    BenchReport,
+};
 use telemetry::json::JsonValue;
 use workloads::Scheme;
 
@@ -14,22 +17,38 @@ fn main() {
     let args = Args::parse();
     let repeats: u32 = args.value("--repeats", 3);
     let max_pow: u32 = args.value("--max-pow", 12);
+    let degraded = args.flag("--degraded");
     let json_path = json_output(&args);
     let mut report = BenchReport::new("fig5");
-    report.param("repeats", repeats).param("max_pow", max_pow);
+    report
+        .param("repeats", repeats)
+        .param("max_pow", max_pow)
+        .param("degraded", degraded);
 
     print_environment("Figure 5 — single-thread JNI copy overhead");
 
     let schemes = [Scheme::GuardedCopy, Scheme::Mte4JniSync, Scheme::Mte4JniAsync];
-    println!(
-        "{:>10}  {:>14}  {:>14}  {:>14}",
-        "len(ints)",
-        schemes[0].label(),
-        schemes[1].label(),
-        schemes[2].label()
-    );
+    if degraded {
+        println!(
+            "{:>10}  {:>14}  {:>14}  {:>14}  {:>14}",
+            "len(ints)",
+            schemes[0].label(),
+            schemes[1].label(),
+            schemes[2].label(),
+            "degraded"
+        );
+    } else {
+        println!(
+            "{:>10}  {:>14}  {:>14}  {:>14}",
+            "len(ints)",
+            schemes[0].label(),
+            schemes[1].label(),
+            schemes[2].label()
+        );
+    }
 
     let mut sums = [0.0f64; 3];
+    let mut degraded_sum = 0.0f64;
     let mut rows = 0u32;
     let mut chart_rows: Vec<(String, Vec<f64>)> = Vec::new();
     for pow in 1..=max_pow {
@@ -44,18 +63,29 @@ fn main() {
             sums[i] += row[i];
         }
         rows += 1;
-        println!(
-            "{:>10}  {:>13.2}x  {:>13.2}x  {:>13.2}x",
-            len, row[0], row[1], row[2]
-        );
-        report.row(vec![
+        let mut fields = vec![
             ("len", JsonValue::from(len)),
             ("iters", JsonValue::from(iters)),
             ("baseline_ns", JsonValue::from(baseline.as_nanos() as u64)),
             ("guarded_copy_ratio", JsonValue::from(row[0])),
             ("mte_sync_ratio", JsonValue::from(row[1])),
             ("mte_async_ratio", JsonValue::from(row[2])),
-        ]);
+        ];
+        if degraded {
+            let d = ratio(time_copy_degraded(len, iters, repeats), baseline);
+            degraded_sum += d;
+            fields.push(("degraded_guarded_ratio", JsonValue::from(d)));
+            println!(
+                "{:>10}  {:>13.2}x  {:>13.2}x  {:>13.2}x  {:>13.2}x",
+                len, row[0], row[1], row[2], d
+            );
+        } else {
+            println!(
+                "{:>10}  {:>13.2}x  {:>13.2}x  {:>13.2}x",
+                len, row[0], row[1], row[2]
+            );
+        }
+        report.row(fields);
         chart_rows.push((len.to_string(), row.to_vec()));
     }
 
@@ -77,6 +107,19 @@ fn main() {
         .summary("avg_mte_async_ratio", avg[2])
         .summary("reduction_sync", reduction_sync)
         .summary("reduction_async", reduction_async);
+    if degraded {
+        // The cost of quarantine: the same kernel through the guarded-copy
+        // fallback, relative to baseline and to healthy MTE4JNI+Sync.
+        let avg_degraded = degraded_sum / f64::from(rows);
+        let fallback_ratio = avg_degraded / avg[1].max(f64::EPSILON);
+        println!(
+            "quarantined (guarded-copy fallback) average: {avg_degraded:.2}x; \
+             {fallback_ratio:.2}x the healthy MTE4JNI+Sync cost"
+        );
+        report
+            .summary("avg_degraded_guarded_ratio", avg_degraded)
+            .summary("degraded_fallback_ratio", fallback_ratio);
+    }
     println!();
     println!("Copy time ratios (cf. the paper's Figure 5, log scale):");
     print!(

@@ -198,6 +198,31 @@ pub fn time_copy(scheme: Scheme, len: usize, iters: u32, repeats: u32) -> Durati
     best
 }
 
+/// Times the copy kernel through the quarantine degradation path: an
+/// MTE4JNI VM whose `array_copy` method has been quarantined, so every
+/// acquire routes through the guarded-copy fallback. The ratio against
+/// [`time_copy`]'s healthy MTE4JNI run is the throughput cost of
+/// degrading a single method to guarded copy.
+pub fn time_copy_degraded(len: usize, iters: u32, repeats: u32) -> Duration {
+    let vm = mte4jni::mte4jni_vm(
+        mte_sim::TcfMode::Sync,
+        mte4jni::Mte4JniConfig::default(),
+    );
+    vm.quarantine_method("array_copy");
+    let thread = vm.attach_thread("fig5-degraded");
+    let env = vm.env(&thread);
+    let data: Vec<i32> = (0..len as i32).collect();
+    let src = env.new_int_array_from(&data).expect("alloc src");
+    let dst = env.new_int_array(len).expect("alloc dst");
+    let best = measure(repeats, || {
+        for _ in 0..iters {
+            copy_kernel(&env, &src, &dst);
+        }
+    });
+    publish_if_recording(&vm);
+    best
+}
+
 /// The paper's Figure 6 native method: `reads` iterations of
 /// acquire → sum the whole array → release, on this thread's array.
 pub fn read_loop_kernel(env: &JniEnv<'_>, array: &ArrayRef, reads: u32) -> i64 {

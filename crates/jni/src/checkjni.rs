@@ -126,6 +126,16 @@ impl Ledger {
         }
     }
 
+    /// Drops a recorded acquisition without validation — used by the
+    /// containment pass after it force-releases a leaked borrow, so the
+    /// ledger does not keep reporting a pointer the runtime already
+    /// reclaimed.
+    pub(crate) fn forget(&self, ptr: TaggedPtr) {
+        if self.enabled {
+            self.entries.borrow_mut().remove(&ptr.raw());
+        }
+    }
+
     /// Guards dropped without an explicit `commit`/`abort`.
     pub(crate) fn guard_drops(&self) -> Vec<Outstanding> {
         self.guard_drops.borrow().clone()

@@ -1,21 +1,41 @@
 //! The per-thread JNI environment.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::Arc;
 
 use art_heap::{ArrayRef, HeapError, JavaThread, ObjectRef, PrimitiveType, StringRef};
 use art_heap::{encode_modified_utf8, Heap};
-use mte_sim::TaggedPtr;
-use telemetry::{Event, JniInterface, LatencyOp, SizeClass};
+use mte_sim::sync::yield_point;
+use mte_sim::{FaultAttribution, MemError, TaggedPtr};
+use telemetry::{DegradeReason, Event, JniInterface, LatencyOp, SizeClass};
 
 use crate::checkjni::{Ledger, Outstanding};
+use crate::containment::FaultPolicy;
 use crate::error::JniError;
 use crate::guard::CriticalGuard;
 use crate::native::{NativeArray, NativeMem, NativeUtf};
-use crate::protection::{AcquireOutcome, JniContext, ReleaseMode};
+use crate::protection::{AcquireOutcome, JniContext, Protection, ReleaseMode};
 use crate::trampoline::NativeKind;
 use crate::vm::Vm;
 use crate::Result;
+
+/// Bounded attempts when force-releasing borrows leaked by a contained
+/// fault: leaking a table entry would trade a contained fault for a
+/// poisoned table, so the budget is deliberately generous.
+const CONTAIN_RELEASE_RETRIES: u32 = 64;
+
+/// One raw pointer currently handed out to native code through this
+/// environment. Always tracked (unlike the opt-in CheckJNI ledger): the
+/// containment pass needs it to clean up after a fault, and releases
+/// use it to route back to the scheme that performed the acquire.
+#[derive(Clone)]
+struct LiveBorrow {
+    ptr: TaggedPtr,
+    obj: ObjectRef,
+    interface: JniInterface,
+    via_fallback: bool,
+}
 
 /// The JNI environment for one thread — the `JNIEnv*` native code
 /// receives.
@@ -33,6 +53,8 @@ pub struct JniEnv<'a> {
     thread: &'a JavaThread,
     critical_depth: Cell<u32>,
     ledger: Ledger,
+    borrows: RefCell<Vec<LiveBorrow>>,
+    current_native: Cell<Option<&'static str>>,
 }
 
 impl<'a> JniEnv<'a> {
@@ -42,6 +64,8 @@ impl<'a> JniEnv<'a> {
             thread,
             critical_depth: Cell::new(0),
             ledger: Ledger::new(vm.config().check_jni),
+            borrows: RefCell::new(Vec::new()),
+            current_native: Cell::new(None),
         }
     }
 
@@ -91,11 +115,35 @@ impl<'a> JniEnv<'a> {
         }
     }
 
+    /// The scheme a borrow routes through: the VM's primary protection,
+    /// or the degradation fallback for quarantined/degraded borrows.
+    fn scheme_for(&self, via_fallback: bool) -> &Arc<dyn Protection> {
+        if via_fallback {
+            self.vm
+                .fallback_protection()
+                .expect("fallback routing requires a fallback scheme")
+        } else {
+            self.vm.protection()
+        }
+    }
+
+    /// Deterministic backoff before a retry: linearly more yield points
+    /// per attempt, so the cooperative scheduler interleaves other
+    /// threads (and the fault injector draws fresh randomness) before
+    /// the operation runs again.
+    fn backoff(&self, attempt: u32, label: &'static str) {
+        for _ in 0..attempt {
+            yield_point(label);
+        }
+    }
+
     /// The single acquire path every `Get*` interface funnels through:
-    /// protection interposition, latency timing, event recording, and the
-    /// CheckJNI ledger entry. `identity` is the address of the Java object
-    /// the caller named — for `GetStringUTFChars` that is the source
-    /// string while `scheme_obj` is the hidden transcoding buffer.
+    /// quarantine routing, protection interposition with bounded retry
+    /// and tag-exhaustion degradation, latency timing, event recording,
+    /// the CheckJNI ledger entry, and the live-borrow log. `identity` is
+    /// the address of the Java object the caller named — for
+    /// `GetStringUTFChars` that is the source string while `scheme_obj`
+    /// is the hidden transcoding buffer.
     pub(crate) fn acquire_raw(
         &self,
         scheme_obj: &ObjectRef,
@@ -103,23 +151,56 @@ impl<'a> JniEnv<'a> {
         interface: JniInterface,
     ) -> Result<AcquireOutcome> {
         let cx = self.cx(interface);
+        let containment = self.vm.containment();
+        let has_fallback = self.vm.fallback_protection().is_some();
+        // Quarantined native methods skip the primary scheme entirely.
+        let mut via_fallback = has_fallback
+            && self
+                .current_native
+                .get()
+                .is_some_and(|m| containment.is_quarantined(m));
+        if via_fallback {
+            containment.note_degraded(DegradeReason::Quarantine);
+        }
         // Pin first: from this instant the object can neither be swept
         // nor moved, so the raw pointer the scheme derives below stays
-        // valid for the whole borrow (the JNI pinning contract).
+        // valid for the whole borrow (the JNI pinning contract). The pin
+        // is held across retries — a transient failure must not let the
+        // object move between attempts.
         self.vm.heap().pin(scheme_obj);
         let started = telemetry::start_timing();
-        let out = match self.vm.protection().on_acquire(&cx, scheme_obj) {
-            Ok(out) => out,
-            Err(e) => {
-                // Nothing was handed to native code: the borrow never
-                // started.
-                self.vm.heap().unpin(scheme_obj.addr());
-                return Err(e);
+        let mut retries = 0u32;
+        let out = loop {
+            match self.scheme_for(via_fallback).on_acquire(&cx, scheme_obj) {
+                Ok(out) => break out,
+                Err(JniError::Mem(MemError::TagExhausted { .. }))
+                    if !via_fallback && has_fallback =>
+                {
+                    // No usable tag for this allocation: degrade this one
+                    // acquire to the guarded-copy fallback instead of
+                    // failing it.
+                    via_fallback = true;
+                    containment.note_degraded(DegradeReason::TagExhaustion);
+                }
+                Err(e)
+                    if e.is_transient()
+                        && retries < containment.config().transient_retries =>
+                {
+                    retries += 1;
+                    containment.note_retry();
+                    self.backoff(retries, "acquire-retry");
+                }
+                Err(e) => {
+                    // Nothing was handed to native code: the borrow never
+                    // started.
+                    self.vm.heap().unpin(scheme_obj.addr());
+                    return Err(e);
+                }
             }
         };
         if let Some(t0) = started {
             telemetry::record_latency(
-                self.vm.protection().name(),
+                self.scheme_for(via_fallback).name(),
                 interface.label(),
                 SizeClass::from_bytes(scheme_obj.byte_len() as u64),
                 LatencyOp::Acquire,
@@ -128,6 +209,12 @@ impl<'a> JniEnv<'a> {
         }
         telemetry::record(|| Event::Acquire { interface });
         self.ledger.record(out.ptr, interface, identity);
+        self.borrows.borrow_mut().push(LiveBorrow {
+            ptr: out.ptr,
+            obj: scheme_obj.clone(),
+            interface,
+            via_fallback,
+        });
         Ok(out)
     }
 
@@ -159,11 +246,37 @@ impl<'a> JniEnv<'a> {
         mode: ReleaseMode,
     ) -> Result<()> {
         let cx = self.cx(interface);
+        // Route back through the scheme that performed the acquire: a
+        // degraded borrow must be released by the fallback, not the
+        // primary. Unknown pointers go to the primary, which reports a
+        // stale release where it can.
+        let via_fallback = self
+            .borrows
+            .borrow()
+            .iter()
+            .rev()
+            .find(|b| b.ptr.raw() == ptr.raw())
+            .is_some_and(|b| b.via_fallback);
+        let scheme = self.scheme_for(via_fallback);
+        let containment = self.vm.containment();
         let started = telemetry::start_timing();
-        let result = self.vm.protection().on_release(&cx, scheme_obj, ptr, mode);
+        let mut retries = 0u32;
+        let result = loop {
+            match scheme.on_release(&cx, scheme_obj, ptr, mode) {
+                Err(e)
+                    if e.is_transient()
+                        && retries < containment.config().transient_retries =>
+                {
+                    retries += 1;
+                    containment.note_retry();
+                    self.backoff(retries, "release-retry");
+                }
+                r => break r,
+            }
+        };
         if let Some(t0) = started {
             telemetry::record_latency(
-                self.vm.protection().name(),
+                scheme.name(),
                 interface.label(),
                 SizeClass::from_bytes(scheme_obj.byte_len() as u64),
                 LatencyOp::Release,
@@ -179,9 +292,43 @@ impl<'a> JniEnv<'a> {
         let ends_borrow = mode != ReleaseMode::Commit
             && matches!(result, Ok(()) | Err(JniError::CheckJniAbort(_)));
         if ends_borrow {
+            let mut borrows = self.borrows.borrow_mut();
+            if let Some(i) = borrows.iter().rposition(|b| b.ptr.raw() == ptr.raw()) {
+                borrows.remove(i);
+            }
+            drop(borrows);
             self.vm.heap().unpin(scheme_obj.addr());
         }
         result
+    }
+
+    /// Force-releases every borrow opened at or after `mark` with
+    /// `JNI_ABORT` — the same funnel a dropped [`CriticalGuard`] uses —
+    /// so tag tables, refcounts, and pins stay balanced after a
+    /// contained fault. Ledger entries for the reclaimed pointers are
+    /// forgotten so CheckJNI does not keep reporting them.
+    fn release_leaked_borrows(&self, mark: usize) -> u32 {
+        let leaked: Vec<LiveBorrow> = {
+            let borrows = self.borrows.borrow();
+            borrows.get(mark..).unwrap_or(&[]).to_vec()
+        };
+        let mut released = 0u32;
+        for b in leaked {
+            let mut attempts = 0u32;
+            loop {
+                let result = self.release_scheme(&b.obj, b.ptr, b.interface, ReleaseMode::Abort);
+                match result {
+                    Err(e) if e.is_transient() && attempts < CONTAIN_RELEASE_RETRIES => {
+                        attempts += 1;
+                        self.backoff(attempts, "contain-release-retry");
+                    }
+                    _ => break,
+                }
+            }
+            self.ledger.forget(b.ptr);
+            released += 1;
+        }
+        released
     }
 
     pub(crate) fn note_guard_drop(&self, ptr: TaggedPtr, interface: JniInterface, object: u64) {
@@ -491,7 +638,11 @@ impl<'a> JniEnv<'a> {
     /// # Errors
     ///
     /// Whatever `body` returns, or the surfaced asynchronous
-    /// [`mte_sim::TagCheckFault`].
+    /// [`mte_sim::TagCheckFault`]. Under
+    /// [`FaultPolicy::Contain`](crate::FaultPolicy::Contain) a tag-check
+    /// fault (sync or surfaced-async) is converted to
+    /// [`JniError::ContainedFault`] after the tombstone is written and
+    /// leaked borrows are reclaimed.
     pub fn call_native<R>(
         &self,
         name: &'static str,
@@ -509,6 +660,11 @@ impl<'a> JniEnv<'a> {
             mte.set_tco(false); // enable tag checking for the native section
             telemetry::record_rare(|| Event::TcoToggle { checking_enabled: true });
         }
+        // Containment bookmarks: everything acquired past these marks
+        // belongs to this native frame and is reclaimed if it faults.
+        let prev_native = self.current_native.replace(Some(name));
+        let borrow_mark = self.borrows.borrow().len();
+        let depth_mark = self.critical_depth.get();
         // Undo the transitions from a drop guard so a panic inside `body`
         // (unwinding past live `CriticalGuard`s, which auto-release) still
         // restores `TCO` and the managed state, in the same order as a
@@ -517,9 +673,11 @@ impl<'a> JniEnv<'a> {
             env: &'e JniEnv<'a>,
             tco_control: bool,
             transitions: bool,
+            prev_native: Option<&'static str>,
         }
         impl Drop for Restore<'_, '_> {
             fn drop(&mut self) {
+                self.env.current_native.set(self.prev_native);
                 let mte = self.env.thread.mte();
                 if self.tco_control {
                     mte.set_tco(true); // back to unchecked managed execution
@@ -534,6 +692,7 @@ impl<'a> JniEnv<'a> {
             env: self,
             tco_control,
             transitions: kind.transitions_state(),
+            prev_native,
         };
         let result = body(self);
         drop(restore);
@@ -553,10 +712,73 @@ impl<'a> JniEnv<'a> {
             );
         }
         match (result, pending) {
-            (Err(e), _) => Err(e),
-            (Ok(_), Err(fault)) => Err(fault.into()),
+            (Err(e), _) => Err(self.handle_native_error(name, e, borrow_mark, depth_mark)),
+            (Ok(_), Err(fault)) => {
+                Err(self.handle_native_error(name, fault.into(), borrow_mark, depth_mark))
+            }
             (Ok(v), Ok(())) => Ok(v),
         }
+    }
+
+    /// Attribution and containment for an error leaving the trampoline.
+    /// Always attributes tag-check faults to the nearest live borrow;
+    /// under [`FaultPolicy::Contain`] additionally tombstones the fault,
+    /// reclaims the frame's leaked borrows, and swaps the error for
+    /// [`JniError::ContainedFault`]. Errors that are not live tag-check
+    /// faults — including already-contained faults from a nested
+    /// trampoline — pass through unchanged.
+    fn handle_native_error(
+        &self,
+        name: &'static str,
+        e: JniError,
+        borrow_mark: usize,
+        depth_mark: u32,
+    ) -> JniError {
+        let e = self.attribute_fault(e);
+        if self.vm.config().fault_policy != FaultPolicy::Contain {
+            return e;
+        }
+        let fault = match e.as_tag_check() {
+            Some(fault) => fault.clone(),
+            None => return e,
+        };
+        let released = self.release_leaked_borrows(borrow_mark);
+        self.critical_depth.set(depth_mark);
+        self.vm.containment().record_contained(
+            name,
+            self.vm.protection().name().to_owned(),
+            fault.clone(),
+            released,
+        );
+        JniError::ContainedFault {
+            method: name,
+            fault: Box::new(fault),
+        }
+    }
+
+    /// Fills in the fault's interface/scheme attribution from the
+    /// live-borrow log: an illicit access usually sits just past (or
+    /// just before) the borrow it escaped, so the nearest handed-out
+    /// pointer names the Table-1 interface for the tombstone.
+    fn attribute_fault(&self, mut e: JniError) -> JniError {
+        let fault = match &mut e {
+            JniError::Mem(MemError::TagCheck(f)) => Some(f),
+            JniError::Heap(HeapError::Mem(MemError::TagCheck(f))) => Some(f),
+            _ => None,
+        };
+        if let Some(fault) = fault {
+            if fault.attribution.is_none() {
+                let addr = fault.pointer.addr();
+                let borrows = self.borrows.borrow();
+                if let Some(b) = borrows.iter().min_by_key(|b| b.ptr.addr().abs_diff(addr)) {
+                    fault.attribution = Some(FaultAttribution {
+                        interface: b.interface,
+                        scheme: self.scheme_for(b.via_fallback).name().to_owned().into(),
+                    });
+                }
+            }
+        }
+        e
     }
 
     /// Writes to the simulated logcat — a syscall, and therefore the

@@ -60,15 +60,38 @@ pub enum JniError {
         /// The interface that rejected the object.
         interface: &'static str,
     },
+    /// A tag-check fault was contained at the `call_native` boundary
+    /// under [`FaultPolicy::Contain`](crate::FaultPolicy::Contain): a
+    /// tombstone was written, leaked borrows were force-released, and
+    /// the VM kept running. Deliberately *not* reported by
+    /// [`JniError::as_tag_check`] so an outer trampoline does not
+    /// contain the same fault twice.
+    ContainedFault {
+        /// The native method the fault was contained in.
+        method: &'static str,
+        /// The underlying fault, preserved for reporting.
+        fault: Box<TagCheckFault>,
+    },
 }
 
 impl JniError {
-    /// Returns the tag-check fault if this error wraps one.
+    /// Returns the tag-check fault if this error wraps one *live* (not
+    /// yet contained).
     pub fn as_tag_check(&self) -> Option<&TagCheckFault> {
         match self {
             JniError::Mem(m) => m.as_tag_check(),
             JniError::Heap(HeapError::Mem(m)) => m.as_tag_check(),
             _ => None,
+        }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed
+    /// (see [`MemError::is_transient`]).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            JniError::Mem(m) => m.is_transient(),
+            JniError::Heap(HeapError::Mem(m)) => m.is_transient(),
+            _ => false,
         }
     }
 
@@ -95,6 +118,14 @@ impl fmt::Display for JniError {
             }
             JniError::WrongObjectType { interface } => {
                 write!(f, "object has the wrong type for {interface}")
+            }
+            JniError::ContainedFault { method, fault } => {
+                write!(
+                    f,
+                    "tag check fault contained in native method {method} \
+                     (fault addr {:#x}); VM kept alive",
+                    fault.pointer.addr()
+                )
             }
         }
     }
@@ -156,6 +187,7 @@ mod tests {
             access: AccessKind::Read,
             thread: "t".into(),
             backtrace: Backtrace::default(),
+            attribution: None,
         };
         let e: JniError = fault.clone().into();
         assert_eq!(e.as_tag_check(), Some(&fault));

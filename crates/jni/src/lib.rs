@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod checkjni;
+mod containment;
 mod env;
 mod error;
 mod guard;
@@ -33,6 +34,9 @@ mod trampoline;
 mod vm;
 
 pub use checkjni::Outstanding;
+pub use containment::{
+    Containment, ContainmentConfig, ContainmentStats, FaultPolicy, Tombstone,
+};
 pub use env::JniEnv;
 pub use error::{AbortReport, JniError};
 pub use guard::CriticalGuard;

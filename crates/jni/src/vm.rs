@@ -7,6 +7,7 @@ use std::time::Duration;
 use art_heap::{GcScanner, GcScannerConfig, Heap, HeapConfig, JavaThread};
 use mte_sim::TcfMode;
 
+use crate::containment::{Containment, ContainmentConfig, ContainmentStats, FaultPolicy, Tombstone};
 use crate::env::JniEnv;
 use crate::protection::{NoProtection, Protection};
 
@@ -21,15 +22,19 @@ pub struct VmConfig {
     /// Whether CheckJNI usage validation (acquisition ledgers, interface
     /// pairing) is enabled on every environment.
     pub check_jni: bool,
+    /// What to do when a tag-check fault crosses the trampoline boundary.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for VmConfig {
-    /// Stock configuration: default heap, checking disabled.
+    /// Stock configuration: default heap, checking disabled, faults
+    /// abort as stock MTE delivery would.
     fn default() -> Self {
         VmConfig {
             heap: HeapConfig::stock_art(),
             check_mode: TcfMode::None,
             check_jni: false,
+            fault_policy: FaultPolicy::Abort,
         }
     }
 }
@@ -63,6 +68,8 @@ impl Default for VmConfig {
 pub struct Vm {
     heap: Heap,
     protection: Arc<dyn Protection>,
+    fallback: Option<Arc<dyn Protection>>,
+    containment: Containment,
     config: VmConfig,
 }
 
@@ -80,6 +87,36 @@ impl Vm {
     /// The active protection scheme.
     pub fn protection(&self) -> &Arc<dyn Protection> {
         &self.protection
+    }
+
+    /// The degradation target: the scheme quarantined methods (and
+    /// tag-exhausted acquires) fall back to, when one is installed.
+    pub fn fallback_protection(&self) -> Option<&Arc<dyn Protection>> {
+        self.fallback.as_ref()
+    }
+
+    /// The containment subsystem: quarantine table, tombstones, and
+    /// degradation counters.
+    pub fn containment(&self) -> &Containment {
+        &self.containment
+    }
+
+    /// Current containment counters (shorthand for
+    /// `vm.containment().stats()`).
+    pub fn containment_stats(&self) -> ContainmentStats {
+        self.containment.stats()
+    }
+
+    /// Retained tombstones, oldest first.
+    pub fn tombstones(&self) -> Vec<Tombstone> {
+        self.containment.tombstones()
+    }
+
+    /// Forces `method` into quarantine: every subsequent acquire made
+    /// inside a `call_native(method, …)` frame routes through the
+    /// fallback scheme. No-op without a fallback installed.
+    pub fn quarantine_method(&self, method: &'static str) {
+        self.containment.quarantine(method);
     }
 
     /// The runtime configuration.
@@ -129,6 +166,20 @@ impl Vm {
             ("heap.compactions", hs.compactions),
             ("heap.moved_objects", hs.moved_objects_total),
             ("heap.moved_bytes", hs.moved_bytes_total),
+        ] {
+            reg.set(&format!("scheme.{scheme}.{key}"), value);
+        }
+        let cs = self.containment.stats();
+        for (key, value) in [
+            ("containment.contained_faults", cs.contained_faults),
+            ("containment.transient_retries", cs.transient_retries),
+            ("containment.degraded_quarantine", cs.degraded_quarantine),
+            (
+                "containment.degraded_tag_exhaustion",
+                cs.degraded_tag_exhaustion,
+            ),
+            ("containment.quarantined_methods", cs.quarantined_methods),
+            ("containment.tombstones", cs.tombstones),
         ] {
             reg.set(&format!("scheme.{scheme}.{key}"), value);
         }
@@ -192,7 +243,10 @@ pub struct VmBuilder {
     heap: HeapConfig,
     check_mode: TcfMode,
     check_jni: bool,
+    fault_policy: FaultPolicy,
+    containment: ContainmentConfig,
     protection: Option<Arc<dyn Protection>>,
+    fallback: Option<Arc<dyn Protection>>,
 }
 
 impl VmBuilder {
@@ -201,7 +255,10 @@ impl VmBuilder {
             heap: HeapConfig::stock_art(),
             check_mode: TcfMode::None,
             check_jni: false,
+            fault_policy: FaultPolicy::Abort,
+            containment: ContainmentConfig::default(),
             protection: None,
+            fallback: None,
         }
     }
 
@@ -230,6 +287,26 @@ impl VmBuilder {
         self
     }
 
+    /// Sets the fault policy (default: [`FaultPolicy::Abort`]).
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> VmBuilder {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Installs the degradation fallback scheme (typically guarded
+    /// copy): quarantined methods and tag-exhausted acquires route here
+    /// instead of failing.
+    pub fn fallback_protection(mut self, fallback: Arc<dyn Protection>) -> VmBuilder {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Tunes quarantine thresholds, retry bounds, and tombstone output.
+    pub fn containment_config(mut self, config: ContainmentConfig) -> VmBuilder {
+        self.containment = config;
+        self
+    }
+
     /// Builds the VM. The heap's relocation hook is wired to the
     /// protection scheme so a compacting collection rehomes whatever
     /// per-object state the scheme keeps (e.g. MTE4JNI tag-table
@@ -239,15 +316,24 @@ impl VmBuilder {
         let protection = self.protection.unwrap_or_else(|| Arc::new(NoProtection));
         heap.set_relocation_hook({
             let protection = Arc::clone(&protection);
-            move |old_payload, new_payload| protection.on_relocate(old_payload, new_payload)
+            let fallback = self.fallback.clone();
+            move |old_payload, new_payload| {
+                protection.on_relocate(old_payload, new_payload);
+                if let Some(fb) = &fallback {
+                    fb.on_relocate(old_payload, new_payload);
+                }
+            }
         });
         Vm {
             heap,
             protection,
+            fallback: self.fallback,
+            containment: Containment::new(self.containment),
             config: VmConfig {
                 heap: self.heap,
                 check_mode: self.check_mode,
                 check_jni: self.check_jni,
+                fault_policy: self.fault_policy,
             },
         }
     }

@@ -37,6 +37,13 @@ pub enum MemError {
         /// Label of the operation the fault was injected into.
         point: &'static str,
     },
+    /// `irg` found no usable tag: the exclusion mask (or injected
+    /// tag-pool exhaustion) left only the zero tag, so the allocation
+    /// cannot be colored distinctly.
+    TagExhausted {
+        /// Base address of the allocation that could not be tagged.
+        addr: u64,
+    },
 }
 
 impl MemError {
@@ -46,6 +53,21 @@ impl MemError {
             MemError::TagCheck(f) => Some(f),
             _ => None,
         }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Injected `ldg`/`stg` faults and arena exhaustion are momentary
+    /// conditions: a later attempt draws fresh state (injection
+    /// randomness, freed arena space). Tag-check faults, range errors,
+    /// and missing `PROT_MTE` are deterministic properties of the access
+    /// and will recur; tag exhaustion is handled by degradation, not
+    /// retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MemError::Injected { .. } | MemError::OutOfNativeMemory { .. }
+        )
     }
 }
 
@@ -64,6 +86,9 @@ impl fmt::Display for MemError {
             }
             MemError::Injected { point } => {
                 write!(f, "injected fault at {point}")
+            }
+            MemError::TagExhausted { addr } => {
+                write!(f, "irg tag pool exhausted for allocation at {addr:#x}")
             }
         }
     }
@@ -95,6 +120,7 @@ mod tests {
             MemError::NotProtMte { addr: 0x10 }.to_string(),
             MemError::OutOfNativeMemory { requested: 64 }.to_string(),
             MemError::Injected { point: "stg" }.to_string(),
+            MemError::TagExhausted { addr: 0x10 }.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");
@@ -105,6 +131,15 @@ mod tests {
     #[test]
     fn as_tag_check_filters() {
         assert!(MemError::OutOfRange { addr: 0, len: 1 }.as_tag_check().is_none());
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(MemError::Injected { point: "ldg" }.is_transient());
+        assert!(MemError::OutOfNativeMemory { requested: 64 }.is_transient());
+        assert!(!MemError::OutOfRange { addr: 0, len: 1 }.is_transient());
+        assert!(!MemError::NotProtMte { addr: 0 }.is_transient());
+        assert!(!MemError::TagExhausted { addr: 0 }.is_transient());
     }
 
     #[test]

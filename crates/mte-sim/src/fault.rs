@@ -126,6 +126,18 @@ impl fmt::Display for Backtrace {
     }
 }
 
+/// Which JNI interface handed out the faulting pointer and under what
+/// protection scheme — filled in by the JNI layer when a fault crosses
+/// the trampoline boundary, so tombstones name the Table-1 interface
+/// rather than just an address.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FaultAttribution {
+    /// The Table-1 interface that produced the pointer.
+    pub interface: telemetry::JniInterface,
+    /// Label of the protection scheme that tagged the pointer.
+    pub scheme: Cow<'static, str>,
+}
+
 /// A tag-check failure: the pointer tag did not match the memory tag of the
 /// accessed granule.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -145,6 +157,10 @@ pub struct TagCheckFault {
     /// Backtrace at the point the fault *surfaced* (the access for sync,
     /// the checkpoint for async).
     pub backtrace: Backtrace,
+    /// Interface/scheme attribution, when the JNI layer could identify
+    /// the borrow the faulting pointer came from. `None` at the hardware
+    /// layer; filled in en route to the tombstone.
+    pub attribution: Option<FaultAttribution>,
 }
 
 impl TagCheckFault {
@@ -174,6 +190,14 @@ impl fmt::Display for TagCheckFault {
             "    {} tag check fault on {} of thread \"{}\": pointer tag {}, memory tag {}",
             self.kind, self.access, self.thread, self.pointer_tag, self.memory_tag
         )?;
+        if let Some(attribution) = &self.attribution {
+            writeln!(
+                f,
+                "    pointer handed out by {} under scheme \"{}\"",
+                attribution.interface.get_name(),
+                attribution.scheme
+            )?;
+        }
         write!(f, "    {}", self.backtrace)
     }
 }
@@ -196,6 +220,7 @@ mod tests {
                 Frame::new("test_ofb+124", "libmtetest.so"),
                 Frame::new("Java_MainActivity_mteTest+40", "libmtetest.so"),
             ]),
+            attribution: None,
         }
     }
 

@@ -32,7 +32,10 @@ pub struct FaultPlan {
     pub stg_fail_ppm: u32,
     /// `NativeAllocator::alloc` reports arena exhaustion.
     pub alloc_fail_ppm: u32,
-    /// A checked access faults despite matching tags.
+    /// A checked access faults despite matching tags, raised as a
+    /// genuine tag-check fault through the thread's TCF mode (sync
+    /// error or async latch) — indistinguishable downstream from a
+    /// real mismatch except that the reported tags are equal.
     pub spurious_check_ppm: u32,
 }
 
@@ -46,6 +49,11 @@ impl FaultPlan {
             alloc_fail_ppm: ppm,
             spurious_check_ppm: ppm,
         }
+    }
+
+    /// True when at least one injection point has a nonzero rate.
+    pub fn is_active(&self) -> bool {
+        *self != FaultPlan::default()
     }
 
     fn rate(&self, point: InjectPoint) -> u32 {

@@ -64,7 +64,7 @@ mod tag;
 mod thread;
 
 pub use error::MemError;
-pub use fault::{AccessKind, Backtrace, FaultKind, Frame, TagCheckFault};
+pub use fault::{AccessKind, Backtrace, FaultAttribution, FaultKind, Frame, TagCheckFault};
 pub use memory::{MemoryConfig, TaggedMemory};
 pub use nalloc::{NativeAllocator, NativeAllocatorStats};
 pub use pointer::TaggedPtr;

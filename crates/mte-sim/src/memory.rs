@@ -400,7 +400,7 @@ impl TaggedMemory {
         }
         #[cfg(feature = "stress-hooks")]
         if crate::inject::should_fail(crate::inject::InjectPoint::Check) {
-            return Err(MemError::Injected { point: "tag-check" });
+            self.spurious_fault(t, ptr, offset, access)?;
         }
         let first = offset / GRANULE;
         let last = (offset + len.max(1) - 1) / GRANULE;
@@ -495,6 +495,7 @@ impl TaggedMemory {
                         access,
                         thread: t.name_arc(),
                         backtrace: t.backtrace(),
+                        attribution: None,
                     })));
                 }
                 TcfMode::Async => {
@@ -509,6 +510,60 @@ impl TaggedMemory {
             }
         }
         Ok(())
+    }
+
+    /// Injected spurious tag-check fault: "a checked access faults
+    /// despite matching tags". Raised through the same machinery as a
+    /// real mismatch — the thread's effective TCF mode decides between
+    /// a synchronous error and an async latch, and the same stats and
+    /// telemetry fire — so downstream containment cannot tell it from
+    /// a genuine fault. The reported memory tag equals the pointer tag,
+    /// which is the one signature that marks it as spurious in reports.
+    #[cfg(feature = "stress-hooks")]
+    #[cold]
+    #[inline(never)]
+    fn spurious_fault(
+        &self,
+        t: &MteThread,
+        ptr: TaggedPtr,
+        offset: usize,
+        access: AccessKind,
+    ) -> Result<()> {
+        let ptag = ptr.tag();
+        let effective = match (t.mode(), access) {
+            (TcfMode::Asymm, AccessKind::Read) => TcfMode::Sync,
+            (TcfMode::Asymm, AccessKind::Write) => TcfMode::Async,
+            (m, _) => m,
+        };
+        match effective {
+            TcfMode::Sync => {
+                self.stats.count_sync_fault();
+                telemetry::record_rare(|| telemetry::Event::Fault {
+                    class: telemetry::FaultClass::Sync,
+                });
+                Err(MemError::TagCheck(Box::new(TagCheckFault {
+                    kind: FaultKind::Sync,
+                    pointer: TaggedPtr::from_addr(self.base + offset as u64).with_tag(ptag),
+                    pointer_tag: ptag,
+                    memory_tag: ptag,
+                    access,
+                    thread: t.name_arc(),
+                    backtrace: t.backtrace(),
+                    attribution: None,
+                })))
+            }
+            TcfMode::Async => {
+                self.stats.count_async_fault();
+                telemetry::record_rare(|| telemetry::Event::Fault {
+                    class: telemetry::FaultClass::Async,
+                });
+                t.latch_async_fault(ptr, ptag, access);
+                Ok(())
+            }
+            // `checks_enabled()` gated `None` out before injection, and
+            // `Asymm` resolved above.
+            TcfMode::None | TcfMode::Asymm => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------------

@@ -177,6 +177,7 @@ impl ScalarMemory {
                             access,
                             thread: t.name_arc(),
                             backtrace: t.backtrace(),
+                            attribution: None,
                         })));
                     }
                     TcfMode::Async => {

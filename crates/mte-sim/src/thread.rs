@@ -211,6 +211,7 @@ impl MteThread {
                     access: p.access,
                     thread: self.name_arc(),
                     backtrace: Backtrace::from_frames(frames),
+                    attribution: None,
                 })
             }
         }
@@ -226,6 +227,7 @@ impl MteThread {
             access: p.access,
             thread: self.name_arc(),
             backtrace: self.backtrace(),
+            attribution: None,
         })
     }
 

@@ -220,12 +220,19 @@ pub struct Mte4JniStats {
 
 /// Assembles a complete MTE4JNI runtime: 16-byte-aligned `PROT_MTE` heap
 /// (§4.1), the [`Mte4Jni`] scheme, and the process check mode (`Sync` or
-/// `Async`, §2.1).
+/// `Async`, §2.1). A [`GuardedCopy`] fallback is installed so quarantined
+/// methods and tag-exhausted acquires degrade to guarded copy instead of
+/// failing (faults still abort unless
+/// [`FaultPolicy::Contain`](jni_rt::FaultPolicy::Contain) is selected on
+/// a custom-built VM).
+///
+/// [`GuardedCopy`]: guarded_copy::GuardedCopy
 pub fn mte4jni_vm(mode: TcfMode, config: Mte4JniConfig) -> Vm {
     Vm::builder()
         .heap_config(HeapConfig::mte4jni())
         .check_mode(mode)
         .protection(Arc::new(Mte4Jni::with_config(config)))
+        .fallback_protection(Arc::new(guarded_copy::GuardedCopy::new()))
         .build()
 }
 
@@ -364,9 +371,12 @@ mod tests {
         let gc = vm.start_gc(std::time::Duration::from_micros(100));
         env.call_native("hold", NativeKind::Normal, |env| {
             let elems = env.get_primitive_array_critical(&a)?;
-            // Spin while the GC scans the tagged object underneath us.
+            // Keep reading while the GC scans the tagged object underneath
+            // us; spin on the live cycle counter rather than a fixed
+            // iteration count so a loaded machine can't starve the scanner
+            // out of the borrow window.
             let mem = env.native_mem();
-            for _ in 0..2000 {
+            while gc.cycles() == 0 {
                 let _ = elems.read_i32(&mem, 0)?;
             }
             env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)

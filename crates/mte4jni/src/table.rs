@@ -10,7 +10,7 @@ use std::sync::Arc;
 // `stress-hooks` feature every lock operation becomes a schedule point
 // for the deterministic scheduler in `crates/stress` (DESIGN.md §9).
 use mte_sim::sync::Mutex;
-use mte_sim::{MteThread, Tag, TagExclusion, TaggedMemory, TaggedPtr, GRANULE};
+use mte_sim::{MemError, MteThread, Tag, TagExclusion, TaggedMemory, TaggedPtr, GRANULE};
 
 /// Multiply-shift hasher for object start addresses — the keys are
 /// already well distributed, so SipHash would be pure overhead on the
@@ -329,7 +329,18 @@ impl TagTable for TwoTierTable {
                     }
                 }
                 let tag = mem.irg(thread, exclusion);
-                if let Err(e) = mem.set_tag_range(begin, end, tag) {
+                // `irg` falls back to the zero tag when the pool is
+                // exhausted (injected, or everything excluded). An
+                // untagged "protected" object would silently behave like
+                // unprotected memory, so surface the exhaustion — before
+                // any tag store, keeping the rollback below infallible —
+                // and let the JNI layer degrade the acquire.
+                let applied = if tag.is_untagged() {
+                    Err(MemError::TagExhausted { addr })
+                } else {
+                    mem.set_tag_range(begin, end, tag)
+                };
+                if let Err(e) = applied {
                     // Withdraw the entry inserted above so a failed first
                     // acquire leaves no tracked object behind.
                     obj.dead = true;
@@ -518,6 +529,11 @@ impl TagTable for GlobalLockTable {
             Ok(Acquired { tag: entry.tag, shared: true })
         } else {
             let tag = mem.irg(thread, self.exclusion);
+            if tag.is_untagged() {
+                // Tag-pool exhaustion; nothing inserted yet, so the
+                // table is untouched (see the two-tier path).
+                return Err(MemError::TagExhausted { addr: begin.addr() });
+            }
             mem.set_tag_range(begin, end, tag)?;
             entries.insert(begin.addr(), GlobalEntry { reference_num: 1, tag });
             Ok(Acquired { tag, shared: false })

@@ -13,8 +13,10 @@
 
 use std::process::ExitCode;
 
+use mte_sim::inject::FaultPlan;
 use stress::harness::{
-    run_lifecycle_schedule, run_schedule, ScheduleResult, SchemeKind, StressConfig,
+    run_containment_schedule, run_lifecycle_schedule, run_schedule, ScheduleResult, SchemeKind,
+    StressConfig,
 };
 use stress::sched::trace_hash;
 use telemetry::json::JsonValue;
@@ -24,6 +26,7 @@ struct Options {
     schedules: u64,
     scheme: Option<SchemeKind>,
     lifecycle: bool,
+    containment: bool,
     self_check: bool,
     replay: Option<u64>,
     json_dir: Option<String>,
@@ -37,11 +40,12 @@ impl Default for Options {
             schedules: 200,
             scheme: None,
             lifecycle: false,
+            containment: false,
             self_check: false,
             replay: None,
             json_dir: None,
             cfg: StressConfig {
-                fault_ppm: 2000,
+                fault_plan: FaultPlan::uniform(2000),
                 ..StressConfig::default()
             },
         }
@@ -49,14 +53,26 @@ impl Default for Options {
 }
 
 impl Options {
-    /// The selected workload: contended acquire/release rounds, or the
+    /// The selected workload: contended acquire/release rounds, the
     /// object-lifecycle (acquire → drop handle → sweep → release)
-    /// regression schedule.
+    /// regression schedule, or the fault-containment schedule.
     fn run(&self, kind: SchemeKind, seed: u64) -> ScheduleResult {
-        if self.lifecycle {
+        if self.containment {
+            run_containment_schedule(kind, seed, &self.cfg)
+        } else if self.lifecycle {
             run_lifecycle_schedule(kind, seed, &self.cfg)
         } else {
             run_schedule(kind, seed, &self.cfg)
+        }
+    }
+
+    fn workload(&self) -> &'static str {
+        if self.containment {
+            "containment"
+        } else if self.lifecycle {
+            "lifecycle"
+        } else {
+            "contention"
         }
     }
 }
@@ -72,9 +88,18 @@ USAGE: stress [OPTIONS]
   --objects N       contended objects per schedule (default 2)
   --rounds N        acquire/release rounds per worker (default 3)
   --max-steps N     schedule-point budget per schedule (default 20000)
-  --fault-ppm N     fault-injection rate, parts per million (default 2000)
+  --fault-ppm N     fault-injection rate at every point, ppm (default 2000)
+  --fault-irg-ppm N     irg tag-pool exhaustion rate, ppm
+  --fault-ldg-ppm N     ldg failure rate, ppm
+  --fault-stg-ppm N     stg / set_tag_range failure rate, ppm
+  --fault-alloc-ppm N   native-allocation failure rate, ppm
+  --fault-spurious-ppm N  spurious tag-check fault rate, ppm
+                    (per-point flags override --fault-ppm field-by-field,
+                     in argument order)
   --scheme S        two-tier | global | guarded | all (default all)
   --lifecycle       run the object-lifecycle (pin-aware sweep) schedules
+  --containment     run the fault-containment (FaultPolicy::Contain)
+                    schedules; two-tier and global only
   --self-check      also verify the harness catches the broken tables
   --replay N        run only schedule index N and print its full trace
   --json DIR        write DIR/STRESS.json
@@ -102,7 +127,25 @@ fn parse_args() -> Result<Options, String> {
             "--objects" => o.cfg.objects = num(&mut args, "--objects")?.max(1) as usize,
             "--rounds" => o.cfg.rounds = num(&mut args, "--rounds")? as usize,
             "--max-steps" => o.cfg.max_steps = num(&mut args, "--max-steps")?,
-            "--fault-ppm" => o.cfg.fault_ppm = num(&mut args, "--fault-ppm")? as u32,
+            "--fault-ppm" => {
+                o.cfg.fault_plan = FaultPlan::uniform(num(&mut args, "--fault-ppm")? as u32)
+            }
+            "--fault-irg-ppm" => {
+                o.cfg.fault_plan.irg_exhaust_ppm = num(&mut args, "--fault-irg-ppm")? as u32
+            }
+            "--fault-ldg-ppm" => {
+                o.cfg.fault_plan.ldg_fail_ppm = num(&mut args, "--fault-ldg-ppm")? as u32
+            }
+            "--fault-stg-ppm" => {
+                o.cfg.fault_plan.stg_fail_ppm = num(&mut args, "--fault-stg-ppm")? as u32
+            }
+            "--fault-alloc-ppm" => {
+                o.cfg.fault_plan.alloc_fail_ppm = num(&mut args, "--fault-alloc-ppm")? as u32
+            }
+            "--fault-spurious-ppm" => {
+                o.cfg.fault_plan.spurious_check_ppm =
+                    num(&mut args, "--fault-spurious-ppm")? as u32
+            }
             "--scheme" => {
                 let v = args.next().ok_or("--scheme needs a value")?;
                 o.scheme = match v.as_str() {
@@ -114,6 +157,7 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--lifecycle" => o.lifecycle = true,
+            "--containment" => o.containment = true,
             "--self-check" => o.self_check = true,
             "--replay" => o.replay = Some(num(&mut args, "--replay")?),
             "--json" => o.json_dir = Some(args.next().ok_or("--json needs a value")?),
@@ -144,6 +188,9 @@ struct SchemeOutcome {
     trace_hash: u64,
     steps_total: u64,
     injected_faults: u64,
+    contained_faults: u64,
+    degraded_quarantine: u64,
+    degraded_exhaust: u64,
     violations: Vec<String>,
     failing_schedule: Option<u64>,
 }
@@ -152,6 +199,9 @@ fn sweep(kind: SchemeKind, o: &Options) -> SchemeOutcome {
     let mut combined: u64 = 0xcbf2_9ce4_8422_2325;
     let mut steps_total = 0;
     let mut injected = 0;
+    let mut contained = 0;
+    let mut degraded_quarantine = 0;
+    let mut degraded_exhaust = 0;
     let mut run = 0;
     for idx in 0..o.schedules {
         let seed = schedule_seed(o.seed, idx);
@@ -161,6 +211,9 @@ fn sweep(kind: SchemeKind, o: &Options) -> SchemeOutcome {
         combined = combined.wrapping_mul(0x1000_0000_01b3);
         steps_total += result.report.steps;
         injected += result.injected;
+        contained += result.contained;
+        degraded_quarantine += result.degraded_quarantine;
+        degraded_exhaust += result.degraded_exhaust;
         if !result.violations.is_empty() {
             eprintln!(
                 "[{}] schedule {idx} (seed {seed:#x}) violated invariants:",
@@ -180,6 +233,9 @@ fn sweep(kind: SchemeKind, o: &Options) -> SchemeOutcome {
                 trace_hash: combined,
                 steps_total,
                 injected_faults: injected,
+                contained_faults: contained,
+                degraded_quarantine,
+                degraded_exhaust,
                 violations: result.violations,
                 failing_schedule: Some(idx),
             };
@@ -192,6 +248,9 @@ fn sweep(kind: SchemeKind, o: &Options) -> SchemeOutcome {
         trace_hash: combined,
         steps_total,
         injected_faults: injected,
+        contained_faults: contained,
+        degraded_quarantine,
+        degraded_exhaust,
         violations: Vec::new(),
         failing_schedule: None,
     }
@@ -236,7 +295,7 @@ fn self_check(kind: SchemeKind, o: &Options) -> SelfCheckOutcome {
     // No fault injection here: the self-check isolates pure concurrency
     // detection.
     let cfg = StressConfig {
-        fault_ppm: 0,
+        fault_plan: FaultPlan::default(),
         ..o.cfg
     };
     for idx in 0..o.schedules {
@@ -272,7 +331,17 @@ fn main() -> ExitCode {
     telemetry::set_enabled(false);
 
     let schemes: Vec<SchemeKind> = match o.scheme {
+        Some(SchemeKind::Guarded) if o.containment => {
+            eprintln!(
+                "stress: --containment runs MTE4JNI with a guarded-copy \
+                 fallback; --scheme guarded has nothing to contain"
+            );
+            return ExitCode::from(2);
+        }
         Some(k) => vec![k],
+        // Containment is an MTE4JNI-with-fallback workload: guarded copy
+        // is the degradation target, not a scheme under test.
+        None if o.containment => vec![SchemeKind::TwoTier, SchemeKind::Global],
         None => SchemeKind::REAL.to_vec(),
     };
 
@@ -296,6 +365,13 @@ fn main() -> ExitCode {
             if out.clean { "clean" } else { "VIOLATION" },
             out.trace_hash,
         );
+        if o.containment {
+            println!(
+                "[{}] containment: {} contained faults, {} quarantine degradations, \
+                 {} tag-exhaustion degradations",
+                out.scheme, out.contained_faults, out.degraded_quarantine, out.degraded_exhaust,
+            );
+        }
         ok &= out.clean;
         outcomes.push(out);
     }
@@ -359,17 +435,20 @@ fn json_report(
     root.insert("tool", "stress");
 
     let mut params = JsonValue::object();
-    params.insert(
-        "workload",
-        if o.lifecycle { "lifecycle" } else { "contention" },
-    );
+    params.insert("workload", o.workload());
     params.insert("seed", o.seed);
     params.insert("schedules", o.schedules);
     params.insert("threads", o.cfg.threads as u64);
     params.insert("objects", o.cfg.objects as u64);
     params.insert("rounds", o.cfg.rounds as u64);
     params.insert("max_steps", o.cfg.max_steps);
-    params.insert("fault_ppm", u64::from(o.cfg.fault_ppm));
+    let mut plan = JsonValue::object();
+    plan.insert("irg_ppm", u64::from(o.cfg.fault_plan.irg_exhaust_ppm));
+    plan.insert("ldg_ppm", u64::from(o.cfg.fault_plan.ldg_fail_ppm));
+    plan.insert("stg_ppm", u64::from(o.cfg.fault_plan.stg_fail_ppm));
+    plan.insert("alloc_ppm", u64::from(o.cfg.fault_plan.alloc_fail_ppm));
+    plan.insert("spurious_ppm", u64::from(o.cfg.fault_plan.spurious_check_ppm));
+    params.insert("fault_plan", plan);
     root.insert("params", params);
 
     let schemes: Vec<JsonValue> = outcomes
@@ -382,6 +461,11 @@ fn json_report(
             s.insert("trace_hash", format!("{:#018x}", out.trace_hash));
             s.insert("steps_total", out.steps_total);
             s.insert("injected_faults", out.injected_faults);
+            if o.containment {
+                s.insert("contained_faults", out.contained_faults);
+                s.insert("degraded_quarantine", out.degraded_quarantine);
+                s.insert("degraded_tag_exhaustion", out.degraded_exhaust);
+            }
             s.insert(
                 "violations",
                 JsonValue::Array(

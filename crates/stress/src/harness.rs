@@ -15,7 +15,8 @@
 //!   outcomes must equal the number of fresh (non-shared) acquires:
 //!   tags are released exactly when the last borrower leaves.
 //!
-//! Fault injection (when `fault_ppm > 0`) makes the error paths part of
+//! Fault injection (when the `fault_plan` has any nonzero rate) makes
+//! the error paths part of
 //! the explored state space: workers tolerate `MemError::Injected` /
 //! allocation failures and retry releases, so any imbalance that
 //! survives to the oracle is the scheme's fault, not the injector's.
@@ -25,7 +26,9 @@ use std::sync::Arc;
 
 use art_heap::{HeapConfig, PrimitiveType};
 use guarded_copy::GuardedCopy;
-use jni_rt::{JniError, NativeArray, Protection, ReleaseMode, Vm};
+use jni_rt::{
+    ContainmentConfig, FaultPolicy, JniError, NativeArray, NativeKind, Protection, ReleaseMode, Vm,
+};
 use mte4jni::{
     GlobalLockTable, Locking, Mte4Jni, Mte4JniConfig, ReleaseOutcome, TagTable, TwoTierTable,
 };
@@ -93,9 +96,10 @@ pub struct StressConfig {
     pub rounds: usize,
     /// Schedule-point budget before the scheduler aborts the run.
     pub max_steps: u64,
-    /// Fault-injection rate (parts per million) at every inject point;
-    /// zero disables injection.
-    pub fault_ppm: u32,
+    /// Per-point fault-injection rates (parts per million); an all-zero
+    /// plan disables injection. [`FaultPlan::uniform`] reproduces the
+    /// old single-rate knob.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for StressConfig {
@@ -105,7 +109,7 @@ impl Default for StressConfig {
             objects: 2,
             rounds: 3,
             max_steps: 20_000,
-            fault_ppm: 0,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -124,6 +128,15 @@ pub struct ScheduleResult {
     pub freed: u64,
     /// Faults the injector forced during the schedule.
     pub injected: u64,
+    /// Tag-check faults contained at the trampoline boundary (containment
+    /// workload; zero elsewhere).
+    pub contained: u64,
+    /// Acquires degraded to guarded copy because the method was
+    /// quarantined (containment workload; zero elsewhere).
+    pub degraded_quarantine: u64,
+    /// Acquires degraded to guarded copy on `irg` tag-pool exhaustion
+    /// (containment workload; zero elsewhere).
+    pub degraded_exhaust: u64,
 }
 
 fn mix(seed: u64, salt: u64) -> u64 {
@@ -179,9 +192,9 @@ fn table_worker(
     cfg: &StressConfig,
     tallies: &Tallies,
 ) {
-    if cfg.fault_ppm > 0 {
+    if cfg.fault_plan.is_active() {
         inject::install(
-            FaultPlan::uniform(cfg.fault_ppm),
+            cfg.fault_plan,
             mix(seed, worker as u64 + 1),
             Arc::clone(&tallies.injected),
         );
@@ -193,9 +206,12 @@ fn table_worker(
         let end = addr + 64;
         let acq = match table.acquire(mem, &t, begin, end) {
             Ok(a) => a,
-            // Injected failures are tolerated; the rollback contract says
-            // they must leave the table unchanged, which the oracle checks.
-            Err(MemError::Injected { .. }) | Err(MemError::OutOfNativeMemory { .. }) => continue,
+            // Injected failures (including forced irg exhaustion) are
+            // tolerated; the rollback contract says they must leave the
+            // table unchanged, which the oracle checks.
+            Err(MemError::Injected { .. })
+            | Err(MemError::OutOfNativeMemory { .. })
+            | Err(MemError::TagExhausted { .. }) => continue,
             Err(e) => panic!("VIOLATION: acquire failed unexpectedly: {e}"),
         };
         if !acq.shared {
@@ -303,6 +319,9 @@ fn run_table_schedule(
         fresh_acquires: tallies.fresh.load(Ordering::Relaxed),
         freed: tallies.freed.load(Ordering::Relaxed),
         injected: tallies.injected.total(),
+        contained: 0,
+        degraded_quarantine: 0,
+        degraded_exhaust: 0,
     }
 }
 
@@ -418,13 +437,16 @@ pub fn run_lifecycle_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -
         fresh_acquires: tallies.fresh.load(Ordering::Relaxed),
         freed: tallies.freed.load(Ordering::Relaxed),
         injected: tallies.injected.total(),
+        contained: 0,
+        degraded_quarantine: 0,
+        degraded_exhaust: 0,
     }
 }
 
 fn lifecycle_worker(vm: &Vm, worker: usize, seed: u64, cfg: &StressConfig, tallies: &Tallies) {
-    if cfg.fault_ppm > 0 {
+    if cfg.fault_plan.is_active() {
         inject::install(
-            FaultPlan::uniform(cfg.fault_ppm),
+            cfg.fault_plan,
             mix(seed, worker as u64 + 1),
             Arc::clone(&tallies.injected),
         );
@@ -436,13 +458,13 @@ fn lifecycle_worker(vm: &Vm, worker: usize, seed: u64, cfg: &StressConfig, talli
     // the simulation, not explore a reachable state. Re-arming derives a
     // fresh per-site seed, keeping the schedule deterministic.
     let sweep_disarmed = |salt: u64| {
-        if cfg.fault_ppm > 0 {
+        if cfg.fault_plan.is_active() {
             inject::clear();
         }
         let stats = vm.heap().sweep();
-        if cfg.fault_ppm > 0 {
+        if cfg.fault_plan.is_active() {
             inject::install(
-                FaultPlan::uniform(cfg.fault_ppm),
+                cfg.fault_plan,
                 mix(seed, salt),
                 Arc::clone(&tallies.injected),
             );
@@ -464,7 +486,9 @@ fn lifecycle_worker(vm: &Vm, worker: usize, seed: u64, cfg: &StressConfig, talli
                 // Injected scheme failures (tag store, shadow alloc/read)
                 // are tolerated; the quiescence oracle still balances.
                 Err(JniError::Mem(
-                    MemError::Injected { .. } | MemError::OutOfNativeMemory { .. },
+                    MemError::Injected { .. }
+                    | MemError::OutOfNativeMemory { .. }
+                    | MemError::TagExhausted { .. },
                 ))
                 | Err(JniError::Heap(_)) => continue,
                 Err(e) => panic!("VIOLATION: lifecycle acquire failed: {e}"),
@@ -519,6 +543,206 @@ fn lifecycle_worker(vm: &Vm, worker: usize, seed: u64, cfg: &StressConfig, talli
     inject::clear();
 }
 
+/// Runs one seeded **containment** schedule: an MTE4JNI VM (two-tier or
+/// global locking per `kind`) under [`FaultPolicy::Contain`] with a
+/// guarded-copy fallback, a low quarantine threshold, and workers that
+/// deliberately go out of bounds on some rounds. The containment oracle
+/// asserts the VM survives every schedule — contained faults, quarantine
+/// degradations, and injected failures included — with zero stale table
+/// entries, zero leaked shadows or native bytes, balanced pins, and no
+/// residual tags.
+pub fn run_containment_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -> ScheduleResult {
+    let memory = MemoryConfig {
+        base: BASE,
+        size: MEM_SIZE,
+    };
+    let locking = match kind {
+        SchemeKind::Global => Locking::Global,
+        #[cfg(feature = "mutation")]
+        SchemeKind::BrokenGlobal => Locking::Global,
+        _ => Locking::TwoTier,
+    };
+    let scheme = Arc::new(Mte4Jni::with_config(Mte4JniConfig {
+        locking,
+        ..Mte4JniConfig::default()
+    }));
+    let fallback = Arc::new(GuardedCopy::new());
+    let vm = Vm::builder()
+        .heap_config(HeapConfig {
+            memory,
+            ..HeapConfig::mte4jni()
+        })
+        .check_mode(TcfMode::Sync)
+        .protection(Arc::clone(&scheme) as Arc<dyn Protection>)
+        .fallback_protection(Arc::clone(&fallback) as Arc<dyn Protection>)
+        .fault_policy(FaultPolicy::Contain)
+        .containment_config(ContainmentConfig {
+            // Low threshold so quarantine transitions happen within one
+            // schedule's handful of rounds.
+            quarantine_threshold: 2,
+            transient_retries: 4,
+            ..ContainmentConfig::default()
+        })
+        .build();
+    let tallies = Arc::new(Tallies::default());
+
+    let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..cfg.threads)
+        .map(|worker| {
+            let vm = &vm;
+            let tallies = Arc::clone(&tallies);
+            let cfg = *cfg;
+            Box::new(move || containment_worker(vm, worker, seed, &cfg, &tallies))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+
+    let report = sched::run(seed, cfg.max_steps, bodies);
+    let mut violations: Vec<String> = report
+        .panics
+        .iter()
+        .map(|(t, msg)| format!("t{t}: {msg}"))
+        .collect();
+    if report.clean() {
+        // Containment oracle: the VM survived the schedule, and every
+        // contained fault left it balanced.
+        let tracked = scheme.table().tracked_objects();
+        if tracked != 0 {
+            violations.push(format!(
+                "oracle: {tracked} table entries stale after contained faults"
+            ));
+        }
+        let shadows = fallback.tracked_shadows();
+        if shadows != 0 {
+            violations.push(format!("oracle: {shadows} fallback shadows leaked"));
+        }
+        let in_use = vm.heap().native_alloc().stats().bytes_in_use;
+        if in_use != 0 {
+            violations.push(format!("oracle: {in_use} native bytes leaked"));
+        }
+        let hs = vm.heap().stats();
+        if hs.pinned_objects != 0 {
+            violations.push(format!(
+                "oracle: {} objects still pinned after contained faults",
+                hs.pinned_objects
+            ));
+        }
+        if hs.pins_total != hs.unpins_total {
+            violations.push(format!(
+                "oracle: {} pins but {} unpins after contained faults",
+                hs.pins_total, hs.unpins_total
+            ));
+        }
+        // Every force-released borrow must have zeroed its tags: fresh
+        // allocations on recycled addresses come back untagged.
+        let _ = vm.heap().sweep();
+        let oracle = vm.attach_thread("containment-oracle");
+        for _ in 0..cfg.objects.max(4) {
+            match vm.env(&oracle).new_int_array(16) {
+                Ok(a) => match vm.heap().memory().raw_tag_at(a.data_addr()) {
+                    Ok(tag) if tag.is_untagged() => {}
+                    Ok(tag) => violations.push(format!(
+                        "oracle: recycled address {:#x} still tagged {tag:?}",
+                        a.data_addr()
+                    )),
+                    Err(e) => violations.push(format!("oracle: tag read failed: {e}")),
+                },
+                Err(e) => violations.push(format!("oracle: post-quiescence alloc failed: {e}")),
+            }
+        }
+    }
+    let cs = vm.containment_stats();
+    ScheduleResult {
+        report,
+        violations,
+        fresh_acquires: tallies.fresh.load(Ordering::Relaxed),
+        freed: tallies.freed.load(Ordering::Relaxed),
+        injected: tallies.injected.total(),
+        contained: cs.contained_faults,
+        degraded_quarantine: cs.degraded_quarantine,
+        degraded_exhaust: cs.degraded_tag_exhaustion,
+    }
+}
+
+fn containment_worker(vm: &Vm, worker: usize, seed: u64, cfg: &StressConfig, tallies: &Tallies) {
+    if cfg.fault_plan.is_active() {
+        inject::install(
+            cfg.fault_plan,
+            mix(seed, worker as u64 + 1),
+            Arc::clone(&tallies.injected),
+        );
+    }
+    const METHODS: [&str; 2] = ["native_churn", "native_scan"];
+    let thread = vm.attach_thread("containment");
+    let env = vm.env(&thread);
+    for round in 0..cfg.rounds {
+        let step = (worker * cfg.rounds + round) as u64;
+        let method = METHODS[(worker + round) % METHODS.len()];
+        // Roughly a third of the rounds go out of bounds, attributed to
+        // whichever method this round lands on — enough repeats on one
+        // name to cross the quarantine threshold within a schedule.
+        let do_oob = mix(seed, 0x0B_AD ^ step).is_multiple_of(3);
+        let Ok(a) = env.new_int_array_from(&[7; 16]) else {
+            continue; // injected allocation failure: setup, not oracle
+        };
+        let result = env.call_native(method, NativeKind::Normal, |env| {
+            let elems = env.get_primitive_array_critical(&a)?;
+            let mem = env.native_mem();
+            let mut s = 0;
+            for i in 0..16 {
+                match elems.read_i32(&mem, i) {
+                    Ok(v) => s += v,
+                    // A tag-check fault kills native execution on the
+                    // spot — no cleanup runs, the borrow leaks, and
+                    // containment must reclaim it.
+                    Err(e @ MemError::TagCheck(_)) => return Err(e.into()),
+                    // Injected transient read failures: well-behaved
+                    // native code shrugs and still releases below.
+                    Err(_) => {}
+                }
+            }
+            yield_point("containment-borrowed");
+            if do_oob {
+                // 16-int array: index 40 is 96 bytes past the payload —
+                // a tag mismatch under MTE4JNI (sync fault, the borrow
+                // leaks past the skipped release) or red-zone corruption
+                // under a quarantined guarded copy (caught at release).
+                elems.write_i32(&mem, 40, 0x0BAD)?;
+            }
+            env.release_primitive_array_critical(&a, elems, ReleaseMode::Abort)?;
+            Ok(s)
+        });
+        match result {
+            Ok(_) => {
+                tallies.fresh.fetch_add(1, Ordering::Relaxed);
+                tallies.freed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(JniError::ContainedFault { .. }) => {
+                // With 4-bit tags an out-of-bounds write may also alias a
+                // live neighbor and go undetected — so `do_oob` does not
+                // *guarantee* a contained fault, but a contained fault
+                // must have a cause.
+                if !do_oob && cfg.fault_plan.spurious_check_ppm == 0 {
+                    panic!(
+                        "VIOLATION: in-bounds call contained a fault \
+                         with no spurious injection armed"
+                    );
+                }
+            }
+            // A quarantined method's guarded copy catches the same
+            // out-of-bounds write at release time: graceful degradation.
+            Err(JniError::CheckJniAbort(_)) => {}
+            // Injected transient failures that out-lived the retry budget.
+            Err(e) if e.is_transient() => {}
+            // Heap-side injected failures during array setup inside the
+            // native frame.
+            Err(JniError::Heap(_)) => {}
+            Err(e) => panic!("VIOLATION: containment call failed: {e}"),
+        }
+        yield_point("containment-round");
+    }
+    inject::clear();
+}
+
 fn run_guarded_schedule(seed: u64, cfg: &StressConfig) -> ScheduleResult {
     let protection = Arc::new(GuardedCopy::new());
     let vm = Vm::builder()
@@ -551,9 +775,9 @@ fn run_guarded_schedule(seed: u64, cfg: &StressConfig) -> ScheduleResult {
             let acquired = Arc::clone(&acquired);
             let cfg = *cfg;
             Box::new(move || {
-                if cfg.fault_ppm > 0 {
+                if cfg.fault_plan.is_active() {
                     inject::install(
-                        FaultPlan::uniform(cfg.fault_ppm),
+                        cfg.fault_plan,
                         mix(seed, worker as u64 + 1),
                         Arc::clone(&counters),
                     );
@@ -622,5 +846,8 @@ fn run_guarded_schedule(seed: u64, cfg: &StressConfig) -> ScheduleResult {
         fresh_acquires: acquired.load(Ordering::Relaxed),
         freed: protection.stats().releases,
         injected: counters.total(),
+        contained: 0,
+        degraded_quarantine: 0,
+        degraded_exhaust: 0,
     }
 }

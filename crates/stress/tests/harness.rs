@@ -3,7 +3,10 @@
 
 use std::sync::Arc;
 
-use stress::harness::{run_lifecycle_schedule, run_schedule, SchemeKind, StressConfig};
+use mte_sim::inject::FaultPlan;
+use stress::harness::{
+    run_containment_schedule, run_lifecycle_schedule, run_schedule, SchemeKind, StressConfig,
+};
 use stress::sched::{self, trace_hash, Abort};
 
 fn render(result: &stress::harness::ScheduleResult) -> String {
@@ -19,7 +22,7 @@ fn render(result: &stress::harness::ScheduleResult) -> String {
 #[test]
 fn same_seed_replays_the_same_schedule_bit_for_bit() {
     let cfg = StressConfig {
-        fault_ppm: 2000,
+        fault_plan: FaultPlan::uniform(2000),
         ..StressConfig::default()
     };
     for kind in SchemeKind::REAL {
@@ -60,7 +63,7 @@ fn real_schemes_survive_contention_and_heavy_fault_injection() {
     // 10% failure at every injection point: the error paths *are* the
     // workload. Any oracle violation here is a rollback bug.
     let cfg = StressConfig {
-        fault_ppm: 100_000,
+        fault_plan: FaultPlan::uniform(100_000),
         ..StressConfig::default()
     };
     for kind in SchemeKind::REAL {
@@ -80,7 +83,7 @@ fn real_schemes_survive_contention_and_heavy_fault_injection() {
 #[test]
 fn lifecycle_schedules_replay_bit_for_bit() {
     let cfg = StressConfig {
-        fault_ppm: 2000,
+        fault_plan: FaultPlan::uniform(2000),
         ..StressConfig::default()
     };
     for kind in SchemeKind::REAL {
@@ -101,7 +104,7 @@ fn lifecycle_schedules_stay_clean_under_fault_injection() {
     // sweep away from borrowed objects and leave no entry, pin, or stale
     // tag behind — even with the error paths forced into the state space.
     let cfg = StressConfig {
-        fault_ppm: 20_000,
+        fault_plan: FaultPlan::uniform(20_000),
         ..StressConfig::default()
     };
     for kind in SchemeKind::REAL {
@@ -121,6 +124,64 @@ fn lifecycle_schedules_stay_clean_under_fault_injection() {
             );
         }
     }
+}
+
+/// A mixed per-point plan like the CI containment gate's.
+fn mixed_plan() -> FaultPlan {
+    FaultPlan {
+        irg_exhaust_ppm: 2000,
+        ldg_fail_ppm: 2000,
+        stg_fail_ppm: 2000,
+        alloc_fail_ppm: 2000,
+        spurious_check_ppm: 2000,
+    }
+}
+
+#[test]
+fn containment_schedules_replay_bit_for_bit() {
+    let cfg = StressConfig {
+        fault_plan: mixed_plan(),
+        ..StressConfig::default()
+    };
+    for kind in [SchemeKind::TwoTier, SchemeKind::Global] {
+        for seed in [5u64, 0xFACE] {
+            let a = run_containment_schedule(kind, seed, &cfg);
+            let b = run_containment_schedule(kind, seed, &cfg);
+            assert_eq!(render(&a), render(&b), "{}: seed {seed:#x}", kind.label());
+            assert_eq!(a.violations, b.violations);
+            assert_eq!(a.contained, b.contained);
+            assert_eq!(a.degraded_quarantine, b.degraded_quarantine);
+            assert_eq!(a.degraded_exhaust, b.degraded_exhaust);
+        }
+    }
+}
+
+#[test]
+fn containment_schedules_survive_faults_and_observe_degradation() {
+    // The containment oracle: every schedule's VM survives its own
+    // out-of-bounds natives plus injected failures with nothing leaked —
+    // and across the sweep, faults actually get contained and at least
+    // one method is quarantined onto guarded copy.
+    let cfg = StressConfig {
+        rounds: 4,
+        fault_plan: mixed_plan(),
+        ..StressConfig::default()
+    };
+    let mut contained = 0;
+    let mut degraded = 0;
+    for seed in 0..30u64 {
+        let r = run_containment_schedule(SchemeKind::TwoTier, seed, &cfg);
+        assert!(
+            r.violations.is_empty(),
+            "seed {seed}: {:?}\ntrace:\n{}",
+            r.violations,
+            render(&r)
+        );
+        contained += r.contained;
+        degraded += r.degraded_quarantine;
+    }
+    assert!(contained > 0, "no schedule contained a fault");
+    assert!(degraded > 0, "no schedule quarantined a method");
 }
 
 #[test]

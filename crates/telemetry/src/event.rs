@@ -106,6 +106,43 @@ impl InjectPoint {
     ];
 }
 
+/// Why an acquire was downgraded from the primary protection scheme to
+/// the guarded-copy fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// The native method is quarantined after repeated contained faults.
+    Quarantine,
+    /// `irg` tag-pool exhaustion left no usable tag for this acquire.
+    TagExhaustion,
+}
+
+impl DegradeReason {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeReason::Quarantine => "quarantine",
+            DegradeReason::TagExhaustion => "tag_exhaustion",
+        }
+    }
+
+    /// Stable subcode used by the event encoding.
+    pub fn index(self) -> u8 {
+        match self {
+            DegradeReason::Quarantine => 0,
+            DegradeReason::TagExhaustion => 1,
+        }
+    }
+
+    /// Inverse of [`DegradeReason::index`].
+    pub fn from_index(index: u8) -> Option<DegradeReason> {
+        Some(match index {
+            0 => DegradeReason::Quarantine,
+            1 => DegradeReason::TagExhaustion,
+            _ => return None,
+        })
+    }
+}
+
 /// One structured telemetry event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
@@ -158,6 +195,17 @@ pub enum Event {
         /// Objects relocated during the pass.
         moved: u32,
     },
+    /// A tag-check fault was contained at the `call_native` boundary
+    /// instead of aborting the VM (`FaultPolicy::Contain`).
+    ContainedFault {
+        /// The class of the contained fault.
+        class: FaultClass,
+    },
+    /// An acquire was routed to the guarded-copy fallback scheme.
+    Degraded {
+        /// Why the fallback was taken.
+        reason: DegradeReason,
+    },
 }
 
 impl Event {
@@ -178,6 +226,18 @@ impl Event {
             Event::GuardDrop { .. } => "guard_drop",
             Event::InjectedFault { .. } => "injected_fault",
             Event::GcCompact { .. } => "gc_compact",
+            Event::ContainedFault {
+                class: FaultClass::Sync,
+            } => "contained_sync",
+            Event::ContainedFault {
+                class: FaultClass::Async,
+            } => "contained_async",
+            Event::Degraded {
+                reason: DegradeReason::Quarantine,
+            } => "degraded_quarantine",
+            Event::Degraded {
+                reason: DegradeReason::TagExhaustion,
+            } => "degraded_tag_exhaustion",
         }
     }
 
@@ -212,6 +272,10 @@ impl Event {
             Event::GuardDrop { interface } => (7, u64::from(interface.index()), 0),
             Event::InjectedFault { point } => (8, u64::from(point.index()), 0),
             Event::GcCompact { moved } => (9, 0, u64::from(moved)),
+            Event::ContainedFault { class } => {
+                (10, matches!(class, FaultClass::Async) as u64, 0)
+            }
+            Event::Degraded { reason } => (11, u64::from(reason.index()), 0),
         };
         (kind << 60) | (sub << 56) | payload
     }
@@ -259,6 +323,16 @@ impl Event {
                 point: InjectPoint::from_index(sub)?,
             }),
             9 => Some(Event::GcCompact { moved: payload }),
+            10 => Some(Event::ContainedFault {
+                class: if sub == 1 {
+                    FaultClass::Async
+                } else {
+                    FaultClass::Sync
+                },
+            }),
+            11 => Some(Event::Degraded {
+                reason: DegradeReason::from_index(sub)?,
+            }),
             _ => None,
         }
     }
@@ -309,6 +383,18 @@ mod tests {
                 point: InjectPoint::Stg,
             },
             Event::GcCompact { moved: 4242 },
+            Event::ContainedFault {
+                class: FaultClass::Sync,
+            },
+            Event::ContainedFault {
+                class: FaultClass::Async,
+            },
+            Event::Degraded {
+                reason: DegradeReason::Quarantine,
+            },
+            Event::Degraded {
+                reason: DegradeReason::TagExhaustion,
+            },
         ];
         for e in samples {
             let word = e.encode();

@@ -38,7 +38,7 @@ mod ring;
 mod snapshot;
 
 pub use counters::{counters, CounterRegistry};
-pub use event::{DrainedEvent, Event, FaultClass, InjectPoint, TagOp};
+pub use event::{DegradeReason, DrainedEvent, Event, FaultClass, InjectPoint, TagOp};
 pub use hist::{histogram, HistKey, LatencyHistogram, LatencyOp, SizeClass};
 pub use interface::JniInterface;
 pub use snapshot::{EventSummary, HistogramSummary, Snapshot, SCHEMA_VERSION};
