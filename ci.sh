@@ -63,6 +63,67 @@ else
     echo "throughput report present (python3 unavailable; gate skipped)"
 fi
 
+echo "== bench smoke: tag-table thread-scaling gate =="
+# The lock-free redesign's regression gate (DESIGN.md §13): quick
+# scaling run at 1/4/16 threads with the full-mode op budget (the
+# default quick budget is too small to amortize thread spawn/join on a
+# loaded host), compared against the committed baseline. Gated:
+#   * lock_free contended ops/s within 20% of baseline at 1/4/16;
+#   * lock_free >= two_tier_k16 at every measured point, both modes;
+#   * contended 16-thread lock_free/two_tier speedup above its floor.
+# Like the throughput stage this runs release and ahead of the long
+# stress gates (thermal drift).
+cargo run --offline -q --release -p bench --bin scaling -- \
+    --quick --pairs 20000 --json "$out" >/dev/null
+test -s "$out/BENCH_scaling.json"
+scaling_baseline="crates/bench/baselines/BENCH_scaling.baseline.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/BENCH_scaling.json" "$scaling_baseline" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+def rows(d):
+    return {(r["mode"], r["threads"]): r for r in d["rows"]}
+cur, ref = rows(doc), rows(base)
+for key in [("contended", t) for t in (1, 4, 16)]:
+    floor = 0.8 * ref[key]["lock_free"]
+    got = cur[key]["lock_free"]
+    assert got >= floor, (
+        f"lock_free {key} regressed: {got:,.0f} ops/s < 80% of "
+        f"baseline {ref[key]['lock_free']:,.0f}"
+    )
+for key, row in cur.items():
+    assert row["lock_free"] >= row["two_tier_k16"], (
+        f"lock_free slower than two_tier at {key}: "
+        f"{row['lock_free']:,.0f} < {row['two_tier_k16']:,.0f}"
+    )
+speedup = doc["summary"]["contended_16_speedup"]
+# Acceptance target is 10x on contended multicore hardware; a
+# single-core CI host serializes the contention two-tier loses to, so
+# the enforceable floor here is 3x (measured ~5-6x; see DESIGN.md §13).
+assert speedup >= 3.0, f"contended-16 speedup below 3x: {speedup:.2f}"
+print(f"scaling gate: contended-16 lock_free {speedup:.1f}x over two_tier")
+PY
+else
+    grep -q '"contended_16_speedup"' "$out/BENCH_scaling.json"
+    echo "scaling report present (python3 unavailable; gate skipped)"
+fi
+
+echo "== deterministic stress (fixed seed, lock-free table) =="
+# The redesign's dedicated stress gate: 1000 fixed-seed schedules over
+# the lock-free table with fault injection, plus the mutation
+# self-check (the run fails unless the deliberately broken
+# AtomicEntryTable is caught). Bit-reproducible like the main sweep.
+lf_flags=(--scheme lock-free --seed 0xC1 --schedules 1000
+    --fault-ppm 2000 --self-check)
+cargo run --offline -q -p stress --bin stress -- \
+    "${lf_flags[@]}" --json "$out/stress-lf1"
+test -s "$out/stress-lf1/STRESS.json"
+cargo run --offline -q -p stress --bin stress -- \
+    "${lf_flags[@]}" --json "$out/stress-lf2" >/dev/null
+cmp "$out/stress-lf1/STRESS.json" "$out/stress-lf2/STRESS.json"
+echo "lock-free STRESS.json bit-reproducible across runs"
+
 echo "== deterministic stress (fixed seed) =="
 # Fixed-seed schedule sweep over all three schemes with fault injection,
 # plus the mutation self-check: the run fails unless the harness catches

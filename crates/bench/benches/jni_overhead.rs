@@ -16,7 +16,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench::{copy_kernel, read_loop_kernel, SharingMode};
-use mte4jni::{GlobalLockTable, TagTable, TwoTierTable};
+use mte4jni::{AtomicEntryTable, GlobalLockTable, TagTable, TwoTierTable};
 use mte_sim::{MemoryConfig, MteThread, TaggedMemory, TaggedPtr};
 use workloads::Scheme;
 
@@ -88,6 +88,7 @@ fn tag_table(c: &mut Criterion) {
     let end = begin.addr() + 1024;
 
     let tables: Vec<(String, Arc<dyn TagTable>)> = vec![
+        ("lock_free".into(), Arc::new(AtomicEntryTable::new())),
         ("two_tier_k16".into(), Arc::new(TwoTierTable::new(16))),
         ("two_tier_k1".into(), Arc::new(TwoTierTable::new(1))),
         ("two_tier_k64".into(), Arc::new(TwoTierTable::new(64))),
@@ -96,8 +97,9 @@ fn tag_table(c: &mut Criterion) {
     for (name, table) in tables {
         group.bench_function(BenchmarkId::new("acquire_release", &name), |b| {
             b.iter(|| {
-                let tag = table.acquire(&mem, &thread, begin, end).unwrap();
-                table.release(&mem, begin, end).unwrap();
+                let borrow = table.acquire(&mem, &thread, begin, end).unwrap();
+                let tag = borrow.tag();
+                table.release(&mem, borrow).unwrap();
                 tag
             })
         });

@@ -18,7 +18,7 @@ use art_heap::BlockAllocator;
 use bench::{json_output, print_environment, Args, BenchReport};
 use guarded_copy::{GuardedCopy, GuardedCopyConfig};
 use jni_rt::{NativeKind, ReleaseMode, Vm};
-use mte4jni::{Mte4JniConfig, TagTable, TwoTierTable};
+use mte4jni::{TableConfig, TagTable, TwoTierTable};
 use mte_sim::{MemoryConfig, MteThread, TaggedMemory, TaggedPtr, TcfMode};
 use telemetry::json::JsonValue;
 
@@ -43,10 +43,10 @@ fn tag_conflict_probability(args: &Args, report: &mut BenchReport) {
     report.param("trials", trials);
     println!("--- 1. tag-conflict probability ({trials} trials) ---");
     for (label, config) in [
-        ("paper config", Mte4JniConfig::default()),
+        ("paper config", TableConfig::default()),
         (
             "with neighbour-tag exclusion (extension)",
-            Mte4JniConfig { exclude_neighbor_tags: true, ..Mte4JniConfig::default() },
+            TableConfig { exclude_neighbor_tags: true, ..TableConfig::default() },
         ),
     ] {
         run_conflict_trials(label, config, trials, report);
@@ -54,7 +54,7 @@ fn tag_conflict_probability(args: &Args, report: &mut BenchReport) {
     println!();
 }
 
-fn run_conflict_trials(label: &str, config: Mte4JniConfig, trials: usize, report: &mut BenchReport) {
+fn run_conflict_trials(label: &str, config: TableConfig, trials: usize, report: &mut BenchReport) {
     let vm = mte4jni::mte4jni_vm(TcfMode::Sync, config);
     let thread = vm.attach_thread("ablation");
     let env = vm.env(&thread);
@@ -198,8 +198,8 @@ fn table_count_cost(args: &Args, report: &mut BenchReport) {
         let table = TwoTierTable::new(k);
         let start = Instant::now();
         for _ in 0..iters {
-            table.acquire(&mem, &thread, begin, end).unwrap();
-            table.release(&mem, begin, end).unwrap();
+            let borrow = table.acquire(&mem, &thread, begin, end).unwrap();
+            table.release(&mem, borrow).unwrap();
         }
         let per_pair = start.elapsed().as_secs_f64() / f64::from(iters) * 1e9;
         println!("k = {k:>3}: {per_pair:>7.1} ns per acquire+release pair");

@@ -19,7 +19,7 @@ use art_heap::HeapConfig;
 use bench::{json_output, print_environment, Args, BenchReport};
 use guarded_copy::{GuardedCopy, GuardedCopyConfig};
 use jni_rt::{JniError, NativeKind, ReleaseMode, Vm};
-use mte4jni::{Mte4Jni, Mte4JniConfig};
+use mte4jni::{Mte4Jni, TableConfig};
 use mte_sim::TcfMode;
 use telemetry::json::JsonValue;
 use workloads::Scheme;
@@ -299,9 +299,9 @@ fn stale_tag_ablation(report: &mut BenchReport) {
         let vm = Vm::builder()
             .heap_config(HeapConfig::mte4jni())
             .check_mode(TcfMode::Sync)
-            .protection(Arc::new(Mte4Jni::with_config(Mte4JniConfig {
+            .protection(Arc::new(Mte4Jni::with_config(TableConfig {
                 release_tags,
-                ..Mte4JniConfig::default()
+                ..TableConfig::default()
             })))
             .build();
         let thread = vm.attach_thread("main");

@@ -206,7 +206,7 @@ pub fn time_copy(scheme: Scheme, len: usize, iters: u32, repeats: u32) -> Durati
 pub fn time_copy_degraded(len: usize, iters: u32, repeats: u32) -> Duration {
     let vm = mte4jni::mte4jni_vm(
         mte_sim::TcfMode::Sync,
-        mte4jni::Mte4JniConfig::default(),
+        mte4jni::TableConfig::default(),
     );
     vm.quarantine_method("array_copy");
     let thread = vm.attach_thread("fig5-degraded");

@@ -138,7 +138,10 @@ fn xorshift64star(state: &mut u64) -> u64 {
 /// telemetry event when it fires. `false` whenever no injector is
 /// installed on this thread.
 pub(crate) fn should_fail(point: InjectPoint) -> bool {
-    INJECTOR.with(|i| {
+    // `try_with`: tag ops can run from thread-local destructors (the
+    // borrow stash's exit flush) after the injector slot is gone; those
+    // late ops simply see no injector.
+    INJECTOR.try_with(|i| {
         let mut slot = i.borrow_mut();
         let Some(inj) = slot.as_mut() else {
             return false;
@@ -156,6 +159,7 @@ pub(crate) fn should_fail(point: InjectPoint) -> bool {
             false
         }
     })
+    .unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -1,0 +1,1035 @@
+//! The lock-free tag table: one CAS-able packed word per object.
+//!
+//! [`AtomicEntryTable`] keeps the reference-counted tag bookkeeping of
+//! Algorithms 1 and 2 but replaces the two-tier mutexes with a single
+//! [`AtomicU64`] per object entry (layout in [`entry`](crate::entry)).
+//! A shared acquire — the hot path once any thread holds the object —
+//! is one `ldg` plus one CAS, touching no lock; a release of a still-
+//! shared object is one CAS. Only the *first* acquire and the *last*
+//! release take the slot `Busy` while they run the fallible `irg`/tag-
+//! store work, and even that exclusivity is a CAS-claimed state bit,
+//! not a mutex: contending threads spin through a schedule point
+//! instead of blocking in the kernel.
+//!
+//! Entries live in a lazily materialized slab indexed by granule —
+//! `slot = (addr − base) / 16` — so lookup is pure arithmetic with no
+//! hash table, no probing, and no shared-structure mutation. The slab
+//! is a directory of fixed-size chunks, each allocated on first touch,
+//! keeping an idle table at a few hundred bytes instead of eagerly
+//! committing 8 bytes per heap granule.
+//!
+//! # The per-thread borrow stash
+//!
+//! With [`TableConfig::borrow_stash`] on (the default), a release does
+//! not return its reference to the entry word at all: after one
+//! validating load it parks a *credit* — address, tag, generation, and
+//! an implicit +1 on the physical count — in a thread-local stash and
+//! reports [`Release::Cached`]. The same thread's next acquire of the
+//! object redeems the credit with one validating load and zero RMWs, so
+//! a steady acquire/release loop costs no shared-memory traffic and no
+//! `irg`/`stg` churn. Credits are returned physically (running the
+//! normal teardown when they are the last reference) on stash eviction,
+//! on an explicit [`TagTable::flush_stash`] — the safepoint hook for
+//! layers that recycle addresses — and as a best-effort backstop when
+//! the thread exits. While a credit is parked the entry stays `Live`
+//! and the object stays tagged; generation validation makes credits
+//! self-invalidating if a force-release (`release_raw`) consumed the
+//! reference out from under the stash.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use mte_sim::sync::yield_point;
+use mte_sim::{MemError, MteThread, Tag, TagExclusion, TaggedMemory, TaggedPtr, GRANULE};
+
+use crate::entry::{self, EntryState};
+use crate::table::{
+    Borrow, Release, ReleaseError, ReleaseFailure, ReleaseOutcome, TableConfig, TagTable,
+};
+
+/// Granules covered by one lazily allocated slab chunk (64 KiB of heap,
+/// 32 KiB of entry words).
+const CHUNK_GRANULES: usize = 1 << 12;
+
+/// Distinct objects one thread's stash tracks per table. Small and
+/// scanned linearly: the stash exists for tight reacquire loops, not as
+/// a second table.
+const STASH_SLOTS: usize = 4;
+
+/// Ceiling on parked credits per object; releases beyond it fall back
+/// to the physical path so a pathological release-only caller cannot
+/// grow an unbounded hidden count.
+const STASH_MAX_CREDITS: u32 = 1 << 20;
+
+/// CAS attempts the best-effort thread-exit flush makes per credit
+/// before abandoning it. Outside the deterministic scheduler a `Busy`
+/// window is a handful of instructions, so this never triggers in
+/// practice; the bound exists because a thread-local destructor must
+/// not spin forever.
+const BACKSTOP_RETRIES: usize = 64;
+
+/// Entry-word slab for one simulated memory region: a directory of
+/// on-demand chunks of `AtomicU64` entry words, one per granule.
+struct Slab {
+    base: u64,
+    granules: u64,
+    chunks: Box<[OnceLock<Box<[AtomicU64]>>]>,
+}
+
+impl Slab {
+    fn new(mem: &TaggedMemory) -> Slab {
+        let granules = (mem.size() / GRANULE) as u64;
+        let chunk_count = usize::try_from(granules.div_ceil(CHUNK_GRANULES as u64))
+            .expect("chunk directory fits in usize");
+        Slab {
+            base: mem.base(),
+            granules,
+            chunks: (0..chunk_count).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The entry word for `addr`, materializing its chunk on first
+    /// touch. `None` when `addr` lies outside the bound region.
+    fn slot(&self, addr: u64) -> Option<&AtomicU64> {
+        if addr < self.base {
+            return None;
+        }
+        let granule = (addr - self.base) / GRANULE as u64;
+        if granule >= self.granules {
+            return None;
+        }
+        let granule = granule as usize;
+        let chunk = self.chunks[granule / CHUNK_GRANULES]
+            .get_or_init(|| (0..CHUNK_GRANULES).map(|_| AtomicU64::new(0)).collect());
+        Some(&chunk[granule % CHUNK_GRANULES])
+    }
+
+    fn allocated_chunks(&self) -> u64 {
+        self.chunks.iter().filter(|c| c.get().is_some()).count() as u64
+    }
+}
+
+/// The table's shared core: the slab plus everything a stash flush
+/// needs after the [`AtomicEntryTable`] facade may already be gone
+/// (thread-exit flushes outlive the facade's borrow scope).
+struct Core {
+    slab: Slab,
+    /// The region the table is bound to, for the tag zeroing a flush
+    /// performs when a credit was the last reference. `Weak`: the table
+    /// does not own the heap, and a flush after the region is gone has
+    /// nothing left to protect.
+    mem: Weak<TaggedMemory>,
+    release_tags: bool,
+    /// Live entries (maintained incrementally; the slab is never
+    /// scanned on the fast path).
+    tracked: AtomicU64,
+    /// CAS attempts that lost a race (or met a `Busy` slot) and
+    /// retried — the lock-free analogue of the two-tier scheme's
+    /// `table_lock_acquisitions` contention metric.
+    cas_retries: AtomicU64,
+    /// Shared acquires completed on the no-lock CAS path.
+    shared_fast_acquires: AtomicU64,
+    /// Acquires served from a thread-local stash credit (no RMW at
+    /// all). Accumulated per thread and folded in on flush, mirroring
+    /// the batched telemetry rings.
+    stash_hits: AtomicU64,
+    /// Final releases performed by a stash flush or eviction rather
+    /// than a typed release: `fresh acquires == Freed releases +
+    /// stash_flush_frees` is the stash-aware conservation law.
+    stash_flush_frees: AtomicU64,
+    /// Bumped by every transition that can kill a lifetime *out from
+    /// under* a parked stash credit: `release_raw`'s force-free and
+    /// `rehome`'s relocation. A parked credit is a physical reference,
+    /// so the refcount cannot reach zero through typed releases while
+    /// it is parked — these two paths are the only ways its generation
+    /// can die. A redeem whose cached epoch still matches may therefore
+    /// skip the entry-word validation entirely (one read-mostly load
+    /// instead of a slab lookup plus decode). The residual window —
+    /// a force-free landing right after the check — is identical to
+    /// the validating-load scheme's, and is owned by the containment
+    /// layer either way.
+    force_epoch: AtomicU64,
+}
+
+/// What returning one stash credit to the entry word did.
+enum CreditReturn {
+    /// Count decremented; other references remain.
+    Dropped,
+    /// The credit was the last reference: entry torn down, tags zeroed.
+    Freed,
+    /// The credit's lifetime is over (generation moved on or the entry
+    /// was force-released): nothing to return, and any sibling credits
+    /// of the same entry are dead too.
+    Stolen,
+    /// Bounded retries exhausted (best-effort backstop only).
+    GaveUp,
+}
+
+impl Core {
+    fn contended(&self, label: &'static str) {
+        self.cas_retries.fetch_add(1, Ordering::Relaxed);
+        yield_point(label);
+        std::hint::spin_loop();
+        // On an oversubscribed host a `Busy` holder may be descheduled;
+        // spinning out the quantum would stall every waiter, so hand the
+        // core back. Under the deterministic scheduler threads are
+        // already serialized and this is a no-op for the interleaving.
+        std::thread::yield_now();
+    }
+
+    /// Returns one credit of `stash_entry` to its entry word.
+    ///
+    /// `scheduled` chooses the wait discipline on contention: `true`
+    /// spins through [`Core::contended`] (a schedule point — required
+    /// whenever the calling thread runs under the deterministic
+    /// scheduler, where a raw spin on a parked `Busy` holder would
+    /// deadlock), `false` retries a bounded number of times with plain
+    /// spin hints (the thread-exit backstop, which must terminate and
+    /// must not emit schedule points after the scheduler considers the
+    /// thread finished).
+    fn return_credit(&self, mem: &TaggedMemory, stashed: &StashEntry, scheduled: bool) -> CreditReturn {
+        let Some(slot) = self.slab.slot(stashed.addr) else {
+            return CreditReturn::Stolen;
+        };
+        let mut attempts = 0;
+        loop {
+            let word = slot.load(Ordering::Acquire);
+            if entry::state(word) != EntryState::Live
+                || entry::generation(word) != stashed.generation
+            {
+                if entry::state(word) == EntryState::Busy && entry::generation(word) == stashed.generation {
+                    // Mid-transition under our generation (another
+                    // thread's teardown attempt that may yet abort):
+                    // wait it out rather than guess.
+                } else {
+                    return CreditReturn::Stolen;
+                }
+            } else if entry::refcount(word) > 1 {
+                if slot
+                    .compare_exchange(word, entry::drop_ref(word), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return CreditReturn::Dropped;
+                }
+            } else {
+                let busy = entry::begin_teardown(word);
+                if slot
+                    .compare_exchange(word, busy, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    if self.release_tags {
+                        if let Err(_e) = mem.set_tag_range(
+                            TaggedPtr::from_addr(stashed.addr),
+                            stashed.end,
+                            Tag::UNTAGGED,
+                        ) {
+                            // Transient (possibly injected) tag-store
+                            // failure: put the entry back and retry the
+                            // whole credit.
+                            slot.store(entry::abort_teardown(busy), Ordering::Release);
+                            if scheduled {
+                                self.contended("lockfree-flush-stg-retry");
+                            } else {
+                                attempts += 1;
+                                if attempts >= BACKSTOP_RETRIES {
+                                    return CreditReturn::GaveUp;
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    slot.store(entry::complete_teardown(busy), Ordering::Release);
+                    self.tracked.fetch_sub(1, Ordering::Relaxed);
+                    self.stash_flush_frees.fetch_add(1, Ordering::Relaxed);
+                    return CreditReturn::Freed;
+                }
+            }
+            if scheduled {
+                self.contended("lockfree-flush-retry");
+            } else {
+                attempts += 1;
+                if attempts >= BACKSTOP_RETRIES {
+                    return CreditReturn::GaveUp;
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Returns every credit of one stash entry; yields the number of
+    /// entries physically freed (0 or 1).
+    fn drain_entry(&self, mem: &TaggedMemory, stashed: &mut StashEntry, scheduled: bool) -> u64 {
+        self.stash_hits.fetch_add(stashed.hits, Ordering::Relaxed);
+        stashed.hits = 0;
+        while stashed.credits > 0 {
+            match self.return_credit(mem, stashed, scheduled) {
+                CreditReturn::Dropped => stashed.credits -= 1,
+                CreditReturn::Freed => {
+                    stashed.credits = 0;
+                    return 1;
+                }
+                CreditReturn::Stolen | CreditReturn::GaveUp => {
+                    stashed.credits = 0;
+                }
+            }
+        }
+        0
+    }
+}
+
+/// One object's parked references in a thread's stash.
+struct StashEntry {
+    addr: u64,
+    end: u64,
+    tag: Tag,
+    generation: u64,
+    /// Physical references this thread holds beyond its live borrows.
+    credits: u32,
+    /// Acquires served from this entry since the last fold into
+    /// [`Core::stash_hits`].
+    hits: u64,
+}
+
+/// One thread's stash for one table.
+struct TableStash {
+    table_id: u64,
+    core: Weak<Core>,
+    entries: Vec<StashEntry>,
+}
+
+/// All of one thread's parked credits: a one-slot **hot cache** in
+/// plain `Cell`s — the acquire/release fast path touches no `RefCell`
+/// and walks no vector — backed by a **cold store** of per-table entry
+/// vectors. A release takes the hot seat (demoting the previous
+/// occupant into the cold store); the next same-object acquire redeems
+/// straight from the `Cell`s after one validating load of the entry
+/// word.
+///
+/// The `Drop` impl is the best-effort backstop that returns parked
+/// credits when the thread exits without an explicit flush.
+///
+/// Timing caveat: thread-local destructors run during OS-level thread
+/// shutdown, *after* the point `std::thread::scope`/`join` observe the
+/// thread as finished. Code that needs quiescence at a known point
+/// (oracles, shutdown barriers) must call
+/// [`TagTable::flush_stash`](crate::TagTable::flush_stash) from the
+/// worker itself — the backstop only guarantees the credits return
+/// eventually, not before the join.
+struct StashStore {
+    /// Table id owning the hot credit; 0 = hot slot empty.
+    hot_table: Cell<u64>,
+    hot_addr: Cell<u64>,
+    hot_end: Cell<u64>,
+    hot_tag: Cell<Tag>,
+    hot_generation: Cell<u64>,
+    hot_credits: Cell<u32>,
+    hot_hits: Cell<u64>,
+    /// Snapshot of [`Core::force_epoch`] when the hot credit was last
+    /// validated: while the table's epoch still matches, redeeming skips
+    /// the entry-word load entirely.
+    hot_epoch: Cell<u64>,
+    /// The hot credit's table core — needed for demotion and the exit
+    /// flush, touched only off the fast path.
+    hot_core: RefCell<Option<Weak<Core>>>,
+    cold: RefCell<Vec<TableStash>>,
+}
+
+impl StashStore {
+    /// Empties the hot slot, returning its occupant (if any).
+    fn take_hot(&self) -> Option<(u64, Weak<Core>, StashEntry)> {
+        if self.hot_table.get() == 0 {
+            return None;
+        }
+        let table_id = self.hot_table.get();
+        self.hot_table.set(0);
+        let weak = self.hot_core.borrow_mut().take()?;
+        Some((
+            table_id,
+            weak,
+            StashEntry {
+                addr: self.hot_addr.get(),
+                end: self.hot_end.get(),
+                tag: self.hot_tag.get(),
+                generation: self.hot_generation.get(),
+                credits: self.hot_credits.get(),
+                hits: self.hot_hits.get(),
+            },
+        ))
+    }
+
+    /// Installs a fresh credit in the hot slot (the slot must be
+    /// empty). `epoch` must be a [`Core::force_epoch`] value read
+    /// *before* the caller validated the borrow against its entry word
+    /// — caching a later value could mask a force-release that landed
+    /// in between.
+    fn fill_hot(&self, table_id: u64, core: &Arc<Core>, borrow: &Borrow, epoch: u64) {
+        self.hot_table.set(table_id);
+        *self.hot_core.borrow_mut() = Some(Arc::downgrade(core));
+        self.hot_addr.set(borrow.addr());
+        self.hot_end.set(borrow.end());
+        self.hot_tag.set(borrow.tag());
+        self.hot_generation.set(borrow.generation());
+        self.hot_credits.set(1);
+        self.hot_hits.set(0);
+        self.hot_epoch.set(epoch);
+    }
+
+    /// Moves the hot credit into the cold store, merging with any
+    /// existing entry for the same object (same lifetime: credits add;
+    /// older lifetime on either side: the stale credits are dead and
+    /// their hits fold into the shared counter). A full cold table
+    /// evicts its coldest entry physically to make room.
+    fn demote_hot(&self, mem: &TaggedMemory) {
+        let Some((table_id, weak, entry)) = self.take_hot() else {
+            return;
+        };
+        let Some(core) = weak.upgrade() else {
+            return;
+        };
+        if entry.credits == 0 {
+            core.stash_hits.fetch_add(entry.hits, Ordering::Relaxed);
+            return;
+        }
+        let mut cold = self.cold.borrow_mut();
+        let table = match cold.iter_mut().position(|t| t.table_id == table_id) {
+            Some(i) => &mut cold[i],
+            None => {
+                cold.push(TableStash {
+                    table_id,
+                    core: weak,
+                    entries: Vec::with_capacity(STASH_SLOTS),
+                });
+                cold.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(existing) = table.entries.iter_mut().find(|e| e.addr == entry.addr) {
+            if existing.generation == entry.generation && existing.end == entry.end {
+                existing.credits = existing.credits.saturating_add(entry.credits);
+                existing.hits += entry.hits;
+            } else if existing.generation < entry.generation {
+                // The cold twin belongs to an older, force-released
+                // lifetime: its credits are dead.
+                core.stash_hits.fetch_add(existing.hits, Ordering::Relaxed);
+                *existing = entry;
+            } else {
+                // The hot credit was the stale one.
+                core.stash_hits.fetch_add(entry.hits, Ordering::Relaxed);
+            }
+            return;
+        }
+        if table.entries.len() >= STASH_SLOTS {
+            // Evict the coldest entry physically to make room.
+            let coldest = table
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.hits)
+                .map(|(i, _)| i)
+                .expect("stash is non-empty");
+            let mut evicted = table.entries.swap_remove(coldest);
+            core.drain_entry(mem, &mut evicted, true);
+        }
+        table.entries.push(entry);
+    }
+}
+
+impl Drop for StashStore {
+    fn drop(&mut self) {
+        if let Some((_, weak, mut entry)) = self.take_hot() {
+            if let Some(core) = weak.upgrade() {
+                if let Some(mem) = core.mem.upgrade() {
+                    core.drain_entry(&mem, &mut entry, false);
+                }
+            }
+        }
+        for table in self.cold.get_mut() {
+            let Some(core) = table.core.upgrade() else {
+                continue;
+            };
+            let Some(mem) = core.mem.upgrade() else {
+                continue;
+            };
+            for stashed in &mut table.entries {
+                core.drain_entry(&mem, stashed, false);
+            }
+        }
+    }
+}
+
+thread_local! {
+    // `const` init: the access path skips the lazy-initialization
+    // check, which matters at ~2 stash probes per acquire/release pair.
+    static STASH: StashStore = const {
+        StashStore {
+            hot_table: Cell::new(0),
+            hot_addr: Cell::new(0),
+            hot_end: Cell::new(0),
+            hot_tag: Cell::new(Tag::UNTAGGED),
+            hot_generation: Cell::new(0),
+            hot_credits: Cell::new(0),
+            hot_hits: Cell::new(0),
+            hot_epoch: Cell::new(0),
+            hot_core: RefCell::new(None),
+            cold: RefCell::new(Vec::new()),
+        }
+    };
+}
+
+/// Table identity for keying thread-local stashes.
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Lock-free reference-counted tag table (the default
+/// [`TableBackend`](crate::TableBackend)).
+///
+/// The table binds to the first [`TaggedMemory`] it sees an acquire
+/// for; like the heap itself, one table serves one region. The paper's
+/// [`TwoTierTable`](crate::TwoTierTable) is kept as the reference
+/// implementation and differential oracle for this one.
+pub struct AtomicEntryTable {
+    core: OnceLock<Arc<Core>>,
+    id: u64,
+    exclusion: TagExclusion,
+    release_tags: bool,
+    exclude_neighbor_tags: bool,
+    borrow_stash: bool,
+}
+
+impl AtomicEntryTable {
+    /// Creates a table with the default policy (tags zeroed on final
+    /// release, no neighbour exclusion, borrow stash on).
+    pub fn new() -> AtomicEntryTable {
+        AtomicEntryTable::from_config(&TableConfig::default())
+    }
+
+    /// Creates a table honouring `config`'s policy knobs
+    /// (`release_tags`, `exclude_neighbor_tags`, `borrow_stash`;
+    /// `table_count` does not apply — there is no hash table to shard).
+    pub fn from_config(config: &TableConfig) -> AtomicEntryTable {
+        AtomicEntryTable {
+            core: OnceLock::new(),
+            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            exclusion: TagExclusion::default(),
+            release_tags: config.release_tags,
+            exclude_neighbor_tags: config.exclude_neighbor_tags,
+            borrow_stash: config.borrow_stash,
+        }
+    }
+
+    fn core_for(&self, mem: &TaggedMemory) -> &Arc<Core> {
+        self.core.get_or_init(|| {
+            Arc::new(Core {
+                slab: Slab::new(mem),
+                mem: mem.weak_ref(),
+                release_tags: self.release_tags,
+                tracked: AtomicU64::new(0),
+                cas_retries: AtomicU64::new(0),
+                shared_fast_acquires: AtomicU64::new(0),
+                stash_hits: AtomicU64::new(0),
+                stash_flush_frees: AtomicU64::new(0),
+                force_epoch: AtomicU64::new(0),
+            })
+        })
+    }
+
+    /// Tries to serve `acquire` from a parked credit: at most one
+    /// validating load, no RMW. A credit whose generation no longer
+    /// matches the entry word was consumed by a force-release; its
+    /// whole entry is discarded.
+    #[inline]
+    fn stash_try_acquire(&self, core: &Arc<Core>, addr: u64, end: u64) -> Option<Borrow> {
+        STASH.with(|stash| {
+            // Hot path: four `Cell` compares, one epoch load, two `Cell`
+            // writes — no RefCell borrow, no vector walk, no RMW, and no
+            // entry-word lookup while [`Core::force_epoch`] is
+            // unchanged (a parked credit pins the refcount above zero,
+            // so only an epoch-bumping transition can kill it).
+            if stash.hot_table.get() == self.id
+                && stash.hot_addr.get() == addr
+                && stash.hot_end.get() == end
+                && stash.hot_credits.get() > 0
+            {
+                let epoch = core.force_epoch.load(Ordering::Acquire);
+                if epoch == stash.hot_epoch.get() {
+                    stash.hot_credits.set(stash.hot_credits.get() - 1);
+                    stash.hot_hits.set(stash.hot_hits.get() + 1);
+                    return Some(Borrow::new(
+                        addr,
+                        end,
+                        stash.hot_tag.get(),
+                        stash.hot_generation.get(),
+                        true,
+                    ));
+                }
+                // The epoch moved: something, somewhere was
+                // force-released. Revalidate this credit against its
+                // entry word the slow way. Caching `epoch` (read
+                // *before* the word load) is what makes the refresh
+                // sound: a force landing after the word load bumps the
+                // counter past `epoch` and gets caught next redeem.
+                let slot = core.slab.slot(addr)?;
+                let word = slot.load(Ordering::Acquire);
+                if entry::state(word) == EntryState::Live
+                    && entry::generation(word) == stash.hot_generation.get()
+                {
+                    debug_assert_eq!(entry::tag(word), stash.hot_tag.get());
+                    stash.hot_epoch.set(epoch);
+                    stash.hot_credits.set(stash.hot_credits.get() - 1);
+                    stash.hot_hits.set(stash.hot_hits.get() + 1);
+                    return Some(Borrow::new(
+                        addr,
+                        end,
+                        stash.hot_tag.get(),
+                        stash.hot_generation.get(),
+                        true,
+                    ));
+                }
+                // The lifetime ended behind our back (force-release):
+                // the hot credit is dead; only its hit count survives.
+                core.stash_hits.fetch_add(stash.hot_hits.get(), Ordering::Relaxed);
+                stash.hot_table.set(0);
+                stash.hot_core.borrow_mut().take();
+                return None;
+            }
+            // Cold path: the RefCell-guarded per-table vectors.
+            let mut cold = stash.cold.borrow_mut();
+            let table = cold.iter_mut().find(|t| t.table_id == self.id)?;
+            let index = table
+                .entries
+                .iter()
+                .position(|e| e.addr == addr && e.end == end && e.credits > 0)?;
+            let stashed = &mut table.entries[index];
+            let slot = core.slab.slot(addr)?;
+            let word = slot.load(Ordering::Acquire);
+            if entry::state(word) == EntryState::Live
+                && entry::generation(word) == stashed.generation
+            {
+                debug_assert_eq!(entry::tag(word), stashed.tag);
+                stashed.credits -= 1;
+                stashed.hits += 1;
+                let borrow = Borrow::new(addr, end, stashed.tag, stashed.generation, true);
+                if stashed.credits == 0 && stashed.hits == 0 {
+                    table.entries.swap_remove(index);
+                }
+                Some(borrow)
+            } else {
+                // The lifetime ended behind our back (force-release):
+                // every sibling credit is dead with it.
+                table.entries.swap_remove(index);
+                None
+            }
+        })
+    }
+
+    /// Tries to park `borrow`'s reference as a thread-local credit.
+    /// Returns `false` when the stash cannot take the credit and the
+    /// caller must release physically.
+    ///
+    /// A release that exactly matches the hot credit's lifetime (table,
+    /// address, end, generation) parks without touching the shared
+    /// entry: if that lifetime has since been force-released, the hot
+    /// credit and the incoming borrow are dead *together*, and the
+    /// merged credits self-invalidate on the next validated redeem or
+    /// flush (the entry's refs were already zeroed by the force
+    /// release, so nothing leaks). Taking the hot *seat* for a new
+    /// lifetime still validates against the entry word first, so
+    /// untracked or stale borrows keep taking the physical path (and
+    /// its error reporting).
+    #[inline]
+    fn stash_try_cache(&self, core: &Arc<Core>, mem: &TaggedMemory, borrow: &Borrow) -> bool {
+        let addr = borrow.addr();
+        STASH.with(|stash| {
+            // Hot path: the same object releasing again on this thread
+            // just bumps the hot credit count — `Cell`s only.
+            if stash.hot_table.get() == self.id
+                && stash.hot_addr.get() == addr
+                && stash.hot_generation.get() == borrow.generation()
+                && stash.hot_end.get() == borrow.end()
+            {
+                let credits = stash.hot_credits.get();
+                if credits >= STASH_MAX_CREDITS {
+                    return false;
+                }
+                stash.hot_credits.set(credits + 1);
+                return true;
+            }
+            let Some(slot) = core.slab.slot(addr) else {
+                return false;
+            };
+            // Epoch before word: see [`StashStore::fill_hot`].
+            let epoch = core.force_epoch.load(Ordering::Acquire);
+            let word = slot.load(Ordering::Acquire);
+            if entry::state(word) != EntryState::Live
+                || entry::generation(word) != borrow.generation()
+            {
+                return false;
+            }
+            // A different object (or lifetime) takes the hot seat; the
+            // previous occupant moves to the cold store — evicting
+            // physically only when its table is full.
+            stash.demote_hot(mem);
+            stash.fill_hot(self.id, core, borrow, epoch);
+            true
+        })
+    }
+}
+
+impl Default for AtomicEntryTable {
+    fn default() -> Self {
+        AtomicEntryTable::new()
+    }
+}
+
+impl fmt::Debug for AtomicEntryTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicEntryTable")
+            .field("tracked", &self.tracked_objects())
+            .finish()
+    }
+}
+
+impl TagTable for AtomicEntryTable {
+    fn acquire(
+        &self,
+        mem: &TaggedMemory,
+        thread: &MteThread,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<Borrow> {
+        let addr = begin.addr();
+        let core = self.core_for(mem);
+        if self.borrow_stash {
+            if let Some(borrow) = self.stash_try_acquire(core, addr, end) {
+                return Ok(borrow);
+            }
+        }
+        let Some(slot) = core.slab.slot(addr) else {
+            return Err(MemError::OutOfRange {
+                addr,
+                len: (end.saturating_sub(addr)) as usize,
+            });
+        };
+        loop {
+            let word = slot.load(Ordering::Acquire);
+            match entry::state(word) {
+                EntryState::Live => {
+                    // Shared path: load the existing memory tag (ldg) —
+                    // concurrent threads share the same tag (§3.1.1).
+                    // The ldg runs before the count CAS so a failure
+                    // (including an injected one) leaves the word — and
+                    // therefore the table — unchanged.
+                    mem.ldg(begin)?;
+                    let next = entry::add_ref(word);
+                    if slot
+                        .compare_exchange(word, next, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        core.shared_fast_acquires.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Borrow::new(addr, end, entry::tag(word), entry::generation(word), true));
+                    }
+                    core.contended("lockfree-acquire-shared-retry");
+                }
+                EntryState::Free => {
+                    // Fresh path: claim the slot Busy (bumping the
+                    // generation: a new lifetime opens) and run the
+                    // fallible tag work while owning it.
+                    let busy = entry::begin_fresh(word);
+                    if slot
+                        .compare_exchange(word, busy, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        core.contended("lockfree-acquire-fresh-retry");
+                        continue;
+                    }
+                    let mut exclusion = self.exclusion;
+                    if self.exclude_neighbor_tags {
+                        // Never collide with the granules bracketing the
+                        // object (two on each side, to reach past the
+                        // 16-byte object headers separating payloads) —
+                        // deterministic adjacent-OOB detection.
+                        let g = GRANULE as u64;
+                        for neighbour in [
+                            begin.wrapping_sub(2 * g),
+                            begin.wrapping_sub(g),
+                            TaggedPtr::from_addr(end),
+                            TaggedPtr::from_addr(end + g),
+                        ] {
+                            if let Ok(t) = mem.ldg(neighbour) {
+                                exclusion = exclusion.excluding(t);
+                            }
+                        }
+                    }
+                    let tag = mem.irg(thread, exclusion);
+                    // `irg` falls back to the zero tag on pool
+                    // exhaustion; surface that before any tag store
+                    // (see the two-tier path) so the rollback below
+                    // only ever has an untouched range to restore.
+                    let applied = if tag.is_untagged() {
+                        Err(MemError::TagExhausted { addr })
+                    } else {
+                        mem.set_tag_range(begin, end, tag)
+                    };
+                    match applied {
+                        Ok(()) => {
+                            core.tracked.fetch_add(1, Ordering::Relaxed);
+                            slot.store(entry::commit_fresh(busy, tag), Ordering::Release);
+                            return Ok(Borrow::new(addr, end, tag, entry::generation(busy), false));
+                        }
+                        Err(e) => {
+                            // Withdraw the claim so a failed first
+                            // acquire leaves no tracked object behind
+                            // (the bumped generation is deliberately
+                            // kept — see `entry::abort_fresh`).
+                            slot.store(entry::abort_fresh(busy), Ordering::Release);
+                            return Err(e);
+                        }
+                    }
+                }
+                EntryState::Busy => {
+                    // Another thread owns the slot mid-transition; its
+                    // critical section is a handful of tag stores, so
+                    // spin through a schedule point.
+                    core.contended("lockfree-acquire-busy");
+                }
+            }
+        }
+    }
+
+    fn release(&self, mem: &TaggedMemory, borrow: Borrow) -> Result<Release, ReleaseError> {
+        let addr = borrow.addr();
+        let Some(core) = self.core.get() else {
+            return Err(ReleaseError::new(borrow, ReleaseFailure::NotTracked));
+        };
+        if self.borrow_stash && self.stash_try_cache(core, mem, &borrow) {
+            return Ok(Release::Cached);
+        }
+        let Some(slot) = core.slab.slot(addr) else {
+            return Err(ReleaseError::new(borrow, ReleaseFailure::NotTracked));
+        };
+        loop {
+            let word = slot.load(Ordering::Acquire);
+            match entry::state(word) {
+                EntryState::Free => {
+                    return Err(ReleaseError::new(borrow, ReleaseFailure::NotTracked));
+                }
+                EntryState::Busy => {
+                    core.contended("lockfree-release-busy");
+                }
+                EntryState::Live => {
+                    let current = entry::generation(word);
+                    if current != borrow.generation() {
+                        // The ABA defense: this borrow outlived its
+                        // lifetime (the entry was freed and re-acquired
+                        // behind our back). Refusing the decrement
+                        // protects the *new* lifetime's count.
+                        let held = borrow.generation();
+                        return Err(ReleaseError::new(
+                            borrow,
+                            ReleaseFailure::StaleGeneration { held, current },
+                        ));
+                    }
+                    let remaining = entry::refcount(word);
+                    if remaining > 1 {
+                        if slot
+                            .compare_exchange(
+                                word,
+                                entry::drop_ref(word),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            return Ok(Release::Shared { remaining: remaining - 1 });
+                        }
+                        core.contended("lockfree-release-shared-retry");
+                        continue;
+                    }
+                    // Last borrower: claim the slot and zero the tags
+                    // *before* freeing the entry, so a failed (or
+                    // injected) tag store leaves the entry live and the
+                    // caller can retry with the returned borrow.
+                    let busy = entry::begin_teardown(word);
+                    if slot
+                        .compare_exchange(word, busy, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        core.contended("lockfree-release-teardown-retry");
+                        continue;
+                    }
+                    if self.release_tags {
+                        if let Err(e) =
+                            mem.set_tag_range(TaggedPtr::from_addr(addr), borrow.end(), Tag::UNTAGGED)
+                        {
+                            slot.store(entry::abort_teardown(busy), Ordering::Release);
+                            return Err(ReleaseError::new(borrow, ReleaseFailure::Mem(e)));
+                        }
+                    }
+                    slot.store(entry::complete_teardown(busy), Ordering::Release);
+                    core.tracked.fetch_sub(1, Ordering::Relaxed);
+                    return Ok(Release::Freed);
+                }
+            }
+        }
+    }
+
+    fn release_raw(
+        &self,
+        mem: &TaggedMemory,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<ReleaseOutcome> {
+        // The escape hatch for callers without a Borrow token
+        // (containment's force-release funnel, stray-release oracles):
+        // same protocol as the typed path minus the generation check.
+        // Never consults the stash — a force-release must reach the
+        // shared count (parked credits then self-invalidate via their
+        // generation checks).
+        let addr = begin.addr();
+        let Some(slot) = self.core.get().and_then(|c| c.slab.slot(addr)) else {
+            return Ok(ReleaseOutcome::NotTracked);
+        };
+        let core = self.core.get().expect("slot implies core");
+        loop {
+            let word = slot.load(Ordering::Acquire);
+            match entry::state(word) {
+                EntryState::Free => return Ok(ReleaseOutcome::NotTracked),
+                EntryState::Busy => core.contended("lockfree-release-raw-busy"),
+                EntryState::Live => {
+                    let remaining = entry::refcount(word);
+                    if remaining > 1 {
+                        if slot
+                            .compare_exchange(
+                                word,
+                                entry::drop_ref(word),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            return Ok(ReleaseOutcome::Decremented { remaining: remaining - 1 });
+                        }
+                        core.contended("lockfree-release-raw-retry");
+                        continue;
+                    }
+                    let busy = entry::begin_teardown(word);
+                    if slot
+                        .compare_exchange(word, busy, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        core.contended("lockfree-release-raw-teardown-retry");
+                        continue;
+                    }
+                    // A force-free can kill a lifetime that parked
+                    // credits still reference: invalidate every epoch
+                    // snapshot *before* the tags change. (A bump that
+                    // then aborts on a failed tag store only causes a
+                    // spurious revalidation — never a missed one.)
+                    core.force_epoch.fetch_add(1, Ordering::Release);
+                    if self.release_tags {
+                        if let Err(e) = mem.set_tag_range(begin.untagged(), end, Tag::UNTAGGED) {
+                            slot.store(entry::abort_teardown(busy), Ordering::Release);
+                            return Err(e);
+                        }
+                    }
+                    slot.store(entry::complete_teardown(busy), Ordering::Release);
+                    core.tracked.fetch_sub(1, Ordering::Relaxed);
+                    return Ok(ReleaseOutcome::Freed);
+                }
+            }
+        }
+    }
+
+    fn flush_stash(&self, mem: &TaggedMemory) -> u64 {
+        let Some(core) = self.core.get() else {
+            return 0;
+        };
+        STASH.with(|stash| {
+            let mut freed = 0;
+            if stash.hot_table.get() == self.id {
+                if let Some((_, _, mut entry)) = stash.take_hot() {
+                    freed += core.drain_entry(mem, &mut entry, true);
+                }
+            }
+            let mut cold = stash.cold.borrow_mut();
+            if let Some(index) = cold.iter().position(|t| t.table_id == self.id) {
+                let mut table = cold.swap_remove(index);
+                for stashed in &mut table.entries {
+                    freed += core.drain_entry(mem, stashed, true);
+                }
+            }
+            freed
+        })
+    }
+
+    fn rehome(&self, old: u64, new: u64) -> bool {
+        if old == new {
+            return false;
+        }
+        let Some(core) = self.core.get() else {
+            return false;
+        };
+        let (Some(old_slot), Some(new_slot)) = (core.slab.slot(old), core.slab.slot(new)) else {
+            return false;
+        };
+        // Called with the world stopped (no concurrent acquire/release),
+        // so plain load/store suffice. The entry word — generation
+        // included — travels with the object, so a Borrow minted before
+        // the move still validates at the new address. Stash credits do
+        // NOT travel (they are keyed by address in other threads'
+        // thread-locals); the relocating layer must flush stashes at its
+        // safepoint before moving tracked objects.
+        let word = old_slot.load(Ordering::Acquire);
+        if entry::state(word) != EntryState::Live || entry::refcount(word) == 0 {
+            return false;
+        }
+        // Relocation re-keys the entry by address, which a parked
+        // credit cannot observe through its generation alone — expire
+        // every epoch snapshot so stale hot credits revalidate.
+        core.force_epoch.fetch_add(1, Ordering::Release);
+        debug_assert_eq!(
+            entry::state(new_slot.load(Ordering::Acquire)),
+            EntryState::Free,
+            "relocation target {new:#x} was already tracked"
+        );
+        new_slot.store(word, Ordering::Release);
+        // The old slot keeps its generation so stale borrows of the old
+        // address keep failing the generation check after the slot is
+        // reused.
+        old_slot.store(
+            entry::pack(0, Tag::UNTAGGED, EntryState::Free, entry::generation(word)),
+            Ordering::Release,
+        );
+        true
+    }
+
+    fn tracked_objects(&self) -> usize {
+        self.core.get().map_or(0, |c| c.tracked.load(Ordering::Relaxed) as usize)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let Some(core) = self.core.get() else {
+            return vec![
+                ("atomic_cas_retries", 0),
+                ("atomic_shared_fast_acquires", 0),
+                ("atomic_stash_hits", 0),
+                ("atomic_stash_flush_frees", 0),
+                ("atomic_slab_chunks", 0),
+            ];
+        };
+        vec![
+            ("atomic_cas_retries", core.cas_retries.load(Ordering::Relaxed)),
+            (
+                "atomic_shared_fast_acquires",
+                core.shared_fast_acquires.load(Ordering::Relaxed),
+            ),
+            ("atomic_stash_hits", core.stash_hits.load(Ordering::Relaxed)),
+            (
+                "atomic_stash_flush_frees",
+                core.stash_flush_frees.load(Ordering::Relaxed),
+            ),
+            ("atomic_slab_chunks", core.slab.allocated_chunks()),
+        ]
+    }
+}

@@ -1,0 +1,251 @@
+//! The packed atomic entry word behind [`AtomicEntryTable`].
+//!
+//! One `AtomicU64` per tracked object folds everything the two-tier
+//! scheme keeps under a per-object mutex into a single CAS-able word:
+//!
+//! ```text
+//!  63                             38 37  36 35   32 31              0
+//! ┌─────────────────────────────────┬──────┬───────┬────────────────┐
+//! │ generation (26 bits)            │ state│  tag  │ refcount       │
+//! └─────────────────────────────────┴──────┴───────┴────────────────┘
+//! ```
+//!
+//! * **refcount** — concurrent borrowers sharing the object's tag;
+//! * **tag** — the 4-bit memory tag applied to the payload granules;
+//! * **state** — [`EntryState::Free`] (nothing tracked),
+//!   [`EntryState::Live`] (tagged, `refcount ≥ 1`), or
+//!   [`EntryState::Busy`] (one thread owns the slot exclusively while it
+//!   runs the fallible `irg`/`stg` work outside any lock);
+//! * **generation** — bumped on every `Free → Busy` transition, i.e.
+//!   once per tracked lifetime. A [`Borrow`](crate::Borrow) token
+//!   carries the generation it was minted under, so a release that
+//!   raced a free + re-acquire of the same address observes a
+//!   generation mismatch instead of silently decrementing the new
+//!   lifetime's count — the CAS-world equivalent of the two-tier
+//!   scheme's `dead`-flag ABA re-check. The counter wraps at 2²⁶
+//!   lifetimes *of one granule*, far beyond any schedule the stress
+//!   harness explores.
+//!
+//! The functions here are pure: they pack, inspect, and compute the
+//! successor word for each protocol transition. [`AtomicEntryTable`]
+//! CASes the successors in; the property tests drive the same functions
+//! through a model state machine to show no transition can resurrect a
+//! freed generation.
+//!
+//! [`AtomicEntryTable`]: crate::AtomicEntryTable
+
+use mte_sim::Tag;
+
+/// Bits holding the reference count (word bits `0..32`).
+pub const REFCOUNT_BITS: u32 = 32;
+/// Shift of the 4-bit memory tag (word bits `32..36`).
+pub const TAG_SHIFT: u32 = 32;
+/// Shift of the 2-bit state field (word bits `36..38`).
+pub const STATE_SHIFT: u32 = 36;
+/// Shift of the generation counter (word bits `38..64`).
+pub const GENERATION_SHIFT: u32 = 38;
+/// Width of the generation counter.
+pub const GENERATION_BITS: u32 = 64 - GENERATION_SHIFT;
+/// Mask for the (unshifted) generation counter.
+pub const GENERATION_MASK: u64 = (1 << GENERATION_BITS) - 1;
+
+const REFCOUNT_MASK: u64 = (1 << REFCOUNT_BITS) - 1;
+const TAG_MASK: u64 = 0xF;
+const STATE_MASK: u64 = 0x3;
+
+/// Lifecycle state of one entry slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EntryState {
+    /// No object tracked at this granule; the all-zero word is a `Free`
+    /// entry of generation 0.
+    Free,
+    /// An object is tracked: `tag` is applied to its granules and
+    /// `refcount` borrowers hold it.
+    Live,
+    /// One thread holds the slot exclusively while it runs the fallible
+    /// tag work (fresh acquire or final teardown). Other threads spin —
+    /// through a schedule point, under the deterministic scheduler.
+    Busy,
+}
+
+impl EntryState {
+    fn bits(self) -> u64 {
+        match self {
+            EntryState::Free => 0,
+            EntryState::Live => 1,
+            EntryState::Busy => 2,
+        }
+    }
+}
+
+/// Packs the four fields into one entry word.
+///
+/// # Panics
+///
+/// Debug-asserts that `generation` fits [`GENERATION_BITS`].
+pub fn pack(refcount: u32, tag: Tag, state: EntryState, generation: u64) -> u64 {
+    debug_assert!(generation <= GENERATION_MASK, "generation overflows its field");
+    u64::from(refcount)
+        | (u64::from(tag.value()) << TAG_SHIFT)
+        | (state.bits() << STATE_SHIFT)
+        | ((generation & GENERATION_MASK) << GENERATION_SHIFT)
+}
+
+/// Reference count stored in `word`.
+pub fn refcount(word: u64) -> u32 {
+    (word & REFCOUNT_MASK) as u32
+}
+
+/// Memory tag stored in `word`.
+pub fn tag(word: u64) -> Tag {
+    Tag::from_low_bits(((word >> TAG_SHIFT) & TAG_MASK) as u8)
+}
+
+/// Entry state stored in `word`. The fourth encoding of the 2-bit field
+/// is never produced by [`pack`] or any transition; it decodes as
+/// [`EntryState::Busy`] so a (hypothetical) torn word is treated as
+/// "in transition" and retried rather than misread as free or live.
+pub fn state(word: u64) -> EntryState {
+    match (word >> STATE_SHIFT) & STATE_MASK {
+        0 => EntryState::Free,
+        1 => EntryState::Live,
+        _ => EntryState::Busy,
+    }
+}
+
+/// Generation counter stored in `word`.
+pub fn generation(word: u64) -> u64 {
+    (word >> GENERATION_SHIFT) & GENERATION_MASK
+}
+
+/// `Free → Busy`: claims the slot for a fresh acquire, opening a new
+/// lifetime. This is the *only* transition that advances the
+/// generation, so every tracked lifetime of a granule has a distinct
+/// generation (modulo 2²⁶ wrap).
+pub fn begin_fresh(word: u64) -> u64 {
+    debug_assert_eq!(state(word), EntryState::Free);
+    pack(
+        0,
+        Tag::UNTAGGED,
+        EntryState::Busy,
+        generation(word).wrapping_add(1) & GENERATION_MASK,
+    )
+}
+
+/// `Busy → Live`: the fresh acquire's `irg` + tag stores succeeded;
+/// publish the tag with a count of one.
+pub fn commit_fresh(word: u64, tag: Tag) -> u64 {
+    debug_assert_eq!(state(word), EntryState::Busy);
+    pack(1, tag, EntryState::Live, generation(word))
+}
+
+/// `Busy → Free`: the fresh acquire's tag work failed (injected fault
+/// or tag-pool exhaustion); return the slot untracked. The bumped
+/// generation is kept — generations identify *attempts to open* a
+/// lifetime, and skipping values is harmless.
+pub fn abort_fresh(word: u64) -> u64 {
+    debug_assert_eq!(state(word), EntryState::Busy);
+    pack(0, Tag::UNTAGGED, EntryState::Free, generation(word))
+}
+
+/// `Live → Live`: one more borrower shares the existing tag.
+pub fn add_ref(word: u64) -> u64 {
+    debug_assert_eq!(state(word), EntryState::Live);
+    debug_assert!(refcount(word) < u32::MAX, "refcount saturated");
+    word + 1
+}
+
+/// `Live → Live`: a borrower other than the last leaves.
+pub fn drop_ref(word: u64) -> u64 {
+    debug_assert_eq!(state(word), EntryState::Live);
+    debug_assert!(refcount(word) > 1, "use begin_teardown for the last borrower");
+    word - 1
+}
+
+/// `Live → Busy`: the last borrower claims the slot to zero the memory
+/// tags. Count and tag are preserved so [`abort_teardown`] can restore
+/// the entry if the (fallible, possibly injected) tag store fails.
+pub fn begin_teardown(word: u64) -> u64 {
+    debug_assert_eq!(state(word), EntryState::Live);
+    debug_assert_eq!(refcount(word), 1, "teardown requires the last borrower");
+    pack(1, tag(word), EntryState::Busy, generation(word))
+}
+
+/// `Busy → Live`: the teardown's tag store failed; the entry stays live
+/// so the caller can retry the release.
+pub fn abort_teardown(word: u64) -> u64 {
+    debug_assert_eq!(state(word), EntryState::Busy);
+    debug_assert_eq!(refcount(word), 1);
+    pack(1, tag(word), EntryState::Live, generation(word))
+}
+
+/// `Busy → Free`: teardown succeeded; the lifetime is over. The
+/// generation is preserved (the *next* [`begin_fresh`] bumps it), so a
+/// stale [`Borrow`](crate::Borrow) from this lifetime can never match a
+/// later one.
+pub fn complete_teardown(word: u64) -> u64 {
+    debug_assert_eq!(state(word), EntryState::Busy);
+    pack(0, Tag::UNTAGGED, EntryState::Free, generation(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_word_is_free_generation_zero() {
+        assert_eq!(state(0), EntryState::Free);
+        assert_eq!(refcount(0), 0);
+        assert_eq!(generation(0), 0);
+        assert_eq!(tag(0), Tag::UNTAGGED);
+    }
+
+    #[test]
+    fn pack_round_trips_every_field() {
+        let t = Tag::from_low_bits(0xB);
+        let w = pack(7, t, EntryState::Live, 0x123_4567);
+        assert_eq!(refcount(w), 7);
+        assert_eq!(tag(w), t);
+        assert_eq!(state(w), EntryState::Live);
+        assert_eq!(generation(w), 0x123_4567);
+    }
+
+    #[test]
+    fn lifetime_walkthrough_bumps_generation_once() {
+        let t = Tag::from_low_bits(5);
+        let free = 0u64;
+        let busy = begin_fresh(free);
+        assert_eq!(generation(busy), 1);
+        let live = commit_fresh(busy, t);
+        assert_eq!((refcount(live), tag(live)), (1, t));
+        let live2 = add_ref(live);
+        assert_eq!(refcount(live2), 2);
+        let live1 = drop_ref(live2);
+        assert_eq!(live1, live);
+        let tearing = begin_teardown(live1);
+        assert_eq!(tag(tearing), t, "teardown keeps the tag for abort");
+        assert_eq!(abort_teardown(tearing), live1);
+        let done = complete_teardown(tearing);
+        assert_eq!(state(done), EntryState::Free);
+        assert_eq!(generation(done), 1, "generation advances on begin_fresh only");
+        assert_eq!(generation(begin_fresh(done)), 2);
+    }
+
+    #[test]
+    fn generation_wraps_inside_its_field() {
+        let w = pack(0, Tag::UNTAGGED, EntryState::Free, GENERATION_MASK);
+        let bumped = begin_fresh(w);
+        assert_eq!(generation(bumped), 0, "wraps, never corrupts other fields");
+        assert_eq!(state(bumped), EntryState::Busy);
+        assert_eq!(refcount(bumped), 0);
+    }
+
+    #[test]
+    fn failed_fresh_acquire_skips_a_generation() {
+        let busy = begin_fresh(0);
+        let free = abort_fresh(busy);
+        assert_eq!(state(free), EntryState::Free);
+        assert_eq!(generation(free), 1, "the attempt consumed generation 1");
+        assert_eq!(generation(begin_fresh(free)), 2);
+    }
+}

@@ -5,16 +5,20 @@
 //! The scheme interposes on every JNI interface that returns a raw pointer
 //! to a Java heap object (Table 1) and consists of three parts (§3):
 //!
-//! 1. **Memory tag allocation** ([`TwoTierTable::acquire`], Algorithm 1):
+//! 1. **Memory tag allocation** ([`TagTable::acquire`], Algorithm 1):
 //!    before the pointer is returned, a random 4-bit tag is generated with
 //!    `irg` and applied to every granule of the object with `st2g`/`stg`;
 //!    the pointer is returned carrying the same tag in bits 56–59.
 //!    Concurrent acquirers of the same object share one tag through a
-//!    per-object **reference count**, found via `k` hash tables guarded by
-//!    a **two-tier locking scheme** (table locks + per-object locks).
-//! 2. **Memory tag release** ([`TwoTierTable::release`], Algorithm 2): the
-//!    matching release interface decrements the count; at zero the memory
-//!    tags are re-zeroed so stale tags cannot alias future allocations.
+//!    per-object **reference count**. The paper finds the count via `k`
+//!    hash tables guarded by a **two-tier locking scheme** (table locks +
+//!    per-object locks, [`TwoTierTable`]); the production default is the
+//!    lock-free [`AtomicEntryTable`], which packs count + tag + state +
+//!    generation into one CAS-able word per object (DESIGN.md §13).
+//! 2. **Memory tag release** ([`TagTable::release`], Algorithm 2): the
+//!    matching release interface consumes the typed [`Borrow`] token,
+//!    decrements the count, and at zero re-zeroes the memory tags so
+//!    stale tags cannot alias future allocations.
 //! 3. **Thread-level MTE enabling** (§3.3): tag checking must apply only
 //!    to threads executing native code, because GC and other runtime
 //!    threads access the same objects with untagged pointers. The scheme
@@ -54,12 +58,23 @@
 #![warn(missing_docs)]
 
 mod alloc_tagging;
+mod atomic_table;
+pub mod entry;
 mod scheme;
 mod table;
 
 pub use alloc_tagging::AllocTagging;
-pub use scheme::{mte4jni_vm, Mte4Jni, Mte4JniConfig, Mte4JniStats};
-pub use table::{Acquired, GlobalLockTable, Locking, ReleaseOutcome, TagTable, TwoTierTable};
+pub use atomic_table::AtomicEntryTable;
+pub use scheme::{mte4jni_vm, Mte4Jni, Mte4JniStats};
+pub use table::{
+    Borrow, GlobalLockTable, Release, ReleaseError, ReleaseFailure, ReleaseOutcome, TableBackend,
+    TableConfig, TagTable, TwoTierTable,
+};
+
+/// Migration alias: the scheme configuration is now the backend-generic
+/// [`TableConfig`] (the former `Locking` enum became
+/// [`TableConfig::backend`]).
+pub type Mte4JniConfig = TableConfig;
 
 // Re-exported so downstream code can name the trait without importing
 // `jni_rt` separately.

@@ -1,5 +1,6 @@
 //! The MTE4JNI [`Protection`] implementation and VM factory.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -8,36 +9,33 @@ use art_heap::{HeapConfig, ObjectRef};
 use jni_rt::{AcquireOutcome, JniContext, Protection, ReleaseMode, Vm};
 use mte_sim::{TaggedPtr, TcfMode};
 
-use crate::table::{GlobalLockTable, Locking, ReleaseOutcome, TagTable, TwoTierTable};
+use crate::table::{Borrow, Release, ReleaseFailure, ReleaseOutcome, TableBackend, TableConfig, TagTable};
 
-/// Configuration for [`Mte4Jni`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Mte4JniConfig {
-    /// Number of hash tables `k` in the two-tier scheme. The paper's
-    /// evaluation uses 16 (§5.1).
-    pub table_count: usize,
-    /// Two-tier (the contribution) or global lock (the Figure 6 ablation).
-    pub locking: Locking,
-    /// Whether memory tags are zeroed when the reference count reaches
-    /// zero. Disabling models the stale-tag ablation (§3, "Memory tag
-    /// release" motivation).
-    pub release_tags: bool,
-    /// Extension beyond the paper: exclude the tags of the bracketing
-    /// granules when generating a fresh tag, making adjacent-object
-    /// out-of-bounds detection deterministic instead of probabilistic
-    /// (two extra `ldg` per first acquire). Two-tier locking only.
-    pub exclude_neighbor_tags: bool,
+thread_local! {
+    /// Per-thread borrow cache: the [`Borrow`] tokens minted by
+    /// `on_acquire`, keyed by `(scheme instance, outgoing pointer)`.
+    /// `on_release` pops the matching token (LIFO for nested borrows of
+    /// one object) and hands it to the typed [`TagTable::release`], so
+    /// the common release touches no shared lookup structure at all —
+    /// the token already carries the address range, tag, and
+    /// generation.
+    static BORROWS: RefCell<Vec<(u64, u64, Borrow)>> = const { RefCell::new(Vec::new()) };
 }
 
-impl Default for Mte4JniConfig {
-    fn default() -> Self {
-        Mte4JniConfig {
-            table_count: 16,
-            locking: Locking::TwoTier,
-            release_tags: true,
-            exclude_neighbor_tags: false,
-        }
-    }
+/// Distinguishes the borrow-cache entries of coexisting schemes (tests
+/// routinely run several VMs on one thread).
+static NEXT_SCHEME_ID: AtomicU64 = AtomicU64::new(1);
+
+fn stash_borrow(scheme: u64, raw: u64, borrow: Borrow) {
+    BORROWS.with(|b| b.borrow_mut().push((scheme, raw, borrow)));
+}
+
+fn take_borrow(scheme: u64, raw: u64) -> Option<Borrow> {
+    BORROWS.with(|b| {
+        let mut v = b.borrow_mut();
+        let idx = v.iter().rposition(|(s, r, _)| *s == scheme && *r == raw)?;
+        Some(v.remove(idx).2)
+    })
 }
 
 /// The MTE4JNI protection scheme.
@@ -47,8 +45,10 @@ impl Default for Mte4JniConfig {
 /// [`Protection::uses_thread_mte`] is `true`, so the JNI trampolines
 /// enable per-thread checking around native sections.
 pub struct Mte4Jni {
-    config: Mte4JniConfig,
+    config: TableConfig,
     table: Box<dyn TagTable>,
+    /// This instance's key in the per-thread borrow cache.
+    id: u64,
     acquires: AtomicU64,
     shared_acquires: AtomicU64,
     releases: AtomicU64,
@@ -57,24 +57,27 @@ pub struct Mte4Jni {
 }
 
 impl Mte4Jni {
-    /// Creates the scheme with the paper's configuration (16 tables,
-    /// two-tier locking, timely tag release).
+    /// Creates the scheme with the default configuration (lock-free
+    /// table, timely tag release).
     pub fn new() -> Mte4Jni {
-        Mte4Jni::with_config(Mte4JniConfig::default())
+        Mte4Jni::with_config(TableConfig::default())
     }
 
     /// Creates the scheme with an explicit configuration.
-    pub fn with_config(config: Mte4JniConfig) -> Mte4Jni {
-        let table: Box<dyn TagTable> = match config.locking {
-            Locking::TwoTier => Box::new(
-                TwoTierTable::with_release_policy(config.table_count, config.release_tags)
-                    .with_neighbor_exclusion(config.exclude_neighbor_tags),
-            ),
-            Locking::Global => Box::new(GlobalLockTable::new()),
-        };
+    ///
+    /// The per-thread borrow stash is forced off for the funnel's table
+    /// regardless of `config`: a stashed credit keeps a table entry
+    /// alive after the funnel has unpinned the object, breaking the
+    /// "tracked implies pinned" coupling that the sweep and the
+    /// compacting collector rely on before they reclaim or re-tag an
+    /// address. Funnel integration needs a stash flush at those
+    /// safepoints ([`TagTable::flush_stash`]) and is future work; the
+    /// stash is exercised by direct table users and the stress harness.
+    pub fn with_config(config: TableConfig) -> Mte4Jni {
         Mte4Jni {
             config,
-            table,
+            table: TableConfig { borrow_stash: false, ..config }.build(),
+            id: NEXT_SCHEME_ID.fetch_add(1, Ordering::Relaxed),
             acquires: AtomicU64::new(0),
             shared_acquires: AtomicU64::new(0),
             releases: AtomicU64::new(0),
@@ -84,7 +87,7 @@ impl Mte4Jni {
     }
 
     /// The active configuration.
-    pub fn config(&self) -> Mte4JniConfig {
+    pub fn config(&self) -> TableConfig {
         self.config
     }
 
@@ -128,24 +131,31 @@ impl fmt::Debug for Mte4Jni {
 }
 
 impl Protection for Mte4Jni {
+    // The scheme name keys telemetry counter prefixes and fault
+    // attribution, so it stays `"mte4jni"` across the production
+    // backends (lock-free and the paper's two-tier reference — which
+    // backend served a run is visible in the table's own counters);
+    // only the deliberately naive global-lock ablation is called out.
     fn name(&self) -> &str {
-        match self.config.locking {
-            Locking::TwoTier => "mte4jni",
-            Locking::Global => "mte4jni+global-lock",
+        match self.config.backend {
+            TableBackend::LockFree | TableBackend::TwoTier => "mte4jni",
+            TableBackend::Global => "mte4jni+global-lock",
         }
     }
 
     fn on_acquire(&self, cx: &JniContext<'_>, obj: &ObjectRef) -> jni_rt::Result<AcquireOutcome> {
         let (begin, end) = Self::payload_range(cx, obj);
-        let acquired = self
+        let borrow = self
             .table
             .acquire(cx.heap.memory(), cx.thread.mte(), begin, end)?;
         self.acquires.fetch_add(1, Ordering::Relaxed);
-        if acquired.shared {
+        if borrow.shared() {
             self.shared_acquires.fetch_add(1, Ordering::Relaxed);
         }
+        let ptr = begin.with_tag(borrow.tag());
+        stash_borrow(self.id, ptr.raw(), borrow);
         Ok(AcquireOutcome {
-            ptr: begin.with_tag(acquired.tag),
+            ptr,
             is_copy: false, // native code operates directly on the object
         })
     }
@@ -154,16 +164,44 @@ impl Protection for Mte4Jni {
         &self,
         cx: &JniContext<'_>,
         obj: &ObjectRef,
-        _ptr: TaggedPtr,
+        ptr: TaggedPtr,
         mode: ReleaseMode,
     ) -> jni_rt::Result<()> {
         if mode == ReleaseMode::Commit {
             // Data already lives in the object (no copy); JNI_COMMIT keeps
-            // the borrow, so the tag stays.
+            // the borrow, so the tag — and the cached token — stay.
             return Ok(());
         }
         let (begin, end) = Self::payload_range(cx, obj);
-        let outcome = self.table.release(cx.heap.memory(), begin, end)?;
+        if let Some(borrow) = take_borrow(self.id, ptr.raw()) {
+            match self.table.release(cx.heap.memory(), borrow) {
+                Ok(outcome) => {
+                    self.releases.fetch_add(1, Ordering::Relaxed);
+                    if outcome == Release::Freed {
+                        self.tag_frees.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(());
+                }
+                Err(e) => match e.kind {
+                    ReleaseFailure::Mem(err) => {
+                        // Transient (possibly injected) tag-store failure:
+                        // re-cache the token so the funnel's retry finds it
+                        // again, and surface the error for that retry loop.
+                        stash_borrow(self.id, ptr.raw(), e.borrow);
+                        return Err(err.into());
+                    }
+                    ReleaseFailure::NotTracked | ReleaseFailure::StaleGeneration { .. } => {
+                        // The entry moved out from under the token (e.g. a
+                        // defensive rehome after compaction): fall through
+                        // to the raw path, which keys on the *current*
+                        // payload address.
+                    }
+                },
+            }
+        }
+        // Raw escape hatch: no token (cross-layer force-release) or the
+        // token no longer matches the entry.
+        let outcome = self.table.release_raw(cx.heap.memory(), begin, end)?;
         self.releases.fetch_add(1, Ordering::Relaxed);
         if outcome == ReleaseOutcome::Freed {
             self.tag_frees.fetch_add(1, Ordering::Relaxed);
@@ -227,7 +265,7 @@ pub struct Mte4JniStats {
 /// a custom-built VM).
 ///
 /// [`GuardedCopy`]: guarded_copy::GuardedCopy
-pub fn mte4jni_vm(mode: TcfMode, config: Mte4JniConfig) -> Vm {
+pub fn mte4jni_vm(mode: TcfMode, config: TableConfig) -> Vm {
     Vm::builder()
         .heap_config(HeapConfig::mte4jni())
         .check_mode(mode)
@@ -243,7 +281,7 @@ mod tests {
     use mte_sim::{FaultKind, Tag};
 
     fn sync_vm() -> Vm {
-        mte4jni_vm(TcfMode::Sync, Mte4JniConfig::default())
+        mte4jni_vm(TcfMode::Sync, TableConfig::default())
     }
 
     #[test]
@@ -317,7 +355,7 @@ mod tests {
         // Figure 4c: the corrupting write goes through; the fault surfaces
         // at the next syscall (here: the logging call) with an imprecise
         // backtrace.
-        let vm = mte4jni_vm(TcfMode::Async, Mte4JniConfig::default());
+        let vm = mte4jni_vm(TcfMode::Async, TableConfig::default());
         let t = vm.attach_thread("main");
         let env = vm.env(&t);
         let a = env.new_int_array(18).unwrap();

@@ -1,4 +1,13 @@
-//! Reference-counted memory tag tables (Algorithms 1 and 2).
+//! Reference-counted memory tag tables (Algorithms 1 and 2) and the
+//! typed borrow API shared by every backend.
+//!
+//! [`TagTable::acquire`] mints a [`Borrow`] token — the only value
+//! [`TagTable::release`] accepts, and it is consumed by the call, so a
+//! double release is a move error at compile time rather than a runtime
+//! [`ReleaseOutcome`] branch. Backends are selected by [`TableConfig`]:
+//! the lock-free [`AtomicEntryTable`](crate::AtomicEntryTable) default,
+//! the paper's [`TwoTierTable`] reference implementation, and the
+//! [`GlobalLockTable`] ablation baseline.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -11,6 +20,8 @@ use std::sync::Arc;
 // for the deterministic scheduler in `crates/stress` (DESIGN.md §9).
 use mte_sim::sync::Mutex;
 use mte_sim::{MemError, MteThread, Tag, TagExclusion, TaggedMemory, TaggedPtr, GRANULE};
+
+use crate::atomic_table::AtomicEntryTable;
 
 /// Multiply-shift hasher for object start addresses — the keys are
 /// already well distributed, so SipHash would be pure overhead on the
@@ -36,19 +47,240 @@ impl Hasher for AddrHasher {
 
 type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
 
-/// Which locking scheme guards the reference counts.
+/// Which tag-table implementation backs the scheme.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub enum Locking {
-    /// The paper's two-tier scheme: `k` table locks plus one dedicated
-    /// lock per live object (§3.1.2).
+pub enum TableBackend {
+    /// The lock-free [`AtomicEntryTable`](crate::AtomicEntryTable):
+    /// refcount + tag + state + generation packed into one CAS-able
+    /// word per object. The production default.
     #[default]
+    LockFree,
+    /// The paper's two-tier scheme: `k` table locks plus one dedicated
+    /// lock per live object (§3.1.2). Kept as the paper-faithful
+    /// reference implementation and differential oracle.
     TwoTier,
     /// The naive baseline: one global lock serializes all tag work
     /// (Figure 6's `global_lock` variant).
     Global,
 }
 
-/// What a [`TagTable::release`] call did.
+/// The one configuration struct for every tag-table backend — replaces
+/// the former `Locking` enum plus the `with_release_policy` /
+/// `with_neighbor_exclusion` builder sprawl.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableConfig {
+    /// Backend implementation (default: [`TableBackend::LockFree`]).
+    pub backend: TableBackend,
+    /// Hash tables (`k`) for the two-tier backend; the paper uses 16.
+    /// Ignored by the slab-indexed lock-free backend and the global
+    /// lock.
+    pub table_count: usize,
+    /// Zero the memory tags on final release (default). `false` models
+    /// the ablation where stale tags linger after the last release
+    /// (§3's motivation for timely release).
+    pub release_tags: bool,
+    /// **Neighbour-tag exclusion**, an extension beyond the paper: when
+    /// generating a fresh tag, the tags of the granules bracketing the
+    /// object are loaded (`ldg`) and excluded from `irg`, so an
+    /// out-of-bounds access into a *directly adjacent* tagged object is
+    /// detected deterministically instead of with probability 14/15
+    /// (HWASan applies the same idea between neighbouring heap chunks).
+    /// Costs four extra `ldg` per first acquire.
+    pub exclude_neighbor_tags: bool,
+    /// Per-thread borrow stash (lock-free backend only, default on): a
+    /// release parks its reference in a thread-local credit instead of
+    /// touching the shared entry word, and the next acquire of the same
+    /// object by the same thread redeems the credit — the repeat
+    /// acquire/release pair performs no shared-memory RMW at all. A
+    /// stashed release reports [`Release::Cached`]; the object stays
+    /// tagged and tracked until the credit is redeemed, evicted, or
+    /// flushed ([`TagTable::flush_stash`], or automatically at thread
+    /// exit). Layers that recycle addresses while entries linger (the
+    /// heap funnel's sweep/compaction) must flush at their safepoints or
+    /// disable the stash — see `Mte4Jni`, which does the latter for now.
+    pub borrow_stash: bool,
+}
+
+impl Default for TableConfig {
+    fn default() -> TableConfig {
+        TableConfig {
+            backend: TableBackend::LockFree,
+            table_count: 16,
+            release_tags: true,
+            exclude_neighbor_tags: false,
+            borrow_stash: true,
+        }
+    }
+}
+
+impl TableConfig {
+    /// The paper-faithful two-tier configuration (16 hash tables).
+    pub fn two_tier() -> TableConfig {
+        TableConfig { backend: TableBackend::TwoTier, ..TableConfig::default() }
+    }
+
+    /// The global-lock ablation configuration.
+    pub fn global_lock() -> TableConfig {
+        TableConfig { backend: TableBackend::Global, ..TableConfig::default() }
+    }
+
+    /// Builds the configured backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is [`TableBackend::TwoTier`] and
+    /// `table_count` is zero.
+    pub fn build(&self) -> Box<dyn TagTable> {
+        match self.backend {
+            TableBackend::LockFree => Box::new(AtomicEntryTable::from_config(self)),
+            TableBackend::TwoTier => Box::new(TwoTierTable::from_config(self)),
+            TableBackend::Global => Box::new(GlobalLockTable::from_config(self)),
+        }
+    }
+}
+
+/// A live borrow of one object's memory tag, minted by
+/// [`TagTable::acquire`] and consumed by [`TagTable::release`].
+///
+/// The token is deliberately neither `Clone` nor `Copy`: releasing it
+/// moves it into the table, so a double release fails to compile. It
+/// carries everything a release needs — address range, tag, and (for
+/// the lock-free backend) the entry generation it was minted under — so
+/// the release path performs no lookup beyond the entry word itself.
+#[must_use = "a Borrow must be passed back to TagTable::release (leaking it leaks the tag refcount)"]
+#[derive(Debug, PartialEq, Eq)]
+pub struct Borrow {
+    addr: u64,
+    end: u64,
+    tag: Tag,
+    generation: u64,
+    shared: bool,
+}
+
+impl Borrow {
+    /// Mints a token. Only [`TagTable`] implementations should call
+    /// this; holding a token that no table issued makes release fail
+    /// with [`ReleaseFailure::NotTracked`] (or
+    /// [`ReleaseFailure::StaleGeneration`]) at best.
+    pub fn new(addr: u64, end: u64, tag: Tag, generation: u64, shared: bool) -> Borrow {
+        Borrow { addr, end, tag, generation, shared }
+    }
+
+    /// Payload begin address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Payload end address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// The memory tag to apply to the outgoing pointer.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Entry generation this borrow was minted under (0 for backends
+    /// without generations).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether an existing live tag was shared (reference count > 1 at
+    /// acquire time).
+    pub fn shared(&self) -> bool {
+        self.shared
+    }
+}
+
+/// What a successful typed [`TagTable::release`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Release {
+    /// The reference count dropped but other borrowers remain.
+    Shared {
+        /// Remaining reference count.
+        remaining: u32,
+    },
+    /// The count reached zero; the memory tags were re-zeroed (unless
+    /// tag release is disabled for the ablation).
+    Freed,
+    /// The reference was parked in the calling thread's borrow stash
+    /// (lock-free backend with `borrow_stash` enabled): no shared state
+    /// changed, the object remains tagged and tracked, and the credit is
+    /// redeemed by the thread's next acquire of the same object —
+    /// or returned physically on eviction, [`TagTable::flush_stash`],
+    /// or thread exit.
+    Cached,
+}
+
+/// Why a typed [`TagTable::release`] refused or failed.
+#[derive(Debug)]
+pub enum ReleaseFailure {
+    /// The memory-tag work failed (possibly injected); the entry is
+    /// unchanged and the release can be retried with the returned
+    /// borrow.
+    Mem(MemError),
+    /// No entry tracks the borrow's address — Algorithm 2's "nothing
+    /// needs to be done" path, surfaced instead of swallowed so the
+    /// stress oracles can tell a genuinely missing entry from a clean
+    /// decrement.
+    NotTracked,
+    /// The entry at this address belongs to a newer lifetime than the
+    /// borrow (it was freed and re-acquired): the lock-free backend's
+    /// generation-based ABA defense refused to decrement the new
+    /// lifetime's count.
+    StaleGeneration {
+        /// Generation the borrow was minted under.
+        held: u64,
+        /// Generation currently live at the address.
+        current: u64,
+    },
+}
+
+impl ReleaseFailure {
+    /// Whether retrying the release could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ReleaseFailure::Mem(e) if e.is_transient())
+    }
+}
+
+/// A failed typed release: the reason plus the borrow handed back so
+/// transient failures can be retried (and non-transient ones audited).
+#[derive(Debug)]
+pub struct ReleaseError {
+    /// The borrow, returned to the caller untouched.
+    pub borrow: Borrow,
+    /// What went wrong.
+    pub kind: ReleaseFailure,
+}
+
+impl ReleaseError {
+    /// Pairs a failure reason with the returned borrow.
+    pub fn new(borrow: Borrow, kind: ReleaseFailure) -> ReleaseError {
+        ReleaseError { borrow, kind }
+    }
+}
+
+impl fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ReleaseFailure::Mem(e) => write!(f, "release of {:#x} failed: {e:?}", self.borrow.addr()),
+            ReleaseFailure::NotTracked => {
+                write!(f, "release of {:#x}: not tracked", self.borrow.addr())
+            }
+            ReleaseFailure::StaleGeneration { held, current } => write!(
+                f,
+                "release of {:#x}: stale generation (held {held}, current {current})",
+                self.borrow.addr()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReleaseError {}
+
+/// What a raw (token-less) [`TagTable::release_raw`] call did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReleaseOutcome {
     /// The reference count dropped but other borrowers remain.
@@ -56,40 +288,56 @@ pub enum ReleaseOutcome {
         /// Remaining reference count.
         remaining: u32,
     },
-    /// The count reached zero; the memory tags were re-zeroed (unless tag
-    /// release is disabled for the ablation).
+    /// The count reached zero; the memory tags were re-zeroed (unless
+    /// tag release is disabled for the ablation).
     Freed,
-    /// No entry existed for this object — Algorithm 2's "nothing needs to
-    /// be done" path.
+    /// No entry existed for this object — Algorithm 2's "nothing needs
+    /// to be done" path.
     NotTracked,
 }
 
-/// Result of a successful [`TagTable::acquire`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Acquired {
-    /// The tag to apply to the outgoing pointer.
-    pub tag: Tag,
-    /// Whether an existing live tag was shared (reference count > 1).
-    pub shared: bool,
-}
-
-/// A reference-counted tag table: the shared-tag bookkeeping both locking
-/// schemes implement.
+/// A reference-counted tag table: the shared-tag bookkeeping every
+/// backend implements.
 pub trait TagTable: Send + Sync + fmt::Debug {
     /// Algorithm 1: retrieves or creates the memory tag for
-    /// `[begin, end)`, increments the reference count, and returns the
-    /// tag to apply to the outgoing pointer.
+    /// `[begin, end)`, increments the reference count, and mints the
+    /// [`Borrow`] whose tag the caller applies to the outgoing pointer.
     fn acquire(
         &self,
         mem: &TaggedMemory,
         thread: &MteThread,
         begin: TaggedPtr,
         end: u64,
-    ) -> mte_sim::Result<Acquired>;
+    ) -> mte_sim::Result<Borrow>;
 
-    /// Algorithm 2: decrements the reference count and, at zero, releases
-    /// the memory tags for `[begin, end)`.
-    fn release(
+    /// Algorithm 2: consumes the borrow, decrements the reference
+    /// count, and at zero releases the memory tags. On failure the
+    /// borrow comes back inside the [`ReleaseError`] so transient
+    /// failures can be retried.
+    ///
+    /// The default implementation lowers onto [`release_raw`]; backends
+    /// with generation tracking override it to validate the borrow's
+    /// generation first.
+    ///
+    /// [`release_raw`]: TagTable::release_raw
+    fn release(&self, mem: &TaggedMemory, borrow: Borrow) -> Result<Release, ReleaseError> {
+        let begin = TaggedPtr::from_addr(borrow.addr());
+        match self.release_raw(mem, begin, borrow.end()) {
+            Ok(ReleaseOutcome::Freed) => Ok(Release::Freed),
+            Ok(ReleaseOutcome::Decremented { remaining }) => Ok(Release::Shared { remaining }),
+            Ok(ReleaseOutcome::NotTracked) => {
+                Err(ReleaseError::new(borrow, ReleaseFailure::NotTracked))
+            }
+            Err(e) => Err(ReleaseError::new(borrow, ReleaseFailure::Mem(e))),
+        }
+    }
+
+    /// Token-less release escape hatch for callers that cannot hold a
+    /// [`Borrow`] — containment's force-release funnel, stray-release
+    /// oracles, cross-layer recovery. Semantics match Algorithm 2 with
+    /// an absent entry reported as [`ReleaseOutcome::NotTracked`]
+    /// rather than an error.
+    fn release_raw(
         &self,
         mem: &TaggedMemory,
         begin: TaggedPtr,
@@ -108,11 +356,21 @@ pub trait TagTable: Send + Sync + fmt::Debug {
         false
     }
 
+    /// Returns the calling thread's stashed borrow credits for this
+    /// table to the shared entry words, performing the final tag release
+    /// where a credit was the last reference. Returns the number of
+    /// entries physically freed. The safepoint hook for layers that
+    /// recycle addresses (sweep, compaction): after a flush the thread
+    /// holds no hidden references. No-op for backends without a stash.
+    fn flush_stash(&self, _mem: &TaggedMemory) -> u64 {
+        0
+    }
+
     /// Number of objects currently tracked (for tests and reports).
     fn tracked_objects(&self) -> usize;
 
     /// Table-internal counters for the telemetry registry (e.g. lock
-    /// acquisitions, entry-pool hits), as `(name, value)` pairs.
+    /// acquisitions, CAS retries), as `(name, value)` pairs.
     fn counters(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
@@ -152,6 +410,11 @@ const POOL_CAP: usize = 64;
 /// has a dedicated **object lock** guarding its reference count and tag
 /// work. Threads acquiring *different* objects therefore contend only
 /// when their addresses collide on the same table (paper §5.3.2).
+///
+/// This is the paper-faithful reference implementation; the production
+/// default is the lock-free
+/// [`AtomicEntryTable`](crate::AtomicEntryTable), differentially tested
+/// against this one.
 pub struct TwoTierTable {
     tables: Vec<Mutex<Table>>,
     exclusion: TagExclusion,
@@ -167,46 +430,35 @@ pub struct TwoTierTable {
 
 impl TwoTierTable {
     /// Creates a table set with `table_count` hash tables (the paper uses
-    /// 16) that zeroes tags on final release.
+    /// 16) and the default policy (tags zeroed on final release).
     ///
     /// # Panics
     ///
     /// Panics if `table_count` is zero.
     pub fn new(table_count: usize) -> TwoTierTable {
-        TwoTierTable::with_release_policy(table_count, true)
+        TwoTierTable::from_config(&TableConfig {
+            backend: TableBackend::TwoTier,
+            table_count,
+            ..TableConfig::default()
+        })
     }
 
-    /// Like [`TwoTierTable::new`], with an explicit tag-release policy.
-    /// Passing `release_tags = false` models the ablation where stale
-    /// tags linger after the last release (§3's motivation for timely
-    /// release).
+    /// Creates a table set honouring `config`'s `table_count`,
+    /// `release_tags`, and `exclude_neighbor_tags`.
     ///
     /// # Panics
     ///
-    /// Panics if `table_count` is zero.
-    pub fn with_release_policy(table_count: usize, release_tags: bool) -> TwoTierTable {
-        assert!(table_count > 0, "at least one hash table is required");
+    /// Panics if `config.table_count` is zero.
+    pub fn from_config(config: &TableConfig) -> TwoTierTable {
+        assert!(config.table_count > 0, "at least one hash table is required");
         TwoTierTable {
-            tables: (0..table_count).map(|_| Mutex::new(Table::default())).collect(),
+            tables: (0..config.table_count).map(|_| Mutex::new(Table::default())).collect(),
             exclusion: TagExclusion::default(),
-            release_tags,
-            exclude_neighbor_tags: false,
+            release_tags: config.release_tags,
+            exclude_neighbor_tags: config.exclude_neighbor_tags,
             lock_acquisitions: AtomicU64::new(0),
             pool_hits: AtomicU64::new(0),
         }
-    }
-
-    /// Enables **neighbour-tag exclusion**, an extension beyond the paper:
-    /// when generating a fresh tag, the tags of the granules immediately
-    /// before and after the object are loaded (`ldg`) and excluded from
-    /// `irg`, so an out-of-bounds access into a *directly adjacent* tagged
-    /// object is detected deterministically instead of with probability
-    /// 14/15 (HWASan applies the same idea between neighbouring heap
-    /// chunks). Costs two extra `ldg` per first acquire.
-    #[must_use]
-    pub fn with_neighbor_exclusion(mut self, enabled: bool) -> TwoTierTable {
-        self.exclude_neighbor_tags = enabled;
-        self
     }
 
     /// Number of hash tables (`k`).
@@ -236,7 +488,7 @@ impl TagTable for TwoTierTable {
         thread: &MteThread,
         begin: TaggedPtr,
         end: u64,
-    ) -> mte_sim::Result<Acquired> {
+    ) -> mte_sim::Result<Borrow> {
         let addr = begin.addr();
         let table = &self.tables[self.table_index(addr)];
         loop {
@@ -364,12 +616,14 @@ impl TagTable for TwoTierTable {
                 tag
             };
             obj.reference_num += 1;
-            // 4. The caller applies `tag` to the returned pointer.
-            return Ok(Acquired { tag, shared });
+            // 4. The caller applies the borrow's tag to the returned
+            //    pointer. No generations here: the dead-flag re-checks
+            //    above are this backend's ABA defense.
+            return Ok(Borrow::new(addr, end, tag, 0, shared));
         }
     }
 
-    fn release(
+    fn release_raw(
         &self,
         mem: &TaggedMemory,
         begin: TaggedPtr,
@@ -486,12 +740,17 @@ pub struct GlobalLockTable {
 }
 
 impl GlobalLockTable {
-    /// Creates the table.
+    /// Creates the table with the default policy.
     pub fn new() -> GlobalLockTable {
+        GlobalLockTable::from_config(&TableConfig::global_lock())
+    }
+
+    /// Creates the table honouring `config.release_tags`.
+    pub fn from_config(config: &TableConfig) -> GlobalLockTable {
         GlobalLockTable {
             entries: Mutex::new(AddrMap::default()),
             exclusion: TagExclusion::default(),
-            release_tags: true,
+            release_tags: config.release_tags,
         }
     }
 }
@@ -517,7 +776,7 @@ impl TagTable for GlobalLockTable {
         thread: &MteThread,
         begin: TaggedPtr,
         end: u64,
-    ) -> mte_sim::Result<Acquired> {
+    ) -> mte_sim::Result<Borrow> {
         // The whole algorithm runs under the single lock — every thread of
         // every JNI interface competes here. The entry is only inserted
         // (or its count bumped) after the fallible tag work succeeds, so
@@ -526,7 +785,7 @@ impl TagTable for GlobalLockTable {
         if let Some(entry) = entries.get_mut(&begin.addr()) {
             mem.ldg(begin)?;
             entry.reference_num += 1;
-            Ok(Acquired { tag: entry.tag, shared: true })
+            Ok(Borrow::new(begin.addr(), end, entry.tag, 0, true))
         } else {
             let tag = mem.irg(thread, self.exclusion);
             if tag.is_untagged() {
@@ -536,11 +795,11 @@ impl TagTable for GlobalLockTable {
             }
             mem.set_tag_range(begin, end, tag)?;
             entries.insert(begin.addr(), GlobalEntry { reference_num: 1, tag });
-            Ok(Acquired { tag, shared: false })
+            Ok(Borrow::new(begin.addr(), end, tag, 0, false))
         }
     }
 
-    fn release(
+    fn release_raw(
         &self,
         mem: &TaggedMemory,
         begin: TaggedPtr,
@@ -591,6 +850,7 @@ impl TagTable for GlobalLockTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::atomic_table::AtomicEntryTable;
     use mte_sim::MemoryConfig;
     use std::sync::Arc as StdArc;
 
@@ -605,8 +865,27 @@ mod tests {
         m
     }
 
+    const BACKENDS: [TableBackend; 3] =
+        [TableBackend::LockFree, TableBackend::TwoTier, TableBackend::Global];
+
+    // These tests pin the *eager* acquire/release protocol (every
+    // release reaches the shared entry), so the lock-free backend is
+    // built with the borrow stash off; the stash's deferred semantics
+    // have their own tests below (`stash_*`).
     fn tables() -> Vec<Box<dyn TagTable>> {
-        vec![Box::new(TwoTierTable::new(16)), Box::new(GlobalLockTable::new())]
+        BACKENDS
+            .iter()
+            .map(|&backend| {
+                TableConfig { backend, borrow_stash: false, ..TableConfig::default() }.build()
+            })
+            .collect()
+    }
+
+    fn eager_lock_free() -> AtomicEntryTable {
+        AtomicEntryTable::from_config(&TableConfig {
+            borrow_stash: false,
+            ..TableConfig::default()
+        })
     }
 
     #[test]
@@ -616,10 +895,11 @@ mod tests {
             let t = MteThread::with_seed("t", 11);
             let begin = TaggedPtr::from_addr(BASE + 0x100);
             let end = begin.addr() + 64;
-            let tag = table.acquire(&m, &t, begin, end).unwrap().tag;
-            assert!(!tag.is_untagged(), "tag 0 is excluded");
+            let borrow = table.acquire(&m, &t, begin, end).unwrap();
+            assert!(!borrow.tag().is_untagged(), "tag 0 is excluded");
+            assert!(!borrow.shared());
             for g in 0..4 {
-                assert_eq!(m.ldg(begin.wrapping_add(g * 16)).unwrap(), tag, "{table:?}");
+                assert_eq!(m.ldg(begin.wrapping_add(g * 16)).unwrap(), borrow.tag(), "{table:?}");
             }
             assert_eq!(m.ldg(begin.wrapping_add(64)).unwrap(), Tag::UNTAGGED);
         }
@@ -634,43 +914,50 @@ mod tests {
             let end = begin.addr() + 32;
             let first = table.acquire(&m, &t, begin, end).unwrap();
             let second = table.acquire(&m, &t, begin, end).unwrap();
-            assert!(!first.shared);
-            assert!(second.shared);
-            assert_eq!(first.tag, second.tag, "{table:?}");
+            assert!(!first.shared());
+            assert!(second.shared());
+            assert_eq!(first.tag(), second.tag(), "{table:?}");
             assert_eq!(table.tracked_objects(), 1);
         }
     }
 
     #[test]
-    fn release_zeroes_tags_only_at_refcount_zero() {
+    fn typed_release_zeroes_tags_only_at_refcount_zero() {
         for table in tables() {
             let m = mem();
             let t = MteThread::with_seed("t", 13);
             let begin = TaggedPtr::from_addr(BASE + 0x300);
             let end = begin.addr() + 32;
-            let tag = table.acquire(&m, &t, begin, end).unwrap().tag;
-            table.acquire(&m, &t, begin, end).unwrap();
+            let first = table.acquire(&m, &t, begin, end).unwrap();
+            let second = table.acquire(&m, &t, begin, end).unwrap();
+            let tag = first.tag();
 
-            let out = table.release(&m, begin, end).unwrap();
-            assert_eq!(out, ReleaseOutcome::Decremented { remaining: 1 });
+            let out = table.release(&m, second).unwrap();
+            assert_eq!(out, Release::Shared { remaining: 1 });
             assert_eq!(m.ldg(begin).unwrap(), tag, "tags stay while borrowed");
 
-            let out = table.release(&m, begin, end).unwrap();
-            assert_eq!(out, ReleaseOutcome::Freed);
+            let out = table.release(&m, first).unwrap();
+            assert_eq!(out, Release::Freed);
             assert_eq!(m.ldg(begin).unwrap(), Tag::UNTAGGED, "{table:?}");
             assert_eq!(table.tracked_objects(), 0);
         }
     }
 
     #[test]
-    fn release_of_untracked_object_is_a_no_op() {
+    fn release_of_untracked_object_reports_not_tracked() {
         for table in tables() {
             let m = mem();
             let begin = TaggedPtr::from_addr(BASE + 0x400);
+            // Raw path: Algorithm 2's "nothing to do".
             assert_eq!(
-                table.release(&m, begin, begin.addr() + 16).unwrap(),
+                table.release_raw(&m, begin, begin.addr() + 16).unwrap(),
                 ReleaseOutcome::NotTracked
             );
+            // Typed path: a forged borrow is refused, and handed back.
+            let forged = Borrow::new(begin.addr(), begin.addr() + 16, Tag::from_low_bits(3), 0, false);
+            let err = table.release(&m, forged).unwrap_err();
+            assert!(matches!(err.kind, ReleaseFailure::NotTracked), "{table:?}");
+            assert_eq!(err.borrow.addr(), begin.addr(), "borrow handed back");
         }
     }
 
@@ -681,13 +968,172 @@ mod tests {
             let t = MteThread::with_seed("t", 14);
             let begin = TaggedPtr::from_addr(BASE + 0x500);
             let end = begin.addr() + 16;
-            table.acquire(&m, &t, begin, end).unwrap();
-            table.release(&m, begin, end).unwrap();
+            let b = table.acquire(&m, &t, begin, end).unwrap();
+            table.release(&m, b).unwrap();
             let again = table.acquire(&m, &t, begin, end).unwrap();
-            assert!(!again.shared, "fresh entry after a full release");
-            assert_eq!(m.ldg(begin).unwrap(), again.tag);
+            assert!(!again.shared(), "fresh entry after a full release");
+            assert_eq!(m.ldg(begin).unwrap(), again.tag());
             assert_eq!(table.tracked_objects(), 1);
         }
+    }
+
+    #[test]
+    fn stale_generation_release_is_refused() {
+        // Lock-free only: the generation check is that backend's ABA
+        // defense (the locking backends re-validate through their entry
+        // `dead` flags instead).
+        let table = eager_lock_free();
+        let m = mem();
+        let t = MteThread::with_seed("t", 19);
+        let begin = TaggedPtr::from_addr(BASE + 0xA00);
+        let end = begin.addr() + 32;
+        let stale = table.acquire(&m, &t, begin, end).unwrap();
+        // The entry is freed behind the borrow's back (force-release),
+        // then re-acquired: a new lifetime at the same address.
+        assert_eq!(table.release_raw(&m, begin, end).unwrap(), ReleaseOutcome::Freed);
+        let fresh = table.acquire(&m, &t, begin, end).unwrap();
+        assert!(fresh.generation() > stale.generation());
+
+        let err = table.release(&m, stale).unwrap_err();
+        assert!(
+            matches!(err.kind, ReleaseFailure::StaleGeneration { held: 1, current: 2 }),
+            "got {:?}",
+            err.kind
+        );
+        // The new lifetime's count was protected: its release still frees.
+        assert_eq!(table.release(&m, fresh).unwrap(), Release::Freed);
+        assert_eq!(table.tracked_objects(), 0);
+    }
+
+    fn counter(table: &dyn TagTable, name: &str) -> u64 {
+        table
+            .counters()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn stash_parks_release_and_redeems_next_acquire() {
+        // Default lock-free config: borrow stash on.
+        let table = AtomicEntryTable::new();
+        let m = mem();
+        let t = MteThread::with_seed("t", 20);
+        let begin = TaggedPtr::from_addr(BASE + 0xB00);
+        let end = begin.addr() + 32;
+
+        let first = table.acquire(&m, &t, begin, end).unwrap();
+        let tag = first.tag();
+        assert_eq!(table.release(&m, first).unwrap(), Release::Cached);
+        // The reference is parked, not returned: the entry stays live
+        // and the memory stays tagged.
+        assert_eq!(table.tracked_objects(), 1);
+        assert_eq!(m.ldg(begin).unwrap(), tag);
+
+        // Same thread reacquires: the credit is redeemed without any
+        // shared RMW, and the borrow observes the cached tag as shared.
+        let again = table.acquire(&m, &t, begin, end).unwrap();
+        assert!(again.shared(), "stash hit joins the parked lifetime");
+        assert_eq!(again.tag(), tag);
+        assert_eq!(counter(&table, "atomic_stash_hits"), 0, "folded on flush, not yet");
+        assert_eq!(table.release(&m, again).unwrap(), Release::Cached);
+
+        // The flush returns the credit physically: entry freed, tags
+        // zeroed, hit/free counters land.
+        assert_eq!(table.flush_stash(&m), 1);
+        assert_eq!(table.tracked_objects(), 0);
+        assert_eq!(m.ldg(begin).unwrap(), Tag::UNTAGGED);
+        assert_eq!(counter(&table, "atomic_stash_hits"), 1);
+        assert_eq!(counter(&table, "atomic_stash_flush_frees"), 1);
+    }
+
+    #[test]
+    fn stash_credit_survives_only_its_own_lifetime() {
+        // A parked credit self-invalidates when the entry is
+        // force-released behind its back: the stale tag/generation is
+        // detected on redemption and a fresh physical acquire runs.
+        let table = AtomicEntryTable::new();
+        let m = mem();
+        let t = MteThread::with_seed("t", 21);
+        let begin = TaggedPtr::from_addr(BASE + 0xC00);
+        let end = begin.addr() + 32;
+
+        let b = table.acquire(&m, &t, begin, end).unwrap();
+        let old_gen = b.generation();
+        assert_eq!(table.release(&m, b).unwrap(), Release::Cached);
+        // Force-release reaches the shared count despite the credit
+        // (`release_raw` never consults the stash).
+        assert_eq!(table.release_raw(&m, begin, end).unwrap(), ReleaseOutcome::Freed);
+        assert_eq!(table.tracked_objects(), 0);
+
+        let fresh = table.acquire(&m, &t, begin, end).unwrap();
+        assert!(!fresh.shared(), "dead credit was discarded, not redeemed");
+        assert!(fresh.generation() > old_gen);
+        assert_eq!(table.release(&m, fresh).unwrap(), Release::Cached);
+        assert_eq!(table.flush_stash(&m), 1);
+        assert_eq!(table.tracked_objects(), 0);
+    }
+
+    #[test]
+    fn stash_untracked_release_still_errors() {
+        // The validating load runs before caching: a forged borrow is
+        // refused through the physical path, never silently parked.
+        let table = AtomicEntryTable::new();
+        let m = mem();
+        let begin = TaggedPtr::from_addr(BASE + 0xD00);
+        let forged = Borrow::new(begin.addr(), begin.addr() + 16, Tag::from_low_bits(5), 0, false);
+        let err = table.release(&m, forged).unwrap_err();
+        assert!(matches!(err.kind, ReleaseFailure::NotTracked));
+    }
+
+    #[test]
+    fn stash_evicts_coldest_entry_physically_when_full() {
+        let table = AtomicEntryTable::new();
+        let m = mem();
+        let t = MteThread::with_seed("t", 22);
+        // Park one credit for each of 6 distinct objects. The stash
+        // holds one hot credit plus STASH_SLOTS = 4 cold entries, so
+        // the sixth release demotes into a full cold store and evicts
+        // the coldest entry, returning its credit physically
+        // (refcount 1 -> 0 frees it).
+        for i in 0..6u64 {
+            let begin = TaggedPtr::from_addr(BASE + 0x2000 + i * 0x100);
+            let b = table.acquire(&m, &t, begin, begin.addr() + 16).unwrap();
+            assert_eq!(table.release(&m, b).unwrap(), Release::Cached);
+        }
+        assert_eq!(table.tracked_objects(), 5, "one entry was evicted and freed");
+        assert_eq!(counter(&table, "atomic_stash_flush_frees"), 1);
+        assert_eq!(table.flush_stash(&m), 5);
+        assert_eq!(table.tracked_objects(), 0);
+    }
+
+    #[test]
+    fn stash_thread_exit_returns_credits() {
+        let table = StdArc::new(AtomicEntryTable::new());
+        let m = mem();
+        let begin = TaggedPtr::from_addr(BASE + 0xE00);
+        let end = begin.addr() + 32;
+        std::thread::scope(|s| {
+            let table = StdArc::clone(&table);
+            let m = StdArc::clone(&m);
+            s.spawn(move || {
+                let t = MteThread::with_seed("w", 23);
+                let b = table.acquire(&m, &t, begin, end).unwrap();
+                assert_eq!(table.release(&m, b).unwrap(), Release::Cached);
+                // Thread exits holding a parked credit: the TLS
+                // destructor backstop must return it.
+            });
+        });
+        // TLS destructors run during OS thread shutdown, which `join`
+        // does not wait for: poll briefly rather than assert instantly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while table.tracked_objects() != 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(table.tracked_objects(), 0, "exit flush freed the entry");
+        assert_eq!(m.ldg(begin).unwrap(), Tag::UNTAGGED);
+        assert_eq!(counter(table.as_ref(), "atomic_stash_flush_frees"), 1);
     }
 
     #[test]
@@ -697,10 +1143,10 @@ mod tests {
             let t = MteThread::with_seed("t", 15);
             let a = TaggedPtr::from_addr(BASE);
             let b = TaggedPtr::from_addr(BASE + 0x1000);
-            table.acquire(&m, &t, a, a.addr() + 16).unwrap();
-            table.acquire(&m, &t, b, b.addr() + 16).unwrap();
+            let ba = table.acquire(&m, &t, a, a.addr() + 16).unwrap();
+            let _bb = table.acquire(&m, &t, b, b.addr() + 16).unwrap();
             assert_eq!(table.tracked_objects(), 2);
-            table.release(&m, a, a.addr() + 16).unwrap();
+            table.release(&m, ba).unwrap();
             assert_eq!(table.tracked_objects(), 1);
             assert_ne!(m.ldg(b).unwrap(), Tag::UNTAGGED);
         }
@@ -717,14 +1163,22 @@ mod tests {
 
     #[test]
     fn disabled_tag_release_leaves_stale_tags() {
-        let table = TwoTierTable::with_release_policy(16, false);
-        let m = mem();
-        let t = MteThread::with_seed("t", 16);
-        let begin = TaggedPtr::from_addr(BASE + 0x600);
-        let end = begin.addr() + 16;
-        let tag = table.acquire(&m, &t, begin, end).unwrap().tag;
-        table.release(&m, begin, end).unwrap();
-        assert_eq!(m.ldg(begin).unwrap(), tag, "ablation: stale tag lingers");
+        for backend in BACKENDS {
+            let table = TableConfig {
+                backend,
+                release_tags: false,
+                ..TableConfig::default()
+            }
+            .build();
+            let m = mem();
+            let t = MteThread::with_seed("t", 16);
+            let begin = TaggedPtr::from_addr(BASE + 0x600);
+            let end = begin.addr() + 16;
+            let b = table.acquire(&m, &t, begin, end).unwrap();
+            let tag = b.tag();
+            table.release(&m, b).unwrap();
+            assert_eq!(m.ldg(begin).unwrap(), tag, "{backend:?}: stale tag lingers");
+        }
     }
 
     #[test]
@@ -740,26 +1194,28 @@ mod tests {
             let t = MteThread::with_seed("t", 17);
             let old = TaggedPtr::from_addr(BASE + 0x700);
             let new = TaggedPtr::from_addr(BASE + 0x9000); // different table index
-            let tag = table.acquire(&m, &t, old, old.addr() + 32).unwrap().tag;
+            let b = table.acquire(&m, &t, old, old.addr() + 32).unwrap();
+            let tag = b.tag();
             assert!(table.rehome(old.addr(), new.addr()), "{table:?}");
             assert_eq!(table.tracked_objects(), 1, "still one entry, rekeyed");
             // The old key is gone...
             assert_eq!(
-                table.release(&m, old, old.addr() + 32).unwrap(),
+                table.release_raw(&m, old, old.addr() + 32).unwrap(),
                 ReleaseOutcome::NotTracked
             );
             // ...and a shared acquire at the new address finds the entry
             // with its tag intact (the heap migrated the memory tags).
             m.set_tag_range(new, new.addr() + 32, tag).unwrap();
             let again = table.acquire(&m, &t, new, new.addr() + 32).unwrap();
-            assert!(again.shared, "{table:?}: rehomed entry was found");
-            assert_eq!(again.tag, tag);
-            table.release(&m, new, new.addr() + 32).unwrap();
+            assert!(again.shared(), "{table:?}: rehomed entry was found");
+            assert_eq!(again.tag(), tag);
+            table.release(&m, again).unwrap();
             assert_eq!(
-                table.release(&m, new, new.addr() + 32).unwrap(),
+                table.release_raw(&m, new, new.addr() + 32).unwrap(),
                 ReleaseOutcome::Freed
             );
             assert_eq!(table.tracked_objects(), 0);
+            drop(b); // the original borrow's lifetime ended via release_raw
         }
     }
 
@@ -770,7 +1226,7 @@ mod tests {
             let t = MteThread::with_seed("t", 18);
             assert!(!table.rehome(BASE + 0x800, BASE + 0x900), "{table:?}");
             let begin = TaggedPtr::from_addr(BASE + 0x800);
-            table.acquire(&m, &t, begin, begin.addr() + 16).unwrap();
+            let _b = table.acquire(&m, &t, begin, begin.addr() + 16).unwrap();
             assert!(!table.rehome(begin.addr(), begin.addr()), "same address");
             assert_eq!(table.tracked_objects(), 1, "entry untouched");
         }
@@ -778,11 +1234,9 @@ mod tests {
 
     #[test]
     fn concurrent_stress_preserves_refcount_invariants() {
-        for locking in [Locking::TwoTier, Locking::Global] {
-            let table: StdArc<dyn TagTable> = match locking {
-                Locking::TwoTier => StdArc::new(TwoTierTable::new(16)),
-                Locking::Global => StdArc::new(GlobalLockTable::new()),
-            };
+        for backend in BACKENDS {
+            let table: StdArc<dyn TagTable> =
+                StdArc::from(TableConfig { backend, ..TableConfig::default() }.build());
             let m = mem();
             let objects: Vec<u64> = (0..8).map(|i| BASE + 0x100 * i).collect();
             std::thread::scope(|s| {
@@ -796,20 +1250,24 @@ mod tests {
                             let addr = objects[(worker as usize + round) % objects.len()];
                             let begin = TaggedPtr::from_addr(addr);
                             let end = addr + 64;
-                            let tag = table.acquire(&m, &t, begin, end).unwrap().tag;
+                            let borrow = table.acquire(&m, &t, begin, end).unwrap();
                             // While held, the memory tag must match ours.
-                            assert_eq!(m.ldg(begin).unwrap(), tag);
-                            table.release(&m, begin, end).unwrap();
+                            assert_eq!(m.ldg(begin).unwrap(), borrow.tag());
+                            table.release(&m, borrow).unwrap();
                         }
+                        // Quiescence discipline: a worker flushes its
+                        // borrow stash before exiting — `join` does not
+                        // wait for the TLS-destructor backstop.
+                        table.flush_stash(&m);
                     });
                 }
             });
-            assert_eq!(table.tracked_objects(), 0, "{locking:?}: all entries freed");
+            assert_eq!(table.tracked_objects(), 0, "{backend:?}: all entries freed");
             for &addr in &objects {
                 assert_eq!(
                     m.ldg(TaggedPtr::from_addr(addr)).unwrap(),
                     Tag::UNTAGGED,
-                    "{locking:?}: all tags released"
+                    "{backend:?}: all tags released"
                 );
             }
         }

@@ -1,0 +1,94 @@
+//! Property tests for the packed atomic entry word: the bit layout
+//! round-trips every field, and no sequence of protocol transitions can
+//! republish (`Live`) a generation that an earlier lifetime retired —
+//! the invariant the `Borrow` generation check relies on to close the
+//! free/re-acquire ABA window.
+
+use std::collections::HashSet;
+
+use mte4jni::entry::{self, EntryState, GENERATION_MASK};
+use mte_sim::Tag;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pack_round_trips_arbitrary_fields(
+        rc in any::<u32>(),
+        tag in 0u8..16,
+        state_ix in 0usize..3,
+        generation in 0u64..=GENERATION_MASK,
+    ) {
+        let state = [EntryState::Free, EntryState::Live, EntryState::Busy][state_ix];
+        let word = entry::pack(rc, Tag::from_low_bits(tag), state, generation);
+        prop_assert_eq!(entry::refcount(word), rc);
+        prop_assert_eq!(entry::tag(word), Tag::from_low_bits(tag));
+        prop_assert_eq!(entry::state(word), state);
+        prop_assert_eq!(entry::generation(word), generation);
+    }
+
+    /// Model state machine: arbitrary choices drive one entry word
+    /// through the transition functions exactly as the table's CAS loop
+    /// would. A generation is *retired* once its lifetime ends (teardown
+    /// completes, or a fresh attempt aborts); from then on no reachable
+    /// word may ever be `Live` under it again.
+    #[test]
+    fn transitions_never_republish_a_retired_generation(
+        choices in prop::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let mut word = 0u64;
+        let mut retired: HashSet<u64> = HashSet::new();
+        // Distinguishes a Busy slot opened by begin_fresh from one
+        // opened by begin_teardown.
+        let mut fresh = false;
+        let check_live = |word: u64, retired: &HashSet<u64>| {
+            if entry::state(word) == EntryState::Live {
+                assert!(
+                    !retired.contains(&entry::generation(word)),
+                    "word republished retired generation {}",
+                    entry::generation(word)
+                );
+            }
+        };
+        for c in choices {
+            match entry::state(word) {
+                EntryState::Free => {
+                    word = entry::begin_fresh(word);
+                    fresh = true;
+                }
+                EntryState::Busy if fresh => {
+                    if c % 2 == 0 {
+                        word = entry::commit_fresh(
+                            word,
+                            Tag::from_low_bits(1 + (c >> 1) % 15),
+                        );
+                    } else {
+                        // A failed attempt retires its generation too: no
+                        // Borrow was ever minted under it, and none may be.
+                        retired.insert(entry::generation(word));
+                        word = entry::abort_fresh(word);
+                    }
+                }
+                EntryState::Busy => {
+                    if c % 2 == 0 {
+                        retired.insert(entry::generation(word));
+                        word = entry::complete_teardown(word);
+                    } else {
+                        word = entry::abort_teardown(word);
+                    }
+                }
+                EntryState::Live => {
+                    let rc = entry::refcount(word);
+                    if c % 2 == 0 && rc < 1000 {
+                        word = entry::add_ref(word);
+                    } else if rc > 1 {
+                        word = entry::drop_ref(word);
+                    } else {
+                        word = entry::begin_teardown(word);
+                        fresh = false;
+                    }
+                }
+            }
+            check_live(word, &retired);
+        }
+    }
+}

@@ -1,12 +1,12 @@
 //! Property tests for the reference-counted tag tables: any interleaved
 //! sequence of acquires and releases over a handful of objects must
-//! match a trivial sequential reference-count model, on both locking
-//! schemes.
+//! match a trivial sequential reference-count model, on all three
+//! backends (lock-free, two-tier, global-lock).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mte4jni::{GlobalLockTable, Locking, ReleaseOutcome, TagTable, TwoTierTable};
+use mte4jni::{Borrow, Release, ReleaseOutcome, TableBackend, TableConfig, TagTable};
 use mte_sim::{MemoryConfig, MteThread, Tag, TaggedMemory, TaggedPtr};
 use proptest::prelude::*;
 
@@ -14,6 +14,12 @@ const BASE: u64 = 0x7a00_0000_0000;
 const OBJECTS: usize = 4;
 const OBJ_STRIDE: u64 = 0x100;
 const OBJ_LEN: u64 = 64;
+
+const BACKENDS: [TableBackend; 3] = [
+    TableBackend::LockFree,
+    TableBackend::TwoTier,
+    TableBackend::Global,
+];
 
 fn setup() -> (Arc<TaggedMemory>, MteThread) {
     let mem = TaggedMemory::new(MemoryConfig {
@@ -24,11 +30,16 @@ fn setup() -> (Arc<TaggedMemory>, MteThread) {
     (mem, MteThread::with_seed("prop", 0x7ab1e))
 }
 
-fn table_for(locking: Locking) -> Box<dyn TagTable> {
-    match locking {
-        Locking::TwoTier => Box::new(TwoTierTable::new(16)),
-        Locking::Global => Box::new(GlobalLockTable::new()),
+fn table_for(backend: TableBackend) -> Box<dyn TagTable> {
+    // Stash off: these properties pin the eager release protocol
+    // shared by all three backends; the lock-free borrow stash has its
+    // own unit and stress coverage.
+    TableConfig {
+        backend,
+        borrow_stash: false,
+        ..TableConfig::default()
     }
+    .build()
 }
 
 fn obj_range(i: usize) -> (TaggedPtr, u64) {
@@ -38,81 +49,96 @@ fn obj_range(i: usize) -> (TaggedPtr, u64) {
 
 /// Drives `ops` (object index, is_release) against a real table and the
 /// model; returns an error message on the first divergence.
-fn check_against_model(locking: Locking, ops: &[(usize, bool)]) -> Result<(), String> {
+fn check_against_model(backend: TableBackend, ops: &[(usize, bool)]) -> Result<(), String> {
     let (mem, thread) = setup();
-    let table = table_for(locking);
-    // The model: per-object reference count and live tag.
-    let mut counts: HashMap<usize, u32> = HashMap::new();
+    let table = table_for(backend);
+    // The model: per-object stack of live borrow tokens and live tag.
+    let mut borrows: HashMap<usize, Vec<Borrow>> = HashMap::new();
     let mut tags: HashMap<usize, Tag> = HashMap::new();
 
     for (step, &(obj, is_release)) in ops.iter().enumerate() {
         let (begin, end) = obj_range(obj);
-        let count = counts.entry(obj).or_insert(0);
+        let held = borrows.entry(obj).or_default();
         if is_release {
-            let outcome = table
-                .release(&mem, begin, end)
-                .map_err(|e| format!("step {step}: release error {e}"))?;
-            match (*count, outcome) {
+            match held.pop() {
                 // Never-acquired (or fully released) objects are not the
-                // table's problem: Algorithm 2's early-out.
-                (0, ReleaseOutcome::NotTracked) => {}
-                (1, ReleaseOutcome::Freed) => {
-                    *count = 0;
-                    tags.remove(&obj);
-                    // The tag must be re-zeroed exactly at count zero.
-                    let seen = mem.ldg(begin).map_err(|e| format!("step {step}: {e}"))?;
-                    if !seen.is_untagged() {
-                        return Err(format!("step {step}: tag {seen:?} survived Freed"));
-                    }
-                }
-                (n, ReleaseOutcome::Decremented { remaining }) if n > 1 => {
-                    // The count never underflows: remaining == n - 1.
-                    if remaining != n - 1 {
+                // table's problem: Algorithm 2's early-out, reachable only
+                // through the untyped escape hatch.
+                None => {
+                    let outcome = table
+                        .release_raw(&mem, begin, end)
+                        .map_err(|e| format!("step {step}: stray release error {e}"))?;
+                    if outcome != ReleaseOutcome::NotTracked {
                         return Err(format!(
-                            "step {step}: count {n} decremented to {remaining}"
+                            "step {step}: model count 0 but table said {outcome:?}"
                         ));
                     }
-                    *count = n - 1;
                 }
-                (n, outcome) => {
-                    return Err(format!(
-                        "step {step}: model count {n} but table said {outcome:?}"
-                    ));
+                Some(borrow) => {
+                    let n = held.len() as u32 + 1;
+                    let release = table
+                        .release(&mem, borrow)
+                        .map_err(|e| format!("step {step}: release error {e}"))?;
+                    match (n, release) {
+                        (1, Release::Freed) => {
+                            tags.remove(&obj);
+                            // The tag must be re-zeroed exactly at count zero.
+                            let seen =
+                                mem.ldg(begin).map_err(|e| format!("step {step}: {e}"))?;
+                            if !seen.is_untagged() {
+                                return Err(format!("step {step}: tag {seen:?} survived Freed"));
+                            }
+                        }
+                        (n, Release::Shared { remaining }) if n > 1 => {
+                            // The count never underflows: remaining == n - 1.
+                            if remaining != n - 1 {
+                                return Err(format!(
+                                    "step {step}: count {n} decremented to {remaining}"
+                                ));
+                            }
+                        }
+                        (n, release) => {
+                            return Err(format!(
+                                "step {step}: model count {n} but table said {release:?}"
+                            ));
+                        }
+                    }
                 }
             }
         } else {
-            let acq = table
+            let borrow = table
                 .acquire(&mem, &thread, begin, end)
                 .map_err(|e| format!("step {step}: acquire error {e}"))?;
-            if acq.shared != (*count > 0) {
+            if borrow.shared() == held.is_empty() {
                 return Err(format!(
-                    "step {step}: model count {count} but shared={}",
-                    acq.shared
+                    "step {step}: model count {} but shared={}",
+                    held.len(),
+                    borrow.shared()
                 ));
             }
             if let Some(&live) = tags.get(&obj) {
                 // Concurrent (here: overlapping) getters observe one tag.
-                if acq.tag != live {
+                if borrow.tag() != live {
                     return Err(format!(
                         "step {step}: second acquire saw {:?}, first saw {live:?}",
-                        acq.tag
+                        borrow.tag()
                     ));
                 }
             } else {
-                tags.insert(obj, acq.tag);
+                tags.insert(obj, borrow.tag());
             }
             let seen = mem.ldg(begin).map_err(|e| format!("step {step}: {e}"))?;
-            if seen != acq.tag {
+            if seen != borrow.tag() {
                 return Err(format!(
                     "step {step}: memory holds {seen:?}, acquire returned {:?}",
-                    acq.tag
+                    borrow.tag()
                 ));
             }
-            *count += 1;
+            held.push(borrow);
         }
     }
 
-    let live = counts.values().filter(|&&c| c > 0).count();
+    let live = borrows.values().filter(|b| !b.is_empty()).count();
     if table.tracked_objects() != live {
         return Err(format!(
             "end: model has {live} live objects, table tracks {}",
@@ -126,15 +152,15 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Any acquire/release interleaving matches the sequential model on
-    /// both locking schemes: no underflow, `Freed` exactly at the last
-    /// release, `NotTracked` for never-acquired addresses.
+    /// all backends: no underflow, `Freed` exactly at the last release,
+    /// `NotTracked` for never-acquired addresses.
     #[test]
     fn tables_match_the_reference_count_model(
         ops in prop::collection::vec((0usize..OBJECTS, any::<bool>()), 0..120),
     ) {
-        for locking in [Locking::TwoTier, Locking::Global] {
-            if let Err(msg) = check_against_model(locking, &ops) {
-                panic!("{locking:?}: {msg}");
+        for backend in BACKENDS {
+            if let Err(msg) = check_against_model(backend, &ops) {
+                panic!("{backend:?}: {msg}");
             }
         }
     }
@@ -147,43 +173,43 @@ proptest! {
         live in 0usize..OBJECTS,
         strays in prop::collection::vec(0u64..32, 1..16),
     ) {
-        for locking in [Locking::TwoTier, Locking::Global] {
+        for backend in BACKENDS {
             let (mem, thread) = setup();
-            let table = table_for(locking);
+            let table = table_for(backend);
             let (begin, end) = obj_range(live);
-            let acq = table.acquire(&mem, &thread, begin, end).unwrap();
+            let borrow = table.acquire(&mem, &thread, begin, end).unwrap();
+            let tag = borrow.tag();
             for &s in &strays {
                 // Offset by granules: never equal to a tracked begin.
                 let addr = BASE + OBJ_STRIDE * OBJECTS as u64 + 16 * s;
                 let stray = TaggedPtr::from_addr(addr);
-                let outcome = table.release(&mem, stray, addr + OBJ_LEN).unwrap();
+                let outcome = table.release_raw(&mem, stray, addr + OBJ_LEN).unwrap();
                 prop_assert_eq!(outcome, ReleaseOutcome::NotTracked);
             }
             prop_assert_eq!(table.tracked_objects(), 1);
-            prop_assert_eq!(mem.ldg(begin).unwrap(), acq.tag);
-            prop_assert_eq!(table.release(&mem, begin, end).unwrap(), ReleaseOutcome::Freed);
+            prop_assert_eq!(mem.ldg(begin).unwrap(), tag);
+            assert!(matches!(table.release(&mem, borrow), Ok(Release::Freed)));
         }
     }
 }
 
 // Exhaustively check the underflow edge: double-release after a single
-// acquire must hit NotTracked, not wrap the count.
+// acquire must hit NotTracked, not wrap the count. The typed API makes
+// this a compile error (the token is consumed); the raw escape hatch is
+// where the edge still exists.
 #[test]
 fn double_release_never_underflows() {
-    for locking in [Locking::TwoTier, Locking::Global] {
+    for backend in BACKENDS {
         let (mem, thread) = setup();
-        let table = table_for(locking);
+        let table = table_for(backend);
         let (begin, end) = obj_range(0);
-        table.acquire(&mem, &thread, begin, end).unwrap();
-        assert_eq!(
-            table.release(&mem, begin, end).unwrap(),
-            ReleaseOutcome::Freed
-        );
+        let borrow = table.acquire(&mem, &thread, begin, end).unwrap();
+        assert!(matches!(table.release(&mem, borrow), Ok(Release::Freed)));
         for _ in 0..3 {
             assert_eq!(
-                table.release(&mem, begin, end).unwrap(),
+                table.release_raw(&mem, begin, end).unwrap(),
                 ReleaseOutcome::NotTracked,
-                "{locking:?}: release after Freed must be NotTracked"
+                "{backend:?}: release after Freed must be NotTracked"
             );
         }
         assert_eq!(table.tracked_objects(), 0);

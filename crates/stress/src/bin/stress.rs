@@ -96,10 +96,10 @@ USAGE: stress [OPTIONS]
   --fault-spurious-ppm N  spurious tag-check fault rate, ppm
                     (per-point flags override --fault-ppm field-by-field,
                      in argument order)
-  --scheme S        two-tier | global | guarded | all (default all)
+  --scheme S        lock-free | two-tier | global | guarded | all (default all)
   --lifecycle       run the object-lifecycle (pin-aware sweep) schedules
   --containment     run the fault-containment (FaultPolicy::Contain)
-                    schedules; two-tier and global only
+                    schedules; lock-free, two-tier and global only
   --self-check      also verify the harness catches the broken tables
   --replay N        run only schedule index N and print its full trace
   --json DIR        write DIR/STRESS.json
@@ -149,6 +149,7 @@ fn parse_args() -> Result<Options, String> {
             "--scheme" => {
                 let v = args.next().ok_or("--scheme needs a value")?;
                 o.scheme = match v.as_str() {
+                    "lock-free" => Some(SchemeKind::LockFree),
                     "two-tier" => Some(SchemeKind::TwoTier),
                     "global" => Some(SchemeKind::Global),
                     "guarded" => Some(SchemeKind::Guarded),
@@ -341,7 +342,11 @@ fn main() -> ExitCode {
         Some(k) => vec![k],
         // Containment is an MTE4JNI-with-fallback workload: guarded copy
         // is the degradation target, not a scheme under test.
-        None if o.containment => vec![SchemeKind::TwoTier, SchemeKind::Global],
+        None if o.containment => vec![
+            SchemeKind::LockFree,
+            SchemeKind::TwoTier,
+            SchemeKind::Global,
+        ],
         None => SchemeKind::REAL.to_vec(),
     };
 
@@ -379,7 +384,11 @@ fn main() -> ExitCode {
     let mut self_checks = Vec::new();
     if o.self_check {
         #[cfg(feature = "mutation")]
-        for kind in [SchemeKind::BrokenTwoTier, SchemeKind::BrokenGlobal] {
+        for kind in [
+            SchemeKind::BrokenLockFree,
+            SchemeKind::BrokenTwoTier,
+            SchemeKind::BrokenGlobal,
+        ] {
             let out = self_check(kind, &o);
             match (out.caught, out.schedules_to_catch) {
                 (true, Some(n)) => println!(

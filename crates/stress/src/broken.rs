@@ -2,24 +2,26 @@
 //! (`mutation` feature, default-on, never exported outside this crate's
 //! tests and `--self-check`).
 //!
-//! Both variants carry the same seeded bug: a **lost update** on the
-//! reference count. Where the real tables read and mutate the count
-//! under one continuous critical section, these read it under one
-//! `lock()`, drop the guard, and write the derived value under a
-//! *second* `lock()`. Under the deterministic scheduler every `lock()`
-//! is a schedule point, so some interleaving runs two workers through
-//! the read before either writes — both observe `reference_num == 0`,
-//! both take the "fresh" path, and the second `irg`/`set_tag_range`
-//! retags memory out from under the first borrower. The harness catches
-//! this as a probe mismatch, a `NotTracked` release of a live borrow, or
-//! a fresh/freed imbalance at quiescence; the self-check requires one of
+//! All variants carry the same class of seeded bug: a **lost update** on
+//! the reference count. Where the real tables read and mutate the count
+//! under one continuous critical section (or one CAS), these read it,
+//! cross a schedule point, and write the derived value back blindly.
+//! Under the deterministic scheduler every `lock()` / `yield_point` is a
+//! schedule point, so some interleaving runs two workers through the
+//! read before either writes — both observe `reference_num == 0`, both
+//! take the "fresh" path, and the second `irg`/`set_tag_range` retags
+//! memory out from under the first borrower. The harness catches this as
+//! a probe mismatch, a `NotTracked` release of a live borrow, or a
+//! fresh/freed imbalance at quiescence; the self-check requires one of
 //! those within a bounded number of schedules.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mte4jni::{Acquired, ReleaseOutcome, TagTable};
-use mte_sim::sync::Mutex;
+use mte4jni::entry::{self, EntryState};
+use mte4jni::{Borrow, ReleaseOutcome, TagTable};
+use mte_sim::sync::{yield_point, Mutex};
 use mte_sim::{MteThread, Tag, TagExclusion, TaggedMemory, TaggedPtr, GRANULE};
 
 #[derive(Debug)]
@@ -58,7 +60,7 @@ impl TagTable for BrokenTwoTier {
         thread: &MteThread,
         begin: TaggedPtr,
         end: u64,
-    ) -> mte_sim::Result<Acquired> {
+    ) -> mte_sim::Result<Borrow> {
         let addr = begin.addr();
         let entry = {
             let mut t = self.table(addr).lock();
@@ -78,17 +80,17 @@ impl TagTable for BrokenTwoTier {
             let mut e = entry.lock();
             e.tag = tag;
             e.reference_num = count + 1;
-            Ok(Acquired { tag, shared: false })
+            Ok(Borrow::new(addr, end, tag, 0, false))
         } else {
             mem.ldg(begin)?;
             let mut e = entry.lock();
             let tag = e.tag;
             e.reference_num = count + 1;
-            Ok(Acquired { tag, shared: true })
+            Ok(Borrow::new(addr, end, tag, 0, true))
         }
     }
 
-    fn release(
+    fn release_raw(
         &self,
         mem: &TaggedMemory,
         begin: TaggedPtr,
@@ -107,7 +109,7 @@ impl TagTable for BrokenTwoTier {
         match count {
             0 => Ok(ReleaseOutcome::NotTracked),
             1 => {
-                mem.set_tag_range(begin, end, Tag::UNTAGGED)?;
+                mem.set_tag_range(begin.untagged(), end, Tag::UNTAGGED)?;
                 entry.lock().reference_num = 0;
                 self.table(addr).lock().remove(&addr);
                 Ok(ReleaseOutcome::Freed)
@@ -148,17 +150,21 @@ impl TagTable for BrokenGlobal {
         thread: &MteThread,
         begin: TaggedPtr,
         end: u64,
-    ) -> mte_sim::Result<Acquired> {
+    ) -> mte_sim::Result<Borrow> {
         let addr = begin.addr();
         // BUG: lookup and update are separate critical sections.
-        let existing = self.entries.lock().get(&addr).map(|e| (e.reference_num, e.tag));
+        let existing = self
+            .entries
+            .lock()
+            .get(&addr)
+            .map(|e| (e.reference_num, e.tag));
         match existing {
             Some((count, tag)) => {
                 mem.ldg(begin)?;
                 if let Some(e) = self.entries.lock().get_mut(&addr) {
                     e.reference_num = count + 1;
                 }
-                Ok(Acquired { tag, shared: true })
+                Ok(Borrow::new(addr, end, tag, 0, true))
             }
             None => {
                 let tag = mem.irg(thread, TagExclusion::default());
@@ -170,12 +176,12 @@ impl TagTable for BrokenGlobal {
                         tag,
                     },
                 );
-                Ok(Acquired { tag, shared: false })
+                Ok(Borrow::new(addr, end, tag, 0, false))
             }
         }
     }
 
-    fn release(
+    fn release_raw(
         &self,
         mem: &TaggedMemory,
         begin: TaggedPtr,
@@ -194,7 +200,7 @@ impl TagTable for BrokenGlobal {
                 remaining: count - 1,
             })
         } else {
-            mem.set_tag_range(begin, end, Tag::UNTAGGED)?;
+            mem.set_tag_range(begin.untagged(), end, Tag::UNTAGGED)?;
             self.entries.lock().remove(&addr);
             Ok(ReleaseOutcome::Freed)
         }
@@ -202,5 +208,114 @@ impl TagTable for BrokenGlobal {
 
     fn tracked_objects(&self) -> usize {
         self.entries.lock().len()
+    }
+}
+
+/// Lock-free layout with the CAS replaced by a load / schedule point /
+/// blind store: the packed entry word is read, the derived word is
+/// computed, and a plain `store` clobbers whatever raced in between.
+/// Two concurrent first-acquirers both observe `Free`, both run
+/// `irg`/`set_tag_range`, and the second store erases the first
+/// borrower's count — the same lost-update class as the lock-based
+/// mutants, expressed in the lock-free table's own vocabulary.
+#[derive(Debug, Default)]
+pub struct BrokenLockFree {
+    words: Mutex<HashMap<u64, Arc<AtomicU64>>>,
+}
+
+impl BrokenLockFree {
+    /// Creates the broken lock-free table.
+    pub fn new() -> BrokenLockFree {
+        BrokenLockFree::default()
+    }
+
+    fn word(&self, addr: u64) -> Arc<AtomicU64> {
+        let mut words = self.words.lock();
+        Arc::clone(
+            words
+                .entry(addr)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+}
+
+impl TagTable for BrokenLockFree {
+    fn acquire(
+        &self,
+        mem: &TaggedMemory,
+        thread: &MteThread,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<Borrow> {
+        let addr = begin.addr();
+        let slot = self.word(addr);
+        // BUG: read-compute-store instead of CAS; the yield between the
+        // load and the store is exactly where the real table would have
+        // detected interference and retried.
+        let word = slot.load(Ordering::Acquire);
+        if entry::state(word) == EntryState::Live {
+            mem.ldg(begin)?;
+            yield_point("broken-lockfree-gap");
+            slot.store(entry::add_ref(word), Ordering::Release);
+            Ok(Borrow::new(
+                addr,
+                end,
+                entry::tag(word),
+                entry::generation(word),
+                true,
+            ))
+        } else {
+            let tag = mem.irg(thread, TagExclusion::default());
+            mem.set_tag_range(begin, end, tag)?;
+            yield_point("broken-lockfree-gap");
+            let generation = entry::generation(word).wrapping_add(1);
+            slot.store(
+                entry::pack(1, tag, EntryState::Live, generation),
+                Ordering::Release,
+            );
+            Ok(Borrow::new(addr, end, tag, generation, false))
+        }
+    }
+
+    fn release_raw(
+        &self,
+        mem: &TaggedMemory,
+        begin: TaggedPtr,
+        end: u64,
+    ) -> mte_sim::Result<ReleaseOutcome> {
+        let addr = begin.addr();
+        let slot = match self.words.lock().get(&addr) {
+            Some(w) => Arc::clone(w),
+            None => return Ok(ReleaseOutcome::NotTracked),
+        };
+        // BUG: same read/yield/store gap on the way down.
+        let word = slot.load(Ordering::Acquire);
+        if entry::state(word) != EntryState::Live {
+            return Ok(ReleaseOutcome::NotTracked);
+        }
+        let count = entry::refcount(word);
+        if count > 1 {
+            yield_point("broken-lockfree-gap");
+            slot.store(entry::drop_ref(word), Ordering::Release);
+            Ok(ReleaseOutcome::Decremented {
+                remaining: count - 1,
+            })
+        } else {
+            mem.set_tag_range(begin.untagged(), end, Tag::UNTAGGED)?;
+            yield_point("broken-lockfree-gap");
+            slot.store(
+                entry::pack(0, Tag::UNTAGGED, EntryState::Free, entry::generation(word)),
+                Ordering::Release,
+            );
+            Ok(ReleaseOutcome::Freed)
+        }
+    }
+
+    fn tracked_objects(&self) -> usize {
+        self.words
+            .lock()
+            .values()
+            .filter(|w| entry::state(w.load(Ordering::Relaxed)) == EntryState::Live)
+            .count()
     }
 }

@@ -30,7 +30,8 @@ use jni_rt::{
     ContainmentConfig, FaultPolicy, JniError, NativeArray, NativeKind, Protection, ReleaseMode, Vm,
 };
 use mte4jni::{
-    GlobalLockTable, Locking, Mte4Jni, Mte4JniConfig, ReleaseOutcome, TagTable, TwoTierTable,
+    AtomicEntryTable, GlobalLockTable, Mte4Jni, Release, ReleaseError, ReleaseFailure,
+    TableBackend, TableConfig, TagTable, TwoTierTable,
 };
 use mte_sim::inject::{self, FaultPlan, InjectCounters};
 use mte_sim::sync::yield_point;
@@ -39,7 +40,7 @@ use mte_sim::{MemError, MemoryConfig, MteThread, Tag, TaggedMemory, TaggedPtr, T
 use crate::sched::{self, RunReport};
 
 #[cfg(feature = "mutation")]
-use crate::broken::{BrokenGlobal, BrokenTwoTier};
+use crate::broken::{BrokenGlobal, BrokenLockFree, BrokenTwoTier};
 
 /// Base address of the per-schedule simulated memory.
 const BASE: u64 = 0x7a00_0000_0000;
@@ -51,12 +52,17 @@ const RELEASE_RETRIES: usize = 64;
 /// Which scheme a schedule exercises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchemeKind {
+    /// The lock-free packed-word table (production default).
+    LockFree,
     /// The paper's two-tier locking table (§3.1.2).
     TwoTier,
     /// The global-lock ablation table.
     Global,
     /// The guarded-copy shadow ledger.
     Guarded,
+    /// Deliberately broken lock-free variant (mutation self-check).
+    #[cfg(feature = "mutation")]
+    BrokenLockFree,
     /// Deliberately broken two-tier variant (mutation self-check).
     #[cfg(feature = "mutation")]
     BrokenTwoTier,
@@ -69,9 +75,12 @@ impl SchemeKind {
     /// Display/report label.
     pub fn label(self) -> &'static str {
         match self {
+            SchemeKind::LockFree => "lock-free",
             SchemeKind::TwoTier => "two-tier",
             SchemeKind::Global => "global",
             SchemeKind::Guarded => "guarded",
+            #[cfg(feature = "mutation")]
+            SchemeKind::BrokenLockFree => "broken-lock-free",
             #[cfg(feature = "mutation")]
             SchemeKind::BrokenTwoTier => "broken-two-tier",
             #[cfg(feature = "mutation")]
@@ -80,8 +89,12 @@ impl SchemeKind {
     }
 
     /// The real (non-mutated) schemes, in report order.
-    pub const REAL: [SchemeKind; 3] =
-        [SchemeKind::TwoTier, SchemeKind::Global, SchemeKind::Guarded];
+    pub const REAL: [SchemeKind; 4] = [
+        SchemeKind::LockFree,
+        SchemeKind::TwoTier,
+        SchemeKind::Global,
+        SchemeKind::Guarded,
+    ];
 }
 
 /// Knobs for one schedule.
@@ -146,15 +159,38 @@ fn mix(seed: u64, salt: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Table backend a VM-mounted schedule uses for `kind`. The broken
+/// mutants cannot be mounted behind a VM (the scheme builds its own
+/// table), so they map to their real counterparts; `Guarded` never
+/// reaches this.
+fn vm_backend(kind: SchemeKind) -> TableBackend {
+    match kind {
+        SchemeKind::TwoTier => TableBackend::TwoTier,
+        #[cfg(feature = "mutation")]
+        SchemeKind::BrokenTwoTier => TableBackend::TwoTier,
+        SchemeKind::Global => TableBackend::Global,
+        #[cfg(feature = "mutation")]
+        SchemeKind::BrokenGlobal => TableBackend::Global,
+        _ => TableBackend::LockFree,
+    }
+}
+
 /// Runs one seeded schedule of `kind` and returns what happened. Same
 /// `(kind, seed, cfg)` ⇒ identical trace, violations and counts.
 pub fn run_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -> ScheduleResult {
     match kind {
+        SchemeKind::LockFree => {
+            run_table_schedule(Arc::new(AtomicEntryTable::new()), seed, cfg)
+        }
         SchemeKind::TwoTier => {
             run_table_schedule(Arc::new(TwoTierTable::new(16)), seed, cfg)
         }
         SchemeKind::Global => run_table_schedule(Arc::new(GlobalLockTable::new()), seed, cfg),
         SchemeKind::Guarded => run_guarded_schedule(seed, cfg),
+        #[cfg(feature = "mutation")]
+        SchemeKind::BrokenLockFree => {
+            run_table_schedule(Arc::new(BrokenLockFree::new()), seed, cfg)
+        }
         #[cfg(feature = "mutation")]
         SchemeKind::BrokenTwoTier => {
             run_table_schedule(Arc::new(BrokenTwoTier::new(16)), seed, cfg)
@@ -204,8 +240,8 @@ fn table_worker(
         let addr = objects[(worker + round) % objects.len()];
         let begin = TaggedPtr::from_addr(addr);
         let end = addr + 64;
-        let acq = match table.acquire(mem, &t, begin, end) {
-            Ok(a) => a,
+        let borrow = match table.acquire(mem, &t, begin, end) {
+            Ok(b) => b,
             // Injected failures (including forced irg exhaustion) are
             // tolerated; the rollback contract says they must leave the
             // table unchanged, which the oracle checks.
@@ -214,21 +250,24 @@ fn table_worker(
             | Err(MemError::TagExhausted { .. }) => continue,
             Err(e) => panic!("VIOLATION: acquire failed unexpectedly: {e}"),
         };
-        if !acq.shared {
+        if !borrow.shared() {
             tallies.fresh.fetch_add(1, Ordering::Relaxed);
         }
-        probe(mem, begin, acq.tag, "just after acquire");
+        let tag = borrow.tag();
+        probe(mem, begin, tag, "just after acquire");
         yield_point("holding");
-        probe(mem, begin, acq.tag, "after yield while held");
+        probe(mem, begin, tag, "after yield while held");
+        let mut pending = Some(borrow);
         let mut released = false;
         for _ in 0..RELEASE_RETRIES {
-            match table.release(mem, begin, end) {
-                Ok(ReleaseOutcome::Freed) => {
+            let borrow = pending.take().expect("failed release hands the borrow back");
+            match table.release(mem, borrow) {
+                Ok(Release::Freed) => {
                     tallies.freed.fetch_add(1, Ordering::Relaxed);
                     released = true;
                     break;
                 }
-                Ok(ReleaseOutcome::Decremented { remaining }) => {
+                Ok(Release::Shared { remaining }) => {
                     if remaining as usize >= cfg.threads {
                         panic!(
                             "VIOLATION: {remaining} borrowers remain after release \
@@ -239,12 +278,30 @@ fn table_worker(
                     released = true;
                     break;
                 }
-                Ok(ReleaseOutcome::NotTracked) => {
-                    panic!("VIOLATION: release of a live borrow reported NotTracked")
+                // The reference was parked in this thread's borrow
+                // stash; the explicit flush below returns it before the
+                // quiescence oracle runs.
+                Ok(Release::Cached) => {
+                    released = true;
+                    break;
                 }
-                // A failed release must leave the count intact: retry.
-                Err(MemError::Injected { .. }) => continue,
-                Err(e) => panic!("VIOLATION: release failed unexpectedly: {e}"),
+                Err(ReleaseError { borrow, kind }) => match kind {
+                    // A failed release must leave the count intact: the
+                    // token comes back for the retry.
+                    ReleaseFailure::Mem(MemError::Injected { .. }) => {
+                        pending = Some(borrow);
+                    }
+                    ReleaseFailure::NotTracked => {
+                        panic!("VIOLATION: release of a live borrow reported NotTracked")
+                    }
+                    ReleaseFailure::StaleGeneration { held, current } => panic!(
+                        "VIOLATION: live borrow's generation went stale \
+                         (held {held}, table at {current})"
+                    ),
+                    ReleaseFailure::Mem(e) => {
+                        panic!("VIOLATION: release failed unexpectedly: {e}")
+                    }
+                },
             }
         }
         assert!(
@@ -253,6 +310,13 @@ fn table_worker(
         );
     }
     inject::clear();
+    // Return every parked stash credit while this worker is still a
+    // scheduled participant (the flush emits schedule points). Running
+    // it here — not in the TLS-destructor backstop — keeps the
+    // interleaving bit-reproducible and lets the quiescence oracle see
+    // a fully drained table. Injection is already disarmed, so the
+    // flush's tag stores cannot fail.
+    table.flush_stash(mem);
 }
 
 fn run_table_schedule(
@@ -307,9 +371,21 @@ fn run_table_schedule(
         }
         let fresh_n = tallies.fresh.load(Ordering::Relaxed);
         let freed_n = tallies.freed.load(Ordering::Relaxed);
-        if fresh_n != freed_n {
+        // Stash-aware conservation law: every rc 0->1 transition is a
+        // fresh acquire, and every rc 1->0 is either a typed `Freed`
+        // release or a credit returned by a stash flush/eviction (the
+        // table counts those in `atomic_stash_flush_frees`; locking
+        // backends have no stash and report nothing).
+        let flush_frees = table
+            .counters()
+            .into_iter()
+            .find(|(name, _)| *name == "atomic_stash_flush_frees")
+            .map(|(_, v)| v)
+            .unwrap_or(0);
+        if fresh_n != freed_n + flush_frees {
             violations.push(format!(
-                "oracle: {fresh_n} fresh acquires but {freed_n} Freed releases"
+                "oracle: {fresh_n} fresh acquires but {freed_n} Freed releases \
+                 + {flush_frees} stash-flush frees"
             ));
         }
     }
@@ -354,15 +430,9 @@ pub fn run_lifecycle_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -
             (vm, Box::new(move || p.tracked_shadows()))
         }
         _ => {
-            let locking = match kind {
-                SchemeKind::Global => Locking::Global,
-                #[cfg(feature = "mutation")]
-                SchemeKind::BrokenGlobal => Locking::Global,
-                _ => Locking::TwoTier,
-            };
-            let p = Arc::new(Mte4Jni::with_config(Mte4JniConfig {
-                locking,
-                ..Mte4JniConfig::default()
+            let p = Arc::new(Mte4Jni::with_config(TableConfig {
+                backend: vm_backend(kind),
+                ..TableConfig::default()
             }));
             let vm = Vm::builder()
                 .heap_config(HeapConfig {
@@ -556,15 +626,9 @@ pub fn run_containment_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig)
         base: BASE,
         size: MEM_SIZE,
     };
-    let locking = match kind {
-        SchemeKind::Global => Locking::Global,
-        #[cfg(feature = "mutation")]
-        SchemeKind::BrokenGlobal => Locking::Global,
-        _ => Locking::TwoTier,
-    };
-    let scheme = Arc::new(Mte4Jni::with_config(Mte4JniConfig {
-        locking,
-        ..Mte4JniConfig::default()
+    let scheme = Arc::new(Mte4Jni::with_config(TableConfig {
+        backend: vm_backend(kind),
+        ..TableConfig::default()
     }));
     let fallback = Arc::new(GuardedCopy::new());
     let vm = Vm::builder()

@@ -143,7 +143,7 @@ fn containment_schedules_replay_bit_for_bit() {
         fault_plan: mixed_plan(),
         ..StressConfig::default()
     };
-    for kind in [SchemeKind::TwoTier, SchemeKind::Global] {
+    for kind in [SchemeKind::LockFree, SchemeKind::TwoTier, SchemeKind::Global] {
         for seed in [5u64, 0xFACE] {
             let a = run_containment_schedule(kind, seed, &cfg);
             let b = run_containment_schedule(kind, seed, &cfg);
@@ -182,6 +182,97 @@ fn containment_schedules_survive_faults_and_observe_degradation() {
     }
     assert!(contained > 0, "no schedule contained a fault");
     assert!(degraded > 0, "no schedule quarantined a method");
+}
+
+/// Scheduler-hosted differential: workers drive the lock-free table and
+/// the two-tier table in lockstep (each paired op under one per-object
+/// mutex, with same-seeded `irg` streams), so under every explored
+/// interleaving both tables must hand out bit-identical tags, identical
+/// shared flags, and identical release outcomes.
+#[test]
+fn lock_free_matches_two_tier_under_the_scheduler() {
+    use mte4jni::{AtomicEntryTable, Release, TableConfig, TagTable, TwoTierTable};
+    use mte_sim::sync::{yield_point, Mutex};
+    use mte_sim::{MemoryConfig, MteThread, TaggedMemory, TaggedPtr};
+
+    const BASE: u64 = 0x7a00_0000_0000;
+    const OBJECTS: usize = 3;
+    let memory = || {
+        let mem = TaggedMemory::new(MemoryConfig {
+            base: BASE,
+            size: 1 << 20,
+        });
+        mem.mprotect_mte(BASE, 1 << 20, true).unwrap();
+        mem
+    };
+    for seed in 0..24u64 {
+        let mem_a = memory();
+        let mem_b = memory();
+        // Stash off: lockstep comparison pins the eager protocol
+        // (a parked `Cached` release has no two-tier counterpart).
+        let a: Arc<dyn TagTable> = Arc::new(AtomicEntryTable::from_config(&TableConfig {
+            borrow_stash: false,
+            ..TableConfig::default()
+        }));
+        let b: Arc<dyn TagTable> = Arc::new(TwoTierTable::new(16));
+        let pair_locks: Arc<Vec<Mutex<()>>> =
+            Arc::new((0..OBJECTS).map(|_| Mutex::new(())).collect());
+
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3usize)
+            .map(|worker| {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                let (mem_a, mem_b) = (Arc::clone(&mem_a), Arc::clone(&mem_b));
+                let pair_locks = Arc::clone(&pair_locks);
+                Box::new(move || {
+                    let ta = MteThread::with_seed("diff", seed ^ worker as u64);
+                    let tb = MteThread::with_seed("diff", seed ^ worker as u64);
+                    for round in 0..4 {
+                        let obj = (worker + round) % OBJECTS;
+                        let addr = BASE + 0x100 * obj as u64;
+                        let begin = TaggedPtr::from_addr(addr);
+                        let end = addr + 64;
+                        let (ba, bb) = {
+                            let _g = pair_locks[obj].lock();
+                            let ba = a.acquire(&mem_a, &ta, begin, end).unwrap();
+                            let bb = b.acquire(&mem_b, &tb, begin, end).unwrap();
+                            assert_eq!(ba.tag(), bb.tag(), "seed {seed}: tags diverged");
+                            assert_eq!(ba.shared(), bb.shared(), "seed {seed}: shared diverged");
+                            (ba, bb)
+                        };
+                        yield_point("diff-holding");
+                        let _g = pair_locks[obj].lock();
+                        let ra = a.release(&mem_a, ba).unwrap();
+                        let rb = b.release(&mem_b, bb).unwrap();
+                        match (&ra, &rb) {
+                            (Release::Freed, Release::Freed) => {}
+                            (
+                                Release::Shared { remaining: x },
+                                Release::Shared { remaining: y },
+                            ) if x == y => {}
+                            _ => panic!("seed {seed}: releases diverged: {ra:?} vs {rb:?}"),
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+
+        let report = sched::run(seed, 20_000, bodies);
+        assert!(
+            report.clean() && report.panics.is_empty(),
+            "seed {seed}: {:?}",
+            report.panics
+        );
+        assert_eq!(a.tracked_objects(), 0, "seed {seed}");
+        assert_eq!(b.tracked_objects(), 0, "seed {seed}");
+        for obj in 0..OBJECTS as u64 {
+            let addr = BASE + 0x100 * obj;
+            assert_eq!(
+                mem_a.raw_tag_at(addr).unwrap(),
+                mem_b.raw_tag_at(addr).unwrap(),
+                "seed {seed}: final tag at {addr:#x} diverged"
+            );
+        }
+    }
 }
 
 #[test]
@@ -240,6 +331,12 @@ mod mutation {
     fn caught_within(kind: SchemeKind, budget: u64) -> Option<u64> {
         let cfg = StressConfig::default();
         (0..budget).find(|&seed| !run_schedule(kind, seed, &cfg).violations.is_empty())
+    }
+
+    #[test]
+    fn broken_lock_free_is_caught_within_budget() {
+        let at = caught_within(SchemeKind::BrokenLockFree, BUDGET);
+        assert!(at.is_some(), "lost-update bug survived {BUDGET} schedules");
     }
 
     #[test]

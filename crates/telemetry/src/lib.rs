@@ -120,6 +120,31 @@ struct TagBatch {
     /// Granules accumulated per [`TagOp`] (`index()` order).
     granules: [std::cell::Cell<u64>; 3],
     calls: std::cell::Cell<u32>,
+    /// The owning thread's event ring, cached on the first recorded op.
+    /// The `Drop` flush below runs during TLS destruction, when the
+    /// ring's own thread-local slot may already be torn down — pushing
+    /// through this cached handle is the only safe route then.
+    ring: std::cell::RefCell<Option<std::sync::Arc<ring::EventRing>>>,
+}
+
+#[cfg(feature = "telemetry")]
+impl Drop for TagBatch {
+    fn drop(&mut self) {
+        // Thread exit with a partial batch window: without this flush a
+        // short-lived thread silently dropped up to
+        // `TAG_BATCH_CALLS - 1` tail ops' worth of granules.
+        if let Some(ring) = self.ring.get_mut().take() {
+            for op in [TagOp::Irg, TagOp::Ldg, TagOp::Stg] {
+                let total = self.granules[tag_op_index(op)].take();
+                if total > 0 {
+                    ring.push(Event::TagOp {
+                        op,
+                        granules: u32::try_from(total).unwrap_or(u32::MAX),
+                    });
+                }
+            }
+        }
+    }
 }
 
 #[cfg(feature = "telemetry")]
@@ -132,6 +157,7 @@ thread_local! {
                 std::cell::Cell::new(0),
             ],
             calls: std::cell::Cell::new(0),
+            ring: std::cell::RefCell::new(None),
         }
     };
 }
@@ -156,7 +182,16 @@ fn tag_op_index(op: TagOp) -> usize {
 pub fn record_tag_op(op: TagOp, granules: u64) {
     #[cfg(feature = "telemetry")]
     if enabled() {
-        TAG_BATCH.with(|b| {
+        // `try_with`: tag ops can fire from other thread-local
+        // destructors (e.g. a borrow-stash flush zeroing tags at thread
+        // exit) after this batch is already gone; dropping those few
+        // counts is the best-effort contract of thread teardown.
+        let _ = TAG_BATCH.try_with(|b| {
+            // Bind the owning ring now, while thread-local state is
+            // intact, so the thread-exit Drop flush never has to.
+            if b.ring.borrow().is_none() {
+                *b.ring.borrow_mut() = Some(ring::local_ring());
+            }
             let slot = &b.granules[tag_op_index(op)];
             slot.set(slot.get().saturating_add(granules));
             let calls = b.calls.get() + 1;
@@ -192,7 +227,7 @@ fn flush_batch(b: &TagBatch) {
 /// [`drain_events`].
 pub fn flush_tag_ops() {
     #[cfg(feature = "telemetry")]
-    TAG_BATCH.with(flush_batch);
+    let _ = TAG_BATCH.try_with(flush_batch);
 }
 
 /// Starts a latency measurement: `None` (skip the timing entirely) when
@@ -346,6 +381,32 @@ mod tests {
             auto[0].event,
             Event::TagOp { op: TagOp::Stg, granules: 2 * TAG_BATCH_CALLS }
         );
+
+        // Thread-exit flush: a short-lived thread's partial batch window
+        // (here 2 calls, far under TAG_BATCH_CALLS) used to be dropped
+        // with the thread; the TagBatch Drop now flushes the tail into
+        // the thread's (registry-kept) ring.
+        reset();
+        std::thread::Builder::new()
+            .name("short-lived".into())
+            .spawn(|| {
+                record_tag_op(TagOp::Irg, 1);
+                record_tag_op(TagOp::Stg, 4);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let drained = drain_events();
+        let tail: Vec<_> = drained.iter().filter(|e| e.thread == "short-lived").collect();
+        assert_eq!(tail.len(), 2, "thread-exit flush emits one event per class");
+        let stg_tail: u64 = tail
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::TagOp { op: TagOp::Stg, granules } => Some(u64::from(granules)),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(stg_tail, 4, "granule totals stay exact across thread exit");
 
         set_sample_every(1);
         set_enabled(false);

@@ -106,9 +106,20 @@ thread_local! {
     };
 }
 
-/// Records `event` into the calling thread's ring.
+/// Records `event` into the calling thread's ring. Best-effort during
+/// thread teardown: events recorded after the ring slot's destructor
+/// has run are dropped rather than panicking.
 pub(crate) fn push_local(event: Event) {
-    LOCAL_RING.with(|ring| ring.push(event));
+    let _ = LOCAL_RING.try_with(|ring| ring.push(event));
+}
+
+/// The calling thread's ring, for callers that must outlive the
+/// `LOCAL_RING` thread-local slot itself (the tag-op batch flushes
+/// through this handle from its own TLS destructor, when `LOCAL_RING`
+/// may already be gone). The registry keeps every ring alive, so the
+/// `Arc` stays drainable after the thread exits.
+pub(crate) fn local_ring() -> Arc<EventRing> {
+    LOCAL_RING.with(Arc::clone)
 }
 
 /// Merges and drains every thread's ring. Within one thread events come
