@@ -246,4 +246,37 @@ else
     echo "BENCH_fig5.json sane (schema marker present)"
 fi
 
+echo "== trace record/replay: determinism + differential gate =="
+# DESIGN.md §14: (1) recording the fixed-seed corpus twice must produce
+# bit-identical logs — the trace format carries logical timestamps only,
+# so any byte of drift is a determinism bug in the runtime itself;
+# (2) the committed golden corpus must replay to equivalent outcome
+# digests across every table backend (strict among the MTE tables,
+# detection-verdict equality vs guarded copy, conservation laws for
+# all) — `trace diff` exits nonzero on any divergence.
+trace_bin() { cargo run --offline -q -p trace --bin trace -- "$@"; }
+trace_bin record --workload "Asset Compression" --seed 7 --scale 1 \
+    --out "$out/wl_a.trc" >/dev/null
+trace_bin record --workload "Asset Compression" --seed 7 --scale 1 \
+    --out "$out/wl_b.trc" >/dev/null
+trace_bin record --scenario oob-contain --seed 11 --out "$out/oob_a.trc" >/dev/null
+trace_bin record --scenario oob-contain --seed 11 --out "$out/oob_b.trc" >/dev/null
+trace_bin record --scenario spurious-inject --seed 23 --out "$out/sp_a.trc" >/dev/null
+trace_bin record --scenario spurious-inject --seed 23 --out "$out/sp_b.trc" >/dev/null
+cmp "$out/wl_a.trc" "$out/wl_b.trc"
+cmp "$out/oob_a.trc" "$out/oob_b.trc"
+cmp "$out/sp_a.trc" "$out/sp_b.trc"
+echo "fixed-seed corpus recordings bit-identical across runs"
+for trc in crates/trace/corpus/*.trc; do
+    trace_bin diff --in "$trc"
+done
+echo "golden corpus equivalent across backends"
+# The runtime_doctor example must keep loading corpus traces: its dump
+# must name the contained fault's method and attributed interface.
+doctor_out="$(cargo run --offline -q --example runtime_doctor -- \
+    crates/trace/corpus/oob_contain.trc)"
+grep -q "Lib.oobWrite" <<<"$doctor_out"
+grep -q "GetPrimitiveArrayCritical" <<<"$doctor_out"
+echo "runtime_doctor reads corpus traces"
+
 echo "== CI green =="

@@ -503,12 +503,17 @@ impl Heap {
         drop(objects);
         self.inner.swept_total.fetch_add(dead.len() as u64, Ordering::Relaxed);
         self.inner.sweeps.fetch_add(1, Ordering::Relaxed);
-        GcStats {
+        let stats = GcStats {
             swept: dead.len(),
             bytes_freed: bytes,
             live,
             pinned: self.inner.pins.pinned_objects(),
-        }
+        };
+        telemetry::trace::emit(|| telemetry::trace::TraceEvent::Sweep {
+            swept: stats.swept as u64,
+            pinned: stats.pinned as u64,
+        });
+        stats
     }
 
     /// Mark–compact collection over the block allocator: slides every
@@ -682,6 +687,10 @@ impl Heap {
                 start,
             );
         }
+        telemetry::trace::emit(|| telemetry::trace::TraceEvent::Compact {
+            moved: stats.moved_objects as u64,
+            reclaimed: stats.reclaimed_dead as u64,
+        });
         stats
     }
 

@@ -265,6 +265,12 @@ impl Containment {
         }
         .fetch_add(1, Ordering::Relaxed);
         telemetry::record_rare(|| telemetry::Event::Degraded { reason });
+        telemetry::trace::emit(|| telemetry::trace::TraceEvent::Degraded {
+            reason: match reason {
+                DegradeReason::Quarantine => 0,
+                DegradeReason::TagExhaustion => 1,
+            },
+        });
     }
 
     /// Records one contained fault against `method`: bumps the counters,
@@ -310,6 +316,22 @@ impl Containment {
         state.tombstones.push(tombstone.clone());
         if state.tombstones.len() > self.config.max_tombstones {
             state.tombstones.remove(0);
+        }
+        telemetry::trace::emit(|| telemetry::trace::TraceEvent::Tombstone {
+            seq: tombstone.seq,
+            method: method.to_owned(),
+            fault_addr: tombstone.fault.pointer.addr(),
+            interface: tombstone
+                .fault
+                .attribution
+                .as_ref()
+                .map_or(u8::MAX, |a| a.interface.index()),
+            released: released_borrows,
+        });
+        if tombstone.quarantined {
+            telemetry::trace::emit(|| telemetry::trace::TraceEvent::Quarantined {
+                method: method.to_owned(),
+            });
         }
         tombstone
     }

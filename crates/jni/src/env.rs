@@ -8,9 +8,11 @@ use art_heap::{ArrayRef, HeapError, JavaThread, ObjectRef, PrimitiveType, String
 use art_heap::{encode_modified_utf8, Heap};
 use mte_sim::sync::yield_point;
 use mte_sim::{FaultAttribution, MemError, TaggedPtr};
+use telemetry::trace::{self, TraceEvent};
 use telemetry::{DegradeReason, Event, JniInterface, LatencyOp, SizeClass};
 
 use crate::checkjni::{Ledger, Outstanding};
+use crate::tracecode;
 use crate::containment::FaultPolicy;
 use crate::error::JniError;
 use crate::guard::CriticalGuard;
@@ -194,6 +196,12 @@ impl<'a> JniEnv<'a> {
                     // Nothing was handed to native code: the borrow never
                     // started.
                     self.vm.heap().unpin(scheme_obj.addr());
+                    trace::emit(|| TraceEvent::Acquire {
+                        obj: identity,
+                        interface: interface.index(),
+                        ptr: 0,
+                        outcome: tracecode::jni_outcome(&e),
+                    });
                     return Err(e);
                 }
             }
@@ -215,6 +223,12 @@ impl<'a> JniEnv<'a> {
             interface,
             via_fallback,
         });
+        trace::emit(|| TraceEvent::Acquire {
+            obj: identity,
+            interface: interface.index(),
+            ptr: out.ptr.raw(),
+            outcome: telemetry::trace::outcome::OK,
+        });
         Ok(out)
     }
 
@@ -229,9 +243,33 @@ impl<'a> JniEnv<'a> {
         interface: JniInterface,
         mode: ReleaseMode,
     ) -> Result<()> {
-        self.ledger
-            .verify(ptr, interface, mode == ReleaseMode::Commit, identity)?;
-        self.release_scheme(scheme_obj, ptr, interface, mode)
+        let result = self
+            .ledger
+            .verify(ptr, interface, mode == ReleaseMode::Commit, identity)
+            .and_then(|()| self.release_scheme(scheme_obj, ptr, interface, mode));
+        self.trace_release(ptr, identity, interface, mode, result)
+    }
+
+    /// Emits the trace event for an app-level release and passes the
+    /// result through. The containment pass's force-releases bypass this
+    /// on purpose: they are a runtime reaction, not app behavior, and the
+    /// replayer reproduces them from the fault itself.
+    fn trace_release(
+        &self,
+        ptr: TaggedPtr,
+        identity: u64,
+        interface: JniInterface,
+        mode: ReleaseMode,
+        result: Result<()>,
+    ) -> Result<()> {
+        trace::emit(|| TraceEvent::Release {
+            ptr: ptr.raw(),
+            obj: identity,
+            interface: interface.index(),
+            mode: tracecode::mode_code(mode),
+            outcome: tracecode::result_outcome(&result),
+        });
+        result
     }
 
     /// The scheme half of the release path, after ledger verification.
@@ -355,7 +393,13 @@ impl<'a> JniEnv<'a> {
     /// Heap exhaustion, or use inside a critical section.
     pub fn new_string(&self, s: &str) -> Result<StringRef> {
         self.ensure_not_critical("NewString")?;
-        Ok(self.vm.heap().alloc_string(s)?)
+        let r = self.vm.heap().alloc_string(s)?;
+        trace::emit(|| TraceEvent::AllocString {
+            addr: r.addr(),
+            utf16_len: r.len() as u64,
+            utf8_len: encode_modified_utf8(&art_heap::utf16_units(s)).len() as u64,
+        });
+        Ok(r)
     }
 
     /// `GetArrayLength`.
@@ -388,7 +432,13 @@ impl<'a> JniEnv<'a> {
         self.ensure_not_critical("NewStringUTF")?;
         let units = art_heap::decode_modified_utf8(bytes)
             .map_err(|e| HeapError::InvalidUtf8 { offset: e.offset })?;
-        Ok(self.vm.heap().alloc_string_from_units(&units)?)
+        let r = self.vm.heap().alloc_string_from_units(&units)?;
+        trace::emit(|| TraceEvent::AllocString {
+            addr: r.addr(),
+            utf16_len: r.len() as u64,
+            utf8_len: encode_modified_utf8(&units).len() as u64,
+        });
+        Ok(r)
     }
 
     /// `GetStringRegion`: bounds-checked copy of UTF-16 code units — the
@@ -402,24 +452,35 @@ impl<'a> JniEnv<'a> {
     pub fn get_string_region(&self, s: &StringRef, start: usize, out: &mut [u16]) -> Result<()> {
         self.ensure_not_critical("GetStringRegion")?;
         telemetry::record(|| Event::Acquire { interface: JniInterface::StringRegion });
-        let end = start.checked_add(out.len());
-        if end.is_none_or(|e| e > s.len()) {
-            return Err(JniError::Heap(HeapError::IndexOutOfBounds {
-                index: start.saturating_add(out.len()),
-                length: s.len(),
-            }));
-        }
-        let mut bytes = vec![0u8; out.len() * 2];
-        let ptr = TaggedPtr::from_addr(s.data_addr() + (start * 2) as u64);
-        self.vm
-            .heap()
-            .memory()
-            .read_bytes_unchecked(ptr, &mut bytes)
-            .map_err(HeapError::from)?;
-        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
-            out[i] = u16::from_le_bytes([chunk[0], chunk[1]]);
-        }
-        Ok(())
+        let result = (|| {
+            let end = start.checked_add(out.len());
+            if end.is_none_or(|e| e > s.len()) {
+                return Err(JniError::Heap(HeapError::IndexOutOfBounds {
+                    index: start.saturating_add(out.len()),
+                    length: s.len(),
+                }));
+            }
+            let mut bytes = vec![0u8; out.len() * 2];
+            let ptr = TaggedPtr::from_addr(s.data_addr() + (start * 2) as u64);
+            self.vm
+                .heap()
+                .memory()
+                .read_bytes_unchecked(ptr, &mut bytes)
+                .map_err(HeapError::from)?;
+            for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+                out[i] = u16::from_le_bytes([chunk[0], chunk[1]]);
+            }
+            Ok(())
+        })();
+        trace::emit(|| TraceEvent::Region {
+            obj: s.addr(),
+            interface: JniInterface::StringRegion.index(),
+            start: start as u64,
+            len: out.len() as u64,
+            write: false,
+            outcome: tracecode::result_outcome(&result),
+        });
+        result
     }
 
     /// `GetStringUTFRegion`: bounds-checked modified-UTF-8 transcoding of
@@ -497,17 +558,32 @@ impl<'a> JniEnv<'a> {
         elems: NativeArray,
         mode: ReleaseMode,
     ) -> Result<()> {
-        self.ledger.verify(
+        if let Err(e) = self.ledger.verify(
             elems.ptr(),
             JniInterface::PrimitiveArrayCritical,
             mode == ReleaseMode::Commit,
             a.addr(),
-        )?;
+        ) {
+            return self.trace_release(
+                elems.ptr(),
+                a.addr(),
+                JniInterface::PrimitiveArrayCritical,
+                mode,
+                Err(e),
+            );
+        }
         let result = self.release_scheme(
             &a.as_object(),
             elems.ptr(),
             JniInterface::PrimitiveArrayCritical,
             mode,
+        );
+        let result = self.trace_release(
+            elems.ptr(),
+            a.addr(),
+            JniInterface::PrimitiveArrayCritical,
+            mode,
+            result,
         );
         if mode != ReleaseMode::Commit {
             self.critical_depth
@@ -533,13 +609,30 @@ impl<'a> JniEnv<'a> {
     ///
     /// See [`Self::release_primitive_array_critical`].
     pub fn release_string_critical(&self, s: &StringRef, chars: NativeArray) -> Result<()> {
-        self.ledger
-            .verify(chars.ptr(), JniInterface::StringCritical, false, s.addr())?;
+        if let Err(e) =
+            self.ledger
+                .verify(chars.ptr(), JniInterface::StringCritical, false, s.addr())
+        {
+            return self.trace_release(
+                chars.ptr(),
+                s.addr(),
+                JniInterface::StringCritical,
+                ReleaseMode::Abort,
+                Err(e),
+            );
+        }
         let result = self.release_scheme(
             &s.as_object(),
             chars.ptr(),
             JniInterface::StringCritical,
             ReleaseMode::Abort, // strings are immutable: never copy back
+        );
+        let result = self.trace_release(
+            chars.ptr(),
+            s.addr(),
+            JniInterface::StringCritical,
+            ReleaseMode::Abort,
+            result,
         );
         self.critical_depth
             .set(self.critical_depth.get().saturating_sub(1));
@@ -649,6 +742,10 @@ impl<'a> JniEnv<'a> {
         kind: NativeKind,
         body: impl FnOnce(&JniEnv<'a>) -> Result<R>,
     ) -> Result<R> {
+        trace::emit(|| TraceEvent::CallEnter {
+            method: name.to_owned(),
+            kind: tracecode::kind_code(kind),
+        });
         let started = telemetry::start_timing();
         let mte = self.thread.mte();
         let frame = mte.push_frame(name, "libapp.so");
@@ -711,13 +808,17 @@ impl<'a> JniEnv<'a> {
                 t0,
             );
         }
-        match (result, pending) {
+        let result = match (result, pending) {
             (Err(e), _) => Err(self.handle_native_error(name, e, borrow_mark, depth_mark)),
             (Ok(_), Err(fault)) => {
                 Err(self.handle_native_error(name, fault.into(), borrow_mark, depth_mark))
             }
             (Ok(v), Ok(())) => Ok(v),
-        }
+        };
+        trace::emit(|| TraceEvent::CallExit {
+            outcome: tracecode::result_outcome(&result),
+        });
+        result
     }
 
     /// Attribution and containment for an error leaving the trampoline.
@@ -823,7 +924,13 @@ macro_rules! typed_array_interfaces {
             /// Heap exhaustion, or use inside a critical section.
             pub fn $new(&self, len: usize) -> Result<ArrayRef> {
                 self.ensure_not_critical(concat!("New", $get_name, "Array"))?;
-                Ok(self.vm.heap().$heap_alloc(len)?)
+                let a = self.vm.heap().$heap_alloc(len)?;
+                trace::emit(|| TraceEvent::AllocArray {
+                    addr: a.addr(),
+                    elem: tracecode::elem_code($prim),
+                    len: len as u64,
+                });
+                Ok(a)
             }
 
             /// Allocates an array initialized from `values` (managed-side
@@ -834,7 +941,13 @@ macro_rules! typed_array_interfaces {
             /// Heap exhaustion, or use inside a critical section.
             pub fn $new_from(&self, values: &[$rust]) -> Result<ArrayRef> {
                 self.ensure_not_critical(concat!("New", $get_name, "Array"))?;
-                Ok(self.vm.heap().$heap_alloc_from(values)?)
+                let a = self.vm.heap().$heap_alloc_from(values)?;
+                trace::emit(|| TraceEvent::AllocArray {
+                    addr: a.addr(),
+                    elem: tracecode::elem_code($prim),
+                    len: values.len() as u64,
+                });
+                Ok(a)
             }
 
             #[doc = concat!("`Get", $get_name, "ArrayElements` (Table 1, row 5).")]
@@ -889,19 +1002,30 @@ macro_rules! typed_array_interfaces {
                 out: &mut [$rust],
             ) -> Result<()> {
                 self.ensure_not_critical(concat!("Get", $get_name, "ArrayRegion"))?;
-                self.region_bounds(a, $prim, start, out.len(), concat!("Get", $get_name, "ArrayRegion"))?;
-                telemetry::record(|| Event::Acquire { interface: JniInterface::ArrayRegion });
-                let mut bytes = vec![0u8; out.len() * $size];
-                let ptr = TaggedPtr::from_addr(a.data_addr() + (start * $size) as u64);
-                self.vm
-                    .heap()
-                    .memory()
-                    .read_bytes_unchecked(ptr, &mut bytes)
-                    .map_err(HeapError::from)?;
-                for (i, chunk) in bytes.chunks_exact($size).enumerate() {
-                    out[i] = <$rust>::from_le_bytes(chunk.try_into().expect("chunk size"));
-                }
-                Ok(())
+                let result = (|| {
+                    self.region_bounds(a, $prim, start, out.len(), concat!("Get", $get_name, "ArrayRegion"))?;
+                    telemetry::record(|| Event::Acquire { interface: JniInterface::ArrayRegion });
+                    let mut bytes = vec![0u8; out.len() * $size];
+                    let ptr = TaggedPtr::from_addr(a.data_addr() + (start * $size) as u64);
+                    self.vm
+                        .heap()
+                        .memory()
+                        .read_bytes_unchecked(ptr, &mut bytes)
+                        .map_err(HeapError::from)?;
+                    for (i, chunk) in bytes.chunks_exact($size).enumerate() {
+                        out[i] = <$rust>::from_le_bytes(chunk.try_into().expect("chunk size"));
+                    }
+                    Ok(())
+                })();
+                trace::emit(|| TraceEvent::Region {
+                    obj: a.addr(),
+                    interface: JniInterface::ArrayRegion.index(),
+                    start: start as u64,
+                    len: out.len() as u64,
+                    write: false,
+                    outcome: tracecode::result_outcome(&result),
+                });
+                result
             }
 
             #[doc = concat!("`Set", $get_name, "ArrayRegion`: bounds-checked copy in.")]
@@ -916,19 +1040,30 @@ macro_rules! typed_array_interfaces {
                 values: &[$rust],
             ) -> Result<()> {
                 self.ensure_not_critical(concat!("Set", $get_name, "ArrayRegion"))?;
-                self.region_bounds(a, $prim, start, values.len(), concat!("Set", $get_name, "ArrayRegion"))?;
-                telemetry::record(|| Event::Acquire { interface: JniInterface::ArrayRegion });
-                let mut bytes = Vec::with_capacity(values.len() * $size);
-                for v in values {
-                    bytes.extend_from_slice(&v.to_le_bytes());
-                }
-                let ptr = TaggedPtr::from_addr(a.data_addr() + (start * $size) as u64);
-                self.vm
-                    .heap()
-                    .memory()
-                    .write_bytes_unchecked(ptr, &bytes)
-                    .map_err(HeapError::from)?;
-                Ok(())
+                let result = (|| {
+                    self.region_bounds(a, $prim, start, values.len(), concat!("Set", $get_name, "ArrayRegion"))?;
+                    telemetry::record(|| Event::Acquire { interface: JniInterface::ArrayRegion });
+                    let mut bytes = Vec::with_capacity(values.len() * $size);
+                    for v in values {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                    let ptr = TaggedPtr::from_addr(a.data_addr() + (start * $size) as u64);
+                    self.vm
+                        .heap()
+                        .memory()
+                        .write_bytes_unchecked(ptr, &bytes)
+                        .map_err(HeapError::from)?;
+                    Ok(())
+                })();
+                trace::emit(|| TraceEvent::Region {
+                    obj: a.addr(),
+                    interface: JniInterface::ArrayRegion.index(),
+                    start: start as u64,
+                    len: values.len() as u64,
+                    write: true,
+                    outcome: tracecode::result_outcome(&result),
+                });
+                result
             }
         }
     };

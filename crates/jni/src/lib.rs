@@ -30,6 +30,7 @@ mod error;
 mod guard;
 mod native;
 mod protection;
+pub mod tracecode;
 mod trampoline;
 mod vm;
 

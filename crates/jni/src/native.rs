@@ -11,6 +11,9 @@ use std::fmt;
 
 use art_heap::{ArrayRef, PrimitiveType};
 use mte_sim::{MemError, MteThread, TaggedMemory, TaggedPtr};
+use telemetry::trace::{self, TraceEvent};
+
+use crate::tracecode;
 
 /// A native code's window onto the simulated memory: the pair of the
 /// memory and the executing thread's MTE state.
@@ -108,7 +111,7 @@ impl fmt::Debug for NativeMem<'_> {
 }
 
 macro_rules! array_access {
-    ($read:ident, $write:ident, $ty:ty, $mem_read:ident, $mem_write:ident, $size:expr, $doc:literal) => {
+    ($read:ident, $write:ident, $ty:ty, $mem_read:ident, $mem_write:ident, $size:expr, $bits:expr, $doc:literal) => {
         #[doc = concat!("Reads element `index` as `", $doc, "`.")]
         ///
         /// `index` is **not** bounds checked and may be negative — this is
@@ -120,7 +123,16 @@ macro_rules! array_access {
         /// mismatches the accessed granule's memory tag (sync mode).
         #[inline]
         pub fn $read(&self, mem: &NativeMem<'_>, index: isize) -> Result<$ty, MemError> {
-            mem.$mem_read(self.ptr.wrapping_offset(index as i64 * $size))
+            let r = mem.$mem_read(self.ptr.wrapping_offset(index as i64 * $size));
+            trace::emit(|| TraceEvent::Access {
+                base: self.ptr.raw(),
+                offset: index as i64 * $size,
+                width: $size as u8,
+                write: false,
+                value: 0,
+                outcome: tracecode::mem_result_outcome(&r),
+            });
+            r
         }
 
         #[doc = concat!("Writes element `index` as `", $doc, "` (no bounds check).")]
@@ -135,7 +147,16 @@ macro_rules! array_access {
             index: isize,
             value: $ty,
         ) -> Result<(), MemError> {
-            mem.$mem_write(self.ptr.wrapping_offset(index as i64 * $size), value)
+            let r = mem.$mem_write(self.ptr.wrapping_offset(index as i64 * $size), value);
+            trace::emit(|| TraceEvent::Access {
+                base: self.ptr.raw(),
+                offset: index as i64 * $size,
+                width: $size as u8,
+                write: true,
+                value: ($bits)(value),
+                outcome: tracecode::mem_result_outcome(&r),
+            });
+            r
         }
     };
 }
@@ -185,14 +206,14 @@ impl NativeArray {
         self.is_copy
     }
 
-    array_access!(read_i8, write_i8, i8, read_i8, write_i8, 1, "jbyte");
-    array_access!(read_u8, write_u8, u8, read_u8, write_u8, 1, "u8");
-    array_access!(read_u16, write_u16, u16, read_u16, write_u16, 2, "jchar");
-    array_access!(read_i16, write_i16, i16, read_i16, write_i16, 2, "jshort");
-    array_access!(read_i32, write_i32, i32, read_i32, write_i32, 4, "jint");
-    array_access!(read_i64, write_i64, i64, read_i64, write_i64, 8, "jlong");
-    array_access!(read_f32, write_f32, f32, read_f32, write_f32, 4, "jfloat");
-    array_access!(read_f64, write_f64, f64, read_f64, write_f64, 8, "jdouble");
+    array_access!(read_i8, write_i8, i8, read_i8, write_i8, 1, |v: i8| v as u8 as u64, "jbyte");
+    array_access!(read_u8, write_u8, u8, read_u8, write_u8, 1, |v: u8| v as u64, "u8");
+    array_access!(read_u16, write_u16, u16, read_u16, write_u16, 2, |v: u16| v as u64, "jchar");
+    array_access!(read_i16, write_i16, i16, read_i16, write_i16, 2, |v: i16| v as u16 as u64, "jshort");
+    array_access!(read_i32, write_i32, i32, read_i32, write_i32, 4, |v: i32| v as u32 as u64, "jint");
+    array_access!(read_i64, write_i64, i64, read_i64, write_i64, 8, |v: i64| v as u64, "jlong");
+    array_access!(read_f32, write_f32, f32, read_f32, write_f32, 4, |v: f32| v.to_bits() as u64, "jfloat");
+    array_access!(read_f64, write_f64, f64, read_f64, write_f64, 8, |v: f64| v.to_bits(), "jdouble");
 }
 
 /// The buffer returned by `GetStringUTFChars`: modified UTF-8 bytes plus a
@@ -232,7 +253,16 @@ impl NativeUtf {
     ///
     /// See [`NativeMem::read_u8`].
     pub fn read_byte(&self, mem: &NativeMem<'_>, index: isize) -> Result<u8, MemError> {
-        mem.read_u8(self.ptr.wrapping_offset(index as i64))
+        let r = mem.read_u8(self.ptr.wrapping_offset(index as i64));
+        trace::emit(|| TraceEvent::Access {
+            base: self.ptr.raw(),
+            offset: index as i64,
+            width: 1,
+            write: false,
+            value: 0,
+            outcome: tracecode::mem_result_outcome(&r),
+        });
+        r
     }
 
     /// Reads the whole string the way C code would: byte by byte until the
@@ -244,13 +274,21 @@ impl NativeUtf {
     pub fn read_c_string(&self, mem: &NativeMem<'_>) -> Result<Vec<u8>, MemError> {
         let mut out = Vec::with_capacity(self.utf_len);
         let mut i = 0i64;
-        loop {
-            let b = mem.read_u8(self.ptr.wrapping_offset(i))?;
-            if b == 0 {
-                return Ok(out);
+        let result = loop {
+            match mem.read_u8(self.ptr.wrapping_offset(i)) {
+                Ok(0) => break Ok(out),
+                Ok(b) => {
+                    out.push(b);
+                    i += 1;
+                }
+                Err(e) => break Err(e),
             }
-            out.push(b);
-            i += 1;
-        }
+        };
+        trace::emit(|| TraceEvent::CStr {
+            base: self.ptr.raw(),
+            len: i as u64,
+            outcome: tracecode::mem_result_outcome(&result),
+        });
+        result
     }
 }

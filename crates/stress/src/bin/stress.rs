@@ -28,7 +28,8 @@ struct Options {
     lifecycle: bool,
     containment: bool,
     self_check: bool,
-    replay: Option<u64>,
+    schedule_replay: Option<u64>,
+    trace_out: Option<String>,
     json_dir: Option<String>,
     cfg: StressConfig,
 }
@@ -42,7 +43,8 @@ impl Default for Options {
             lifecycle: false,
             containment: false,
             self_check: false,
-            replay: None,
+            schedule_replay: None,
+            trace_out: None,
             json_dir: None,
             cfg: StressConfig {
                 fault_plan: FaultPlan::uniform(2000),
@@ -101,9 +103,22 @@ USAGE: stress [OPTIONS]
   --containment     run the fault-containment (FaultPolicy::Contain)
                     schedules; lock-free, two-tier and global only
   --self-check      also verify the harness catches the broken tables
-  --replay N        run only schedule index N and print its full trace
+  --schedule-replay N  re-derive and run only schedule index N from the
+                    master seed, printing its full step trace
+                    (--replay is a deprecated alias)
+  --trace-out FILE  with --schedule-replay and a single --scheme: also
+                    capture the runtime's JNI *event* trace to FILE
+                    (inspect with `cargo run --example runtime_doctor -- FILE`).
+                    Only --lifecycle/--containment schedules go through the
+                    traced JNI funnel; the raw table-contention schedule
+                    drives the tables directly and records nothing.
   --json DIR        write DIR/STRESS.json
   --help            this text
+
+Two different 'replay' mechanisms meet here: --schedule-replay re-derives
+a thread interleaving from its seed (nothing is read from disk), while
+the trace crate's `trace replay` re-drives a recorded *event log* file.
+See README section 'Record & replay'.
 ";
 
 fn parse_args() -> Result<Options, String> {
@@ -160,7 +175,14 @@ fn parse_args() -> Result<Options, String> {
             "--lifecycle" => o.lifecycle = true,
             "--containment" => o.containment = true,
             "--self-check" => o.self_check = true,
-            "--replay" => o.replay = Some(num(&mut args, "--replay")?),
+            "--schedule-replay" => {
+                o.schedule_replay = Some(num(&mut args, "--schedule-replay")?)
+            }
+            "--replay" => {
+                eprintln!("note: --replay is deprecated; use --schedule-replay");
+                o.schedule_replay = Some(num(&mut args, "--replay")?);
+            }
+            "--trace-out" => o.trace_out = Some(args.next().ok_or("--trace-out needs a value")?),
             "--json" => o.json_dir = Some(args.next().ok_or("--json needs a value")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -257,9 +279,25 @@ fn sweep(kind: SchemeKind, o: &Options) -> SchemeOutcome {
     }
 }
 
-fn replay(kind: SchemeKind, idx: u64, o: &Options) {
+fn schedule_replay(kind: SchemeKind, idx: u64, o: &Options) {
     let seed = schedule_seed(o.seed, idx);
+    let session = o.trace_out.as_ref().map(|_| trace::RecordingSession::start());
     let result = o.run(kind, seed);
+    if let (Some(session), Some(path)) = (session, o.trace_out.as_ref()) {
+        let t = session.finish(trace::TraceHeader {
+            label: format!("stress:{}:{idx}", kind.label()),
+            scheme: kind.label().to_owned(),
+            tcf_mode: 1,
+            check_jni: false,
+            fault_policy: if o.containment { 1 } else { 0 },
+            seed,
+            plan: Some(o.cfg.fault_plan),
+        });
+        match t.save(path) {
+            Ok(()) => println!("event trace: {} event(s) -> {path}", t.events.len()),
+            Err(e) => eprintln!("--trace-out {path}: {e}"),
+        }
+    }
     println!(
         "[{}] schedule {idx} seed {seed:#x}: {} events, {} steps, abort={:?}",
         kind.label(),
@@ -350,11 +388,19 @@ fn main() -> ExitCode {
         None => SchemeKind::REAL.to_vec(),
     };
 
-    if let Some(idx) = o.replay {
+    if let Some(idx) = o.schedule_replay {
+        if o.trace_out.is_some() && schemes.len() != 1 {
+            eprintln!("--trace-out needs a single --scheme (events from multiple schemes would interleave in one file)");
+            return ExitCode::FAILURE;
+        }
         for &kind in &schemes {
-            replay(kind, idx, &o);
+            schedule_replay(kind, idx, &o);
         }
         return ExitCode::SUCCESS;
+    }
+    if o.trace_out.is_some() {
+        eprintln!("--trace-out requires --schedule-replay");
+        return ExitCode::FAILURE;
     }
 
     let mut ok = true;

@@ -80,8 +80,9 @@ impl JniInterface {
         }
     }
 
-    /// Stable small integer for compact event encoding.
-    pub(crate) fn index(self) -> u8 {
+    /// Stable small integer for compact event encoding (also the wire
+    /// code used by the trace codec).
+    pub fn index(self) -> u8 {
         match self {
             JniInterface::StringCritical => 0,
             JniInterface::PrimitiveArrayCritical => 1,
@@ -93,7 +94,8 @@ impl JniInterface {
         }
     }
 
-    pub(crate) fn from_index(i: u8) -> Option<JniInterface> {
+    /// Decodes [`Self::index`]; `None` for out-of-range codes.
+    pub fn from_index(i: u8) -> Option<JniInterface> {
         JniInterface::ALL.get(usize::from(i)).copied()
     }
 }

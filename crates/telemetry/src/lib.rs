@@ -36,6 +36,7 @@ mod interface;
 pub mod json;
 mod ring;
 mod snapshot;
+pub mod trace;
 
 pub use counters::{counters, CounterRegistry};
 pub use event::{DegradeReason, DrainedEvent, Event, FaultClass, InjectPoint, TagOp};

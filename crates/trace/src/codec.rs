@@ -1,0 +1,641 @@
+//! The binary trace format (DESIGN §14).
+//!
+//! Layout: an 8-byte magic, a little-endian `u32` schema version, a
+//! header (recording configuration — everything the replayer needs to
+//! rebuild an equivalent VM), a fixed 8-byte event-count slot, then one
+//! length-prefixed record per event. Integers are LEB128 varints
+//! (zigzag for signed); strings are varint-length-prefixed UTF-8. The
+//! format carries **logical** positions only — no wall-clock anywhere —
+//! so re-recording a seeded run produces a bit-identical file.
+//!
+//! Decoding never panics: every malformed input maps to a typed
+//! [`TraceError`].
+
+use std::fmt;
+use std::path::Path;
+
+use mte_sim::inject::FaultPlan;
+use telemetry::trace::TraceEvent;
+
+/// File magic: "MTE4TRC" + NUL.
+pub const MAGIC: &[u8; 8] = b"MTE4TRC\0";
+/// Current schema version.
+pub const VERSION: u32 = 1;
+
+/// Decode/validation failures. Every variant names what was being read,
+/// so a truncated or bit-flipped log produces an actionable message
+/// instead of a panic.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The schema version is newer (or older) than this decoder speaks.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// Input ended in the middle of `what`.
+    UnexpectedEof {
+        /// The field being decoded when the bytes ran out.
+        what: &'static str,
+    },
+    /// A varint ran past 10 bytes (not a valid LEB128 `u64`).
+    BadVarint {
+        /// The field being decoded.
+        what: &'static str,
+    },
+    /// An event record carried an unknown kind byte.
+    BadEventKind {
+        /// The kind byte found.
+        kind: u8,
+    },
+    /// A string field was not valid UTF-8.
+    BadString {
+        /// The field being decoded.
+        what: &'static str,
+    },
+    /// An event record's declared payload length disagrees with its
+    /// contents.
+    BadEventLength {
+        /// Global index of the offending record.
+        index: u64,
+    },
+    /// The header's event count disagrees with the records present —
+    /// the signature of a truncated file.
+    CountMismatch {
+        /// Count declared in the header.
+        declared: u64,
+        /// Records actually decoded.
+        found: u64,
+    },
+    /// Bytes remained after the last declared record.
+    TrailingBytes {
+        /// How many.
+        remaining: usize,
+    },
+    /// Reading the file itself failed.
+    Io(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a trace file (bad magic; expected MTE4TRC)"),
+            TraceError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported trace schema version {found} (this build reads version {VERSION})"
+            ),
+            TraceError::UnexpectedEof { what } => {
+                write!(f, "truncated trace: input ended while reading {what}")
+            }
+            TraceError::BadVarint { what } => write!(f, "corrupt varint while reading {what}"),
+            TraceError::BadEventKind { kind } => write!(f, "unknown event kind byte {kind}"),
+            TraceError::BadString { what } => write!(f, "invalid UTF-8 in {what}"),
+            TraceError::BadEventLength { index } => {
+                write!(f, "event record {index} payload length disagrees with its contents")
+            }
+            TraceError::CountMismatch { declared, found } => write!(
+                f,
+                "truncated trace: header declares {declared} events but {found} decoded"
+            ),
+            TraceError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after the last event record")
+            }
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Recording configuration: everything the replayer needs to rebuild an
+/// equivalent VM (modulo the table backend, which is the replay axis).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Human-readable trace name (workload or scenario).
+    pub label: String,
+    /// Label of the scheme the recording ran under (informational).
+    pub scheme: String,
+    /// Process MTE check mode code: 0 = None, 1 = Sync, 2 = Async.
+    pub tcf_mode: u8,
+    /// Whether CheckJNI validation was enabled.
+    pub check_jni: bool,
+    /// Fault policy code: 0 = Abort, 1 = Contain.
+    pub fault_policy: u8,
+    /// The workload / scenario seed.
+    pub seed: u64,
+    /// Fault-injection plan armed during the recording, if any. The
+    /// replayer re-arms it with [`TraceHeader::seed`].
+    pub plan: Option<FaultPlan>,
+}
+
+/// One event with its global sequence number and recording thread id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global order of the event across all threads (0-based).
+    pub seq: u64,
+    /// Dense per-session thread id (0-based).
+    pub tid: u32,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A decoded trace: header + globally ordered event records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Recording configuration.
+    pub header: TraceHeader,
+    /// Events in global order.
+    pub events: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Serializes the trace. Pure function of the data: the same trace
+    /// always produces the same bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.events.len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        put_str(&mut out, &self.header.label);
+        put_str(&mut out, &self.header.scheme);
+        out.push(self.header.tcf_mode);
+        out.push(u8::from(self.header.check_jni));
+        out.push(self.header.fault_policy);
+        out.extend_from_slice(&self.header.seed.to_le_bytes());
+        match &self.header.plan {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                for ppm in [
+                    p.irg_exhaust_ppm,
+                    p.ldg_fail_ppm,
+                    p.stg_fail_ppm,
+                    p.alloc_fail_ppm,
+                    p.spurious_check_ppm,
+                ] {
+                    out.extend_from_slice(&ppm.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        let mut payload = Vec::with_capacity(32);
+        for rec in &self.events {
+            payload.clear();
+            put_varint(&mut payload, rec.seq);
+            put_varint(&mut payload, u64::from(rec.tid));
+            encode_event(&mut payload, &rec.event);
+            put_varint(&mut out, payload.len() as u64);
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    /// Decodes a serialized trace.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`]; never panics, whatever the input.
+    pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(MAGIC.len(), "magic")? != MAGIC.as_slice() {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u32::from_le_bytes(
+            r.take(4, "version")?.try_into().expect("4-byte slice"),
+        );
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion { found: version });
+        }
+        let label = r.string("header label")?;
+        let scheme = r.string("header scheme")?;
+        let tcf_mode = r.byte("header tcf_mode")?;
+        let check_jni = r.byte("header check_jni")? != 0;
+        let fault_policy = r.byte("header fault_policy")?;
+        let seed = u64::from_le_bytes(r.take(8, "header seed")?.try_into().expect("8-byte slice"));
+        let plan = match r.byte("header has_plan")? {
+            0 => None,
+            _ => {
+                let mut ppm = [0u32; 5];
+                for slot in &mut ppm {
+                    *slot = u32::from_le_bytes(
+                        r.take(4, "header plan rate")?.try_into().expect("4-byte slice"),
+                    );
+                }
+                Some(FaultPlan {
+                    irg_exhaust_ppm: ppm[0],
+                    ldg_fail_ppm: ppm[1],
+                    stg_fail_ppm: ppm[2],
+                    alloc_fail_ppm: ppm[3],
+                    spurious_check_ppm: ppm[4],
+                })
+            }
+        };
+        let declared = u64::from_le_bytes(
+            r.take(8, "header event count")?.try_into().expect("8-byte slice"),
+        );
+        let mut events = Vec::new();
+        while r.pos < r.bytes.len() {
+            let index = events.len() as u64;
+            let len = r.varint("event record length")? as usize;
+            let payload = r.take(len, "event record payload")?;
+            let mut pr = Reader { bytes: payload, pos: 0 };
+            let seq = pr.varint("event seq")?;
+            let tid = u32::try_from(pr.varint("event tid")?)
+                .map_err(|_| TraceError::BadEventLength { index })?;
+            let event = decode_event(&mut pr)?;
+            if pr.pos != payload.len() {
+                return Err(TraceError::BadEventLength { index });
+            }
+            events.push(TraceRecord { seq, tid, event });
+        }
+        if events.len() as u64 != declared {
+            return Err(TraceError::CountMismatch {
+                declared,
+                found: events.len() as u64,
+            });
+        }
+        Ok(Trace {
+            header: TraceHeader {
+                label,
+                scheme,
+                tcf_mode,
+                check_jni,
+                fault_policy,
+                seed,
+                plan,
+            },
+            events,
+        })
+    }
+
+    /// Writes the encoded trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        std::fs::write(path, self.encode()).map_err(|e| TraceError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on filesystem failure, or any decode error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        let bytes = std::fs::read(path).map_err(|e| TraceError::Io(e.to_string()))?;
+        Trace::decode(&bytes)
+    }
+}
+
+// --- event payloads -----------------------------------------------------
+
+// Kind bytes, in `TraceEvent` declaration order.
+pub(crate) const K_ALLOC_ARRAY: u8 = 0;
+pub(crate) const K_ALLOC_STRING: u8 = 1;
+pub(crate) const K_CALL_ENTER: u8 = 2;
+pub(crate) const K_CALL_EXIT: u8 = 3;
+pub(crate) const K_ACQUIRE: u8 = 4;
+pub(crate) const K_RELEASE: u8 = 5;
+pub(crate) const K_ACCESS: u8 = 6;
+pub(crate) const K_CSTR: u8 = 7;
+pub(crate) const K_REGION: u8 = 8;
+pub(crate) const K_SWEEP: u8 = 9;
+pub(crate) const K_COMPACT: u8 = 10;
+pub(crate) const K_TOMBSTONE: u8 = 11;
+pub(crate) const K_QUARANTINED: u8 = 12;
+pub(crate) const K_DEGRADED: u8 = 13;
+
+fn encode_event(out: &mut Vec<u8>, event: &TraceEvent) {
+    match event {
+        TraceEvent::AllocArray { addr, elem, len } => {
+            out.push(K_ALLOC_ARRAY);
+            put_varint(out, *addr);
+            out.push(*elem);
+            put_varint(out, *len);
+        }
+        TraceEvent::AllocString { addr, utf16_len, utf8_len } => {
+            out.push(K_ALLOC_STRING);
+            put_varint(out, *addr);
+            put_varint(out, *utf16_len);
+            put_varint(out, *utf8_len);
+        }
+        TraceEvent::CallEnter { method, kind } => {
+            out.push(K_CALL_ENTER);
+            put_str(out, method);
+            out.push(*kind);
+        }
+        TraceEvent::CallExit { outcome } => {
+            out.push(K_CALL_EXIT);
+            out.push(*outcome);
+        }
+        TraceEvent::Acquire { obj, interface, ptr, outcome } => {
+            out.push(K_ACQUIRE);
+            put_varint(out, *obj);
+            out.push(*interface);
+            put_varint(out, *ptr);
+            out.push(*outcome);
+        }
+        TraceEvent::Release { ptr, obj, interface, mode, outcome } => {
+            out.push(K_RELEASE);
+            put_varint(out, *ptr);
+            put_varint(out, *obj);
+            out.push(*interface);
+            out.push(*mode);
+            out.push(*outcome);
+        }
+        TraceEvent::Access { base, offset, width, write, value, outcome } => {
+            out.push(K_ACCESS);
+            put_varint(out, *base);
+            put_varint(out, zigzag(*offset));
+            out.push(*width);
+            out.push(u8::from(*write));
+            put_varint(out, *value);
+            out.push(*outcome);
+        }
+        TraceEvent::CStr { base, len, outcome } => {
+            out.push(K_CSTR);
+            put_varint(out, *base);
+            put_varint(out, *len);
+            out.push(*outcome);
+        }
+        TraceEvent::Region { obj, interface, start, len, write, outcome } => {
+            out.push(K_REGION);
+            put_varint(out, *obj);
+            out.push(*interface);
+            put_varint(out, *start);
+            put_varint(out, *len);
+            out.push(u8::from(*write));
+            out.push(*outcome);
+        }
+        TraceEvent::Sweep { swept, pinned } => {
+            out.push(K_SWEEP);
+            put_varint(out, *swept);
+            put_varint(out, *pinned);
+        }
+        TraceEvent::Compact { moved, reclaimed } => {
+            out.push(K_COMPACT);
+            put_varint(out, *moved);
+            put_varint(out, *reclaimed);
+        }
+        TraceEvent::Tombstone { seq, method, fault_addr, interface, released } => {
+            out.push(K_TOMBSTONE);
+            put_varint(out, *seq);
+            put_str(out, method);
+            put_varint(out, *fault_addr);
+            out.push(*interface);
+            put_varint(out, u64::from(*released));
+        }
+        TraceEvent::Quarantined { method } => {
+            out.push(K_QUARANTINED);
+            put_str(out, method);
+        }
+        TraceEvent::Degraded { reason } => {
+            out.push(K_DEGRADED);
+            out.push(*reason);
+        }
+    }
+}
+
+fn decode_event(r: &mut Reader<'_>) -> Result<TraceEvent, TraceError> {
+    let kind = r.byte("event kind")?;
+    Ok(match kind {
+        K_ALLOC_ARRAY => TraceEvent::AllocArray {
+            addr: r.varint("AllocArray addr")?,
+            elem: r.byte("AllocArray elem")?,
+            len: r.varint("AllocArray len")?,
+        },
+        K_ALLOC_STRING => TraceEvent::AllocString {
+            addr: r.varint("AllocString addr")?,
+            utf16_len: r.varint("AllocString utf16_len")?,
+            utf8_len: r.varint("AllocString utf8_len")?,
+        },
+        K_CALL_ENTER => TraceEvent::CallEnter {
+            method: r.string("CallEnter method")?,
+            kind: r.byte("CallEnter kind")?,
+        },
+        K_CALL_EXIT => TraceEvent::CallExit {
+            outcome: r.byte("CallExit outcome")?,
+        },
+        K_ACQUIRE => TraceEvent::Acquire {
+            obj: r.varint("Acquire obj")?,
+            interface: r.byte("Acquire interface")?,
+            ptr: r.varint("Acquire ptr")?,
+            outcome: r.byte("Acquire outcome")?,
+        },
+        K_RELEASE => TraceEvent::Release {
+            ptr: r.varint("Release ptr")?,
+            obj: r.varint("Release obj")?,
+            interface: r.byte("Release interface")?,
+            mode: r.byte("Release mode")?,
+            outcome: r.byte("Release outcome")?,
+        },
+        K_ACCESS => TraceEvent::Access {
+            base: r.varint("Access base")?,
+            offset: unzigzag(r.varint("Access offset")?),
+            width: r.byte("Access width")?,
+            write: r.byte("Access write")? != 0,
+            value: r.varint("Access value")?,
+            outcome: r.byte("Access outcome")?,
+        },
+        K_CSTR => TraceEvent::CStr {
+            base: r.varint("CStr base")?,
+            len: r.varint("CStr len")?,
+            outcome: r.byte("CStr outcome")?,
+        },
+        K_REGION => TraceEvent::Region {
+            obj: r.varint("Region obj")?,
+            interface: r.byte("Region interface")?,
+            start: r.varint("Region start")?,
+            len: r.varint("Region len")?,
+            write: r.byte("Region write")? != 0,
+            outcome: r.byte("Region outcome")?,
+        },
+        K_SWEEP => TraceEvent::Sweep {
+            swept: r.varint("Sweep swept")?,
+            pinned: r.varint("Sweep pinned")?,
+        },
+        K_COMPACT => TraceEvent::Compact {
+            moved: r.varint("Compact moved")?,
+            reclaimed: r.varint("Compact reclaimed")?,
+        },
+        K_TOMBSTONE => TraceEvent::Tombstone {
+            seq: r.varint("Tombstone seq")?,
+            method: r.string("Tombstone method")?,
+            fault_addr: r.varint("Tombstone fault_addr")?,
+            interface: r.byte("Tombstone interface")?,
+            released: u32::try_from(r.varint("Tombstone released")?)
+                .map_err(|_| TraceError::BadVarint { what: "Tombstone released" })?,
+        },
+        K_QUARANTINED => TraceEvent::Quarantined {
+            method: r.string("Quarantined method")?,
+        },
+        K_DEGRADED => TraceEvent::Degraded {
+            reason: r.byte("Degraded reason")?,
+        },
+        other => return Err(TraceError::BadEventKind { kind: other }),
+    })
+}
+
+// --- primitives ---------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(TraceError::UnexpectedEof { what })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn byte(&mut self, what: &'static str) -> Result<u8, TraceError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn varint(&mut self, what: &'static str) -> Result<u64, TraceError> {
+        let mut value = 0u64;
+        for i in 0..10 {
+            let b = self.byte(what)?;
+            let bits = u64::from(b & 0x7f);
+            if i == 9 && b > 1 {
+                return Err(TraceError::BadVarint { what });
+            }
+            value |= bits << (7 * i);
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(TraceError::BadVarint { what })
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, TraceError> {
+        let len = self.varint(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| TraceError::BadString { what })
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            header: TraceHeader {
+                label: "sample".into(),
+                scheme: "mte4jni".into(),
+                tcf_mode: 1,
+                check_jni: false,
+                fault_policy: 1,
+                seed: 0xDEAD_BEEF,
+                plan: Some(FaultPlan { spurious_check_ppm: 20_000, ..FaultPlan::default() }),
+            },
+            events: vec![
+                TraceRecord {
+                    seq: 0,
+                    tid: 0,
+                    event: TraceEvent::AllocArray { addr: 0x1000, elem: 3, len: 18 },
+                },
+                TraceRecord {
+                    seq: 1,
+                    tid: 0,
+                    event: TraceEvent::Access {
+                        base: 0x0700_0000_0000_1010,
+                        offset: -8,
+                        width: 4,
+                        write: true,
+                        value: 0xBAD,
+                        outcome: 1,
+                    },
+                },
+                TraceRecord {
+                    seq: 2,
+                    tid: 1,
+                    event: TraceEvent::Tombstone {
+                        seq: 0,
+                        method: "compress_block".into(),
+                        fault_addr: 0x1054,
+                        interface: 1,
+                        released: 2,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_and_is_deterministic() {
+        let t = sample();
+        let bytes = t.encode();
+        assert_eq!(bytes, t.encode(), "encoding is a pure function");
+        assert_eq!(Trace::decode(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            let err = Trace::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TraceError::BadMagic
+                        | TraceError::UnexpectedEof { .. }
+                        | TraceError::CountMismatch { .. }
+                        | TraceError::BadVarint { .. }
+                        | TraceError::BadEventLength { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_with_a_clear_message() {
+        let mut bytes = sample().encode();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = Trace::decode(&bytes).unwrap_err();
+        assert_eq!(err, TraceError::UnsupportedVersion { found: 99 });
+        assert!(err.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

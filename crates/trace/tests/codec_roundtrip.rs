@@ -1,0 +1,176 @@
+//! Property tests for the trace codec: encode→decode identity for
+//! arbitrary event streams, and typed (never panicking) rejection of
+//! truncated, corrupted, and version-skewed inputs.
+
+use mte_sim::inject::FaultPlan;
+use proptest::prelude::*;
+use trace::{Trace, TraceError, TraceHeader, TraceRecord};
+use telemetry::trace::TraceEvent;
+
+/// Deterministically expands a small generated tuple into one event,
+/// cycling through every variant (including the string-carrying and
+/// signed-field ones, which exercise the varint/zigzag edges).
+fn event_from(pick: u8, a: u64, b: u64, c: u64) -> TraceEvent {
+    match pick % 14 {
+        0 => TraceEvent::AllocArray { addr: a, elem: (b % 8) as u8, len: c },
+        1 => TraceEvent::AllocString { addr: a, utf16_len: b, utf8_len: c },
+        2 => TraceEvent::CallEnter {
+            method: format!("Method.m{}", a % 100),
+            kind: (b % 3) as u8,
+        },
+        3 => TraceEvent::CallExit { outcome: (a % 14) as u8 },
+        4 => TraceEvent::Acquire {
+            obj: a,
+            interface: (b % 9) as u8,
+            ptr: c,
+            outcome: (b % 14) as u8,
+        },
+        5 => TraceEvent::Release {
+            ptr: a,
+            obj: b,
+            interface: (c % 9) as u8,
+            mode: (c % 3) as u8,
+            outcome: (a % 14) as u8,
+        },
+        6 => TraceEvent::Access {
+            base: a,
+            // Signed offsets, including large negatives (zigzag path).
+            offset: b as i64,
+            width: 1 << (c % 4),
+            write: c.is_multiple_of(2),
+            value: c,
+            outcome: (a % 14) as u8,
+        },
+        7 => TraceEvent::CStr { base: a, len: b, outcome: (c % 14) as u8 },
+        8 => TraceEvent::Region {
+            obj: a,
+            interface: (b % 9) as u8,
+            start: b,
+            len: c,
+            write: a.is_multiple_of(2),
+            outcome: (c % 14) as u8,
+        },
+        9 => TraceEvent::Sweep { swept: a, pinned: b },
+        10 => TraceEvent::Compact { moved: a, reclaimed: b },
+        11 => TraceEvent::Tombstone {
+            seq: a,
+            method: format!("Tomb.m{}", b % 50),
+            fault_addr: c,
+            interface: (a % 9) as u8,
+            released: (b % 7) as u32,
+        },
+        12 => TraceEvent::Quarantined { method: format!("Q.m{}", a % 50) },
+        _ => TraceEvent::Degraded { reason: (a % 4) as u8 },
+    }
+}
+
+fn build_trace(seed: u64, plan: bool, raw: &[(u8, u64, u64, u64)]) -> Trace {
+    let events = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(pick, a, b, c))| TraceRecord {
+            seq: i as u64,
+            tid: (a % 4) as u32,
+            event: event_from(pick, a, b, c),
+        })
+        .collect();
+    Trace {
+        header: TraceHeader {
+            label: format!("prop-{seed}"),
+            scheme: "mte4jni".to_owned(),
+            tcf_mode: (seed % 3) as u8,
+            check_jni: seed.is_multiple_of(2),
+            fault_policy: (seed % 2) as u8,
+            seed,
+            plan: plan.then(|| FaultPlan {
+                spurious_check_ppm: (seed % 100_000) as u32,
+                ..FaultPlan::default()
+            }),
+        },
+        events,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding any event stream and decoding it back is the identity,
+    /// and re-encoding the decoded trace is byte-stable.
+    #[test]
+    fn encode_decode_is_identity(
+        seed in any::<u64>(),
+        plan in any::<bool>(),
+        raw in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0..80,
+        ),
+    ) {
+        let trace = build_trace(seed, plan, &raw);
+        let bytes = trace.encode();
+        let decoded = Trace::decode(&bytes).expect("round trip");
+        prop_assert_eq!(&decoded.header, &trace.header);
+        prop_assert_eq!(&decoded.events, &trace.events);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Every proper prefix of a valid encoding is rejected with a typed
+    /// error — never a panic, never a silently short trace.
+    #[test]
+    fn every_truncation_is_a_typed_error(
+        seed in any::<u64>(),
+        raw in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            1..24,
+        ),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = build_trace(seed, false, &raw).encode();
+        let at = cut.index(bytes.len());
+        prop_assert!(Trace::decode(&bytes[..at]).is_err());
+    }
+
+    /// Flipping any single byte never panics the decoder: it either
+    /// still decodes (the flip landed in a value field) or fails with a
+    /// typed error.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        seed in any::<u64>(),
+        raw in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            1..24,
+        ),
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = build_trace(seed, false, &raw).encode();
+        let i = at.index(bytes.len());
+        bytes[i] ^= xor;
+        match Trace::decode(&bytes) {
+            Ok(_) | Err(_) => {} // reaching here at all is the property
+        }
+    }
+}
+
+#[test]
+fn unknown_schema_version_is_rejected_with_a_clear_message() {
+    let mut bytes = build_trace(1, false, &[(0, 1, 2, 3)]).encode();
+    // The version field is the u32 right after the 8-byte magic.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    match Trace::decode(&bytes) {
+        Err(TraceError::UnsupportedVersion { found }) => {
+            assert_eq!(found, 99);
+            let msg = TraceError::UnsupportedVersion { found }.to_string();
+            assert!(msg.contains("99"), "message should name the version: {msg}");
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    assert!(matches!(
+        Trace::decode(b"NOTATRCE rest of file"),
+        Err(TraceError::BadMagic)
+    ));
+    assert!(Trace::decode(&[]).is_err());
+}
