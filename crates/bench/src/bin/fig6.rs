@@ -9,6 +9,10 @@
 //! Defaults are scaled down (64 threads, 2000 reads) for a quick run;
 //! pass `--paper` for the paper's full 10000 reads. `--sweep-tables`
 //! additionally runs the hash-table-count ablation (k ∈ 1..64).
+//!
+//! The headline MTE4JNI rows run the library-default lock-free table;
+//! the `two-tier` rows keep the paper's §4.3 hash tables as the
+//! paper-faithful ablation.
 
 use bench::{json_output, print_environment, ratio, time_multithread_read, Args, BenchReport, SharingMode};
 use std::time::Duration;
@@ -39,8 +43,10 @@ fn main() {
     println!();
 
     let schemes = [
-        (Scheme::Mte4JniSync, "two-tier sync"),
-        (Scheme::Mte4JniAsync, "two-tier async"),
+        (Scheme::Mte4JniSync, "lock-free sync"),
+        (Scheme::Mte4JniAsync, "lock-free async"),
+        (Scheme::Mte4JniSyncTwoTier, "two-tier sync"),
+        (Scheme::Mte4JniAsyncTwoTier, "two-tier async"),
         (Scheme::Mte4JniSyncGlobalLock, "global-lock sync"),
         (Scheme::Mte4JniAsyncGlobalLock, "global-lock async"),
         (Scheme::GuardedCopy, "guarded copy"),
@@ -124,7 +130,7 @@ fn time_with_tables(k: usize, threads: usize, reads: u32, array_len: usize) -> D
     use art_heap::ArrayRef;
     use std::time::Instant;
 
-    let vm = Scheme::Mte4JniSync.build_vm_with_tables(k);
+    let vm = Scheme::Mte4JniSyncTwoTier.build_vm_with_tables(k);
     let setup = vm.attach_thread("sweep-setup");
     let env = vm.env(&setup);
     let data: Vec<i32> = (0..array_len as i32).collect();

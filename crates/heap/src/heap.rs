@@ -11,6 +11,10 @@ use parking_lot::Mutex;
 use mte_sim::{
     MemoryConfig, MteThread, NativeAllocator, TagCheckFault, Tag, TaggedMemory, TaggedPtr, GRANULE,
 };
+// The facade mutex participates in the deterministic stress scheduler;
+// required for any lock held across a schedule point (the safepoint
+// hook yields), or a blocked waiter would stall the whole schedule.
+use mte_sim::sync::Mutex as SchedMutex;
 
 use crate::block_alloc::BlockAllocator;
 use crate::error::HeapError;
@@ -26,6 +30,41 @@ use crate::Result;
 /// the old and new *payload* addresses — the keys a protection scheme's
 /// tag table uses.
 pub type RelocationHook = Arc<dyn Fn(u64, u64) + Send + Sync>;
+
+/// Which GC safepoint a [`SafepointHook`] invocation marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SafepointPhase {
+    /// A sweep is about to reclaim its dead, unpinned candidates.
+    Sweep,
+    /// The compacting collector has just taken its exclusive world
+    /// hold and is about to move every unpinned object; no mutator can
+    /// pin until the hold ends.
+    CompactBegin,
+    /// The compactor has finished moving and rehoming, and is about to
+    /// release its exclusive world hold.
+    CompactEnd,
+}
+
+/// One GC safepoint notification, delivered to the [`SafepointHook`]
+/// *before* the collector acts on the candidates (and, for
+/// [`SafepointPhase::CompactEnd`], after it is done).
+#[derive(Debug)]
+pub struct Safepoint<'a> {
+    /// Which safepoint this is.
+    pub phase: SafepointPhase,
+    /// `(begin, end)` payload address ranges of the candidate objects
+    /// the collector is about to reclaim (sweep: dead and unpinned) or
+    /// may move (compaction begin: every unpinned object). Empty at
+    /// [`SafepointPhase::CompactEnd`].
+    pub candidates: &'a [(u64, u64)],
+}
+
+/// Callback invoked at every GC safepoint so a protection scheme can
+/// redeem or retire bookkeeping it keeps outside the pin ledger (e.g.
+/// parked borrow-stash credits) before the collector inspects
+/// liveness. Runs under the collector's world hold: shared for a
+/// sweep, exclusive for a compaction.
+pub type SafepointHook = Arc<dyn Fn(&Safepoint<'_>) + Send + Sync>;
 
 /// Size of the simulated object header.
 ///
@@ -124,6 +163,19 @@ struct HeapInner {
     /// Notified for each moved object so protection schemes can rehome
     /// tag-table entries keyed by payload address.
     relocation_hook: Mutex<Option<RelocationHook>>,
+    /// Notified at GC safepoints (sweep, compaction begin/end) before
+    /// the collector acts, so protection schemes can flush parked
+    /// borrow credits and purge entries for the collector's candidates.
+    safepoint_hook: Mutex<Option<SafepointHook>>,
+    /// Serializes sweeps. A sweep snapshots its dead candidates, drops
+    /// the objects lock across the safepoint hook, and only then
+    /// reclaims — so the snapshot-to-purge window must be atomic with
+    /// respect to reclamation. Compaction (the only other reclaimer) is
+    /// excluded by the world gate; this lock excludes the only
+    /// remaining hazard, a concurrent sweep. A scheduler-visible
+    /// facade mutex, because it is held across the safepoint hook's
+    /// schedule points.
+    sweep_serial: SchedMutex<()>,
     allocated_total: AtomicU64,
     swept_total: AtomicU64,
     sweeps: AtomicU64,
@@ -196,6 +248,8 @@ impl Heap {
                 pins: PinLedger::default(),
                 world: WorldGate::default(),
                 relocation_hook: Mutex::new(None),
+                safepoint_hook: Mutex::new(None),
+                sweep_serial: SchedMutex::new(()),
                 allocated_total: AtomicU64::new(0),
                 swept_total: AtomicU64::new(0),
                 sweeps: AtomicU64::new(0),
@@ -465,6 +519,11 @@ impl Heap {
         *self.inner.relocation_hook.lock() = Some(Arc::new(hook));
     }
 
+    /// Installs the GC safepoint callback. Replaces any previous hook.
+    pub fn set_safepoint_hook(&self, hook: impl Fn(&Safepoint<'_>) + Send + Sync + 'static) {
+        *self.inner.safepoint_hook.lock() = Some(Arc::new(hook));
+    }
+
     // ------------------------------------------------------------------
     // GC
     // ------------------------------------------------------------------
@@ -478,16 +537,68 @@ impl Heap {
     /// with its tag-table entry intact — until the final `Release*`
     /// unpins it, per the JNI pinning contract.
     pub fn sweep(&self) -> GcStats {
+        // Shared world hold for the whole sweep: a concurrent compaction
+        // (the exclusive holder) cannot invalidate the candidate
+        // snapshot while the objects lock is dropped across the
+        // safepoint hook.
+        let _world = self.inner.world.read_recursive();
+        // One sweep at a time. The candidate snapshot below is shown to
+        // the safepoint hook — which force-purges tag-table entries and
+        // zeroes tags for those addresses — with the objects lock
+        // dropped. Were a second sweep allowed to run in that window it
+        // could reclaim a candidate, the allocator could reuse the
+        // address, and a mutator could pin + acquire a brand-new object
+        // there; this sweep's hook would then purge the *new* object's
+        // live entry, faulting a legitimate borrow. Serializing sweeps
+        // (with compaction already excluded by the world gate) means no
+        // candidate's block can be freed between snapshot and purge.
+        let _serial = self.inner.sweep_serial.lock();
+        let mut dead: Vec<(u64, usize, usize)> = {
+            let objects = self.inner.objects.lock();
+            objects
+                .iter()
+                .filter(|(&addr, m)| {
+                    m.live.strong_count() == 0 && !self.inner.pins.is_pinned(addr)
+                })
+                .map(|(&addr, m)| (addr, m.block_len, m.byte_len))
+                .collect()
+        };
+        // Address order, not map order: the safepoint hook does
+        // per-candidate work, so the candidate order must not leak the
+        // hash map's iteration order (seeded schedules replay bit for
+        // bit).
+        dead.sort_unstable();
+        // The safepoint fires before any candidate is reclaimed: a
+        // protection scheme may still hold table entries for these dead
+        // objects (parked borrow-stash credits), and those entries must
+        // be gone before the addresses return to the allocator.
+        let safepoint = self.inner.safepoint_hook.lock().clone();
+        if let Some(safepoint) = safepoint {
+            let candidates: Vec<(u64, u64)> = dead
+                .iter()
+                .map(|&(addr, _, byte_len)| {
+                    let payload = addr + HEADER_SIZE as u64;
+                    (payload, payload + byte_len as u64)
+                })
+                .collect();
+            safepoint(&Safepoint { phase: SafepointPhase::Sweep, candidates: &candidates });
+        }
         let mut objects = self.inner.objects.lock();
-        let dead: Vec<(u64, usize)> = objects
-            .iter()
-            .filter(|(&addr, m)| {
-                m.live.strong_count() == 0 && !self.inner.pins.is_pinned(addr)
-            })
-            .map(|(&addr, m)| (addr, m.block_len))
-            .collect();
         let mut bytes = 0usize;
-        for &(addr, block_len) in &dead {
+        let mut swept = 0usize;
+        for &(addr, block_len, _) in &dead {
+            // Defensive re-check under the re-taken lock. With sweeps
+            // serialized nothing else reclaims candidates, but keeping
+            // reclamation idempotent costs one map probe and guards any
+            // future caller that bypasses the serialization.
+            let still_dead = objects.get(&addr).is_some_and(|m| {
+                m.block_len == block_len
+                    && m.live.strong_count() == 0
+                    && !self.inner.pins.is_pinned(addr)
+            });
+            if !still_dead {
+                continue;
+            }
             objects.remove(&addr);
             if self.inner.config.prot_mte {
                 let p = TaggedPtr::from_addr(addr);
@@ -498,13 +609,14 @@ impl Heap {
             }
             self.inner.blocks.free(addr, block_len);
             bytes += block_len;
+            swept += 1;
         }
         let live = objects.len();
         drop(objects);
-        self.inner.swept_total.fetch_add(dead.len() as u64, Ordering::Relaxed);
+        self.inner.swept_total.fetch_add(swept as u64, Ordering::Relaxed);
         self.inner.sweeps.fetch_add(1, Ordering::Relaxed);
         let stats = GcStats {
-            swept: dead.len(),
+            swept,
             bytes_freed: bytes,
             live,
             pinned: self.inner.pins.pinned_objects(),
@@ -530,6 +642,34 @@ impl Heap {
         let timing = telemetry::start_timing();
         let t0 = std::time::Instant::now();
         let world = self.inner.world.write();
+        // With the world stopped, notify the protection scheme before
+        // anything moves: every unpinned object is a move (or reclaim)
+        // candidate, and any table entry still tracking one — alive only
+        // through parked borrow-stash credits, since pinning is what a
+        // live borrow implies — must be retired before its address is
+        // re-tagged or handed to another object. No mutator can pin
+        // while the exclusive hold lasts, so the candidate set is stable.
+        let safepoint = self.inner.safepoint_hook.lock().clone();
+        if let Some(safepoint) = &safepoint {
+            let mut candidates: Vec<(u64, u64)> = {
+                let objects = self.inner.objects.lock();
+                objects
+                    .iter()
+                    .filter(|(&addr, _)| !self.inner.pins.is_pinned(addr))
+                    .map(|(&addr, m)| {
+                        let payload = addr + HEADER_SIZE as u64;
+                        (payload, payload + m.byte_len as u64)
+                    })
+                    .collect()
+            };
+            // Address order, not map order: keeps seeded stress
+            // schedules bit-reproducible (see `sweep`).
+            candidates.sort_unstable();
+            safepoint(&Safepoint {
+                phase: SafepointPhase::CompactBegin,
+                candidates: &candidates,
+            });
+        }
         let mut objects = self.inner.objects.lock();
         let mem = &self.inner.memory;
         let mut entries: Vec<(u64, ObjectMeta)> = objects.drain().collect();
@@ -662,6 +802,11 @@ impl Heap {
             for &(old, new) in &moves {
                 hook(old, new);
             }
+        }
+        // Mirror notification before the world resumes, so schemes that
+        // gated asynchronous bookkeeping at CompactBegin can release it.
+        if let Some(safepoint) = &safepoint {
+            safepoint(&Safepoint { phase: SafepointPhase::CompactEnd, candidates: &[] });
         }
         drop(world);
         stats.pause = t0.elapsed();
@@ -1111,6 +1256,66 @@ mod tests {
             assert_eq!(h.memory().raw_tag_at(a).unwrap(), Tag::UNTAGGED);
             a += 16;
         }
+    }
+
+    /// Regression for sweep serialization: a Sweep-phase safepoint
+    /// candidate must still be dead and unreclaimed when the hook sees
+    /// it. Without `sweep_serial`, a racing sweep could reclaim a
+    /// candidate and the allocator could hand the address to a new live
+    /// object before this sweep's hook runs — the hook would then purge
+    /// the new object's tag-table entry out from under a mutator.
+    /// Workers publish every currently-live payload address to a shared
+    /// set (unpublishing *before* the handle drops, so a legitimately
+    /// dead candidate can never be in the set); the hook cross-checks
+    /// each candidate against it.
+    #[test]
+    fn concurrent_sweeps_never_present_a_live_address_as_a_candidate() {
+        use std::collections::HashSet;
+        use std::sync::Barrier;
+        let h = heap();
+        let live: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        let violations = Arc::new(AtomicU64::new(0));
+        {
+            let live = Arc::clone(&live);
+            let violations = Arc::clone(&violations);
+            h.set_safepoint_hook(move |sp| {
+                if sp.phase != SafepointPhase::Sweep {
+                    return;
+                }
+                let live = live.lock();
+                for &(begin, _) in sp.candidates {
+                    if live.contains(&begin) {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        let barrier = Arc::new(Barrier::new(4));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                let live = Arc::clone(&live);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..64 {
+                        let a = h.alloc_int_array(8).unwrap();
+                        live.lock().insert(a.data_addr());
+                        // Sweep while the object is published, so other
+                        // threads' hooks fire against a set that holds
+                        // this (possibly just-reused) address.
+                        h.sweep();
+                        live.lock().remove(&a.data_addr());
+                        drop(a);
+                        h.sweep();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(violations.load(Ordering::Relaxed), 0);
     }
 
     #[test]

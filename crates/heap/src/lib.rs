@@ -35,7 +35,10 @@ mod world;
 pub use block_alloc::BlockAllocator;
 pub use error::HeapError;
 pub use gc::{GcReport, GcScanner, GcScannerConfig, GcStats, ScanOutcome};
-pub use heap::{CompactStats, Heap, HeapConfig, HeapStats, RelocationHook, HEADER_SIZE};
+pub use heap::{
+    CompactStats, Heap, HeapConfig, HeapStats, RelocationHook, Safepoint, SafepointHook,
+    SafepointPhase, HEADER_SIZE,
+};
 pub use jstring::{decode_modified_utf8, encode_modified_utf8, utf16_units, Utf8Error};
 pub use object::{ArrayRef, ObjKind, ObjectRef, StringRef};
 pub use thread::{JavaThread, ThreadState};

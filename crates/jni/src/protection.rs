@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use art_heap::{Heap, JavaThread, ObjectRef};
-use mte_sim::TaggedPtr;
+use art_heap::{Heap, JavaThread, ObjectRef, Safepoint};
+use mte_sim::{TaggedMemory, TaggedPtr};
 use telemetry::JniInterface;
 
 use crate::Result;
@@ -102,6 +102,18 @@ pub trait Protection: Send + Sync + fmt::Debug {
     /// outstanding borrow are ever moved, so most schemes track nothing
     /// for them — the default is a no-op.
     fn on_relocate(&self, _old_payload: u64, _new_payload: u64) {}
+
+    /// Notifies the scheme of a GC safepoint *before* the collector
+    /// acts: a sweep about to reclaim dead, unpinned candidates, or a
+    /// compaction about to move every unpinned object (plus the
+    /// matching end-of-compaction notification). Schemes that keep
+    /// references outside the pin ledger — MTE4JNI's per-thread borrow
+    /// stash parks release credits that keep tag-table entries alive
+    /// after the unpin — must redeem or retire them here, restoring
+    /// "tracked ⇒ pinned" at the only moments the collector consults
+    /// it. Runs on the collector's thread under its world hold; the
+    /// default is a no-op.
+    fn on_safepoint(&self, _mem: &TaggedMemory, _sp: &Safepoint<'_>) {}
 
     /// Scheme-specific counters for the telemetry registry, as
     /// `(name, value)` pairs. [`Vm::telemetry_snapshot`] publishes them

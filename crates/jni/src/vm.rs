@@ -307,10 +307,12 @@ impl VmBuilder {
         self
     }
 
-    /// Builds the VM. The heap's relocation hook is wired to the
-    /// protection scheme so a compacting collection rehomes whatever
-    /// per-object state the scheme keeps (e.g. MTE4JNI tag-table
-    /// entries) before mutators resume.
+    /// Builds the VM. The heap's relocation and safepoint hooks are
+    /// wired to the protection scheme so a compacting collection
+    /// rehomes whatever per-object state the scheme keeps (e.g. MTE4JNI
+    /// tag-table entries) before mutators resume, and every sweep or
+    /// compaction lets the scheme flush parked borrow credits before
+    /// the collector inspects liveness.
     pub fn build(self) -> Vm {
         let heap = Heap::new(self.heap);
         let protection = self.protection.unwrap_or_else(|| Arc::new(NoProtection));
@@ -321,6 +323,17 @@ impl VmBuilder {
                 protection.on_relocate(old_payload, new_payload);
                 if let Some(fb) = &fallback {
                     fb.on_relocate(old_payload, new_payload);
+                }
+            }
+        });
+        heap.set_safepoint_hook({
+            let protection = Arc::clone(&protection);
+            let fallback = self.fallback.clone();
+            let mem = Arc::clone(heap.memory());
+            move |sp| {
+                protection.on_safepoint(&mem, sp);
+                if let Some(fb) = &fallback {
+                    fb.on_safepoint(&mem, sp);
                 }
             }
         });

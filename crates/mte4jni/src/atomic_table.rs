@@ -151,6 +151,26 @@ struct Core {
     /// the validating-load scheme's, and is owned by the containment
     /// layer either way.
     force_epoch: AtomicU64,
+    /// Nonzero while a stop-the-world collector holds its exclusive
+    /// world gate ([`TagTable::begin_safepoint`]). Credit returns —
+    /// stash eviction, flush, and crucially the thread-exit `Drop`
+    /// backstop, which never touches the world gate — park at the top
+    /// of their CAS loop until this drops to zero, so their teardown
+    /// and tag zeroing can never interleave with the compactor's
+    /// move/re-tag pass.
+    safepoints: AtomicU64,
+    /// Entries force-freed by [`TagTable::purge`] at a GC safepoint.
+    /// Deliberately *not* folded into [`Core::stash_flush_frees`]: the
+    /// funnel accumulates purge returns itself (`safepoint_purge_frees`)
+    /// and the conservation law carries them as a third term —
+    /// `acquires - shared == tag_frees + flush_frees + purge_frees`.
+    purge_frees: AtomicU64,
+    /// Purges whose tag-store zeroing failed persistently: the entry was
+    /// torn down regardless (a Live entry keyed to a reclaimed address
+    /// is the worse evil), leaving the range tagged until the heap's own
+    /// reclaim/vacate zeroing covers it. Lets the conservation oracle
+    /// attribute any tag-state imbalance under injected faults.
+    purge_tag_leaks: AtomicU64,
 }
 
 /// What returning one stash credit to the entry word did.
@@ -195,6 +215,20 @@ impl Core {
         };
         let mut attempts = 0;
         loop {
+            // A compactor holding the world gate may be re-tagging the
+            // very region this credit would zero; wait the safepoint out
+            // before touching the entry word. The hold is a bounded
+            // critical section, so even the unscheduled backstop waits
+            // indefinitely here without forfeiting termination (its
+            // bounded retries guard CAS livelock, not collector waits).
+            while self.safepoints.load(Ordering::Acquire) != 0 {
+                if scheduled {
+                    self.contended("lockfree-credit-safepoint-wait");
+                } else {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
             let word = slot.load(Ordering::Acquire);
             if entry::state(word) != EntryState::Live
                 || entry::generation(word) != stashed.generation
@@ -335,6 +369,11 @@ struct StashStore {
     /// flush, touched only off the fast path.
     hot_core: RefCell<Option<Weak<Core>>>,
     cold: RefCell<Vec<TableStash>>,
+    /// Parked releases since this thread's stash last drained; compared
+    /// against [`TableConfig::stash_expiry_parks`] to bound the credit
+    /// window by release count. Counted per thread across all tables —
+    /// the expiry drains everything, so the bound stays global.
+    parks: Cell<u32>,
 }
 
 impl StashStore {
@@ -434,18 +473,26 @@ impl StashStore {
         }
         table.entries.push(entry);
     }
-}
 
-impl Drop for StashStore {
-    fn drop(&mut self) {
+    /// Returns every parked credit — the hot slot and every cold table —
+    /// to its entry word, freeing entries whose last reference this was.
+    /// `scheduled` as in [`Core::drain_entry`]: `true` from in-band
+    /// paths (stash expiry), `false` only from the thread-exit backstop,
+    /// which runs outside the deterministic scheduler's view.
+    fn drain_all(&self, scheduled: bool) {
+        self.parks.set(0);
         if let Some((_, weak, mut entry)) = self.take_hot() {
             if let Some(core) = weak.upgrade() {
                 if let Some(mem) = core.mem.upgrade() {
-                    core.drain_entry(&mem, &mut entry, false);
+                    core.drain_entry(&mem, &mut entry, scheduled);
                 }
             }
         }
-        for table in self.cold.get_mut() {
+        // Detach the cold tables before draining: `drain_entry` can
+        // yield (scheduled) or spin on the safepoint gate, and the
+        // `RefCell` borrow must not be held across either.
+        let mut cold: Vec<TableStash> = self.cold.borrow_mut().drain(..).collect();
+        for table in &mut cold {
             let Some(core) = table.core.upgrade() else {
                 continue;
             };
@@ -453,9 +500,15 @@ impl Drop for StashStore {
                 continue;
             };
             for stashed in &mut table.entries {
-                core.drain_entry(&mem, stashed, false);
+                core.drain_entry(&mem, stashed, scheduled);
             }
         }
+    }
+}
+
+impl Drop for StashStore {
+    fn drop(&mut self) {
+        self.drain_all(false);
     }
 }
 
@@ -474,6 +527,7 @@ thread_local! {
             hot_epoch: Cell::new(0),
             hot_core: RefCell::new(None),
             cold: RefCell::new(Vec::new()),
+            parks: Cell::new(0),
         }
     };
 }
@@ -495,6 +549,9 @@ pub struct AtomicEntryTable {
     release_tags: bool,
     exclude_neighbor_tags: bool,
     borrow_stash: bool,
+    /// [`TableConfig::stash_expiry_parks`]: parked releases per thread
+    /// before the whole stash self-flushes; 0 = unbounded.
+    stash_expiry: u32,
 }
 
 impl AtomicEntryTable {
@@ -505,8 +562,9 @@ impl AtomicEntryTable {
     }
 
     /// Creates a table honouring `config`'s policy knobs
-    /// (`release_tags`, `exclude_neighbor_tags`, `borrow_stash`;
-    /// `table_count` does not apply — there is no hash table to shard).
+    /// (`release_tags`, `exclude_neighbor_tags`, `borrow_stash`,
+    /// `stash_expiry_parks`; `table_count` does not apply — there is no
+    /// hash table to shard).
     pub fn from_config(config: &TableConfig) -> AtomicEntryTable {
         AtomicEntryTable {
             core: OnceLock::new(),
@@ -515,6 +573,7 @@ impl AtomicEntryTable {
             release_tags: config.release_tags,
             exclude_neighbor_tags: config.exclude_neighbor_tags,
             borrow_stash: config.borrow_stash,
+            stash_expiry: config.stash_expiry_parks,
         }
     }
 
@@ -530,6 +589,9 @@ impl AtomicEntryTable {
                 stash_hits: AtomicU64::new(0),
                 stash_flush_frees: AtomicU64::new(0),
                 force_epoch: AtomicU64::new(0),
+                safepoints: AtomicU64::new(0),
+                purge_frees: AtomicU64::new(0),
+                purge_tag_leaks: AtomicU64::new(0),
             })
         })
     }
@@ -803,6 +865,22 @@ impl TagTable for AtomicEntryTable {
             return Err(ReleaseError::new(borrow, ReleaseFailure::NotTracked));
         };
         if self.borrow_stash && self.stash_try_cache(core, mem, &borrow) {
+            // The credit window's hard bound: after `stash_expiry`
+            // parked releases the thread's whole stash drains, so a
+            // dangling pointer's detection latency is capped by release
+            // count even if no GC safepoint ever runs. Still reported
+            // as `Cached` — the park happened; the drain is bookkept as
+            // a flush (`stash_flush_frees`), same as any other flush.
+            if self.stash_expiry != 0 {
+                STASH.with(|stash| {
+                    let parks = stash.parks.get() + 1;
+                    if parks >= self.stash_expiry {
+                        stash.drain_all(true);
+                    } else {
+                        stash.parks.set(parks);
+                    }
+                });
+            }
             return Ok(Release::Cached);
         }
         let Some(slot) = core.slab.slot(addr) else {
@@ -963,6 +1041,90 @@ impl TagTable for AtomicEntryTable {
         })
     }
 
+    fn purge(&self, mem: &TaggedMemory, begin: u64, end: u64) -> u64 {
+        let Some(core) = self.core.get() else {
+            return 0;
+        };
+        let Some(slot) = core.slab.slot(begin) else {
+            return 0;
+        };
+        loop {
+            let word = slot.load(Ordering::Acquire);
+            match entry::state(word) {
+                EntryState::Free => return 0,
+                // A credit return that claimed the entry just before the
+                // safepoint gate went up; it finishes without the gate,
+                // so waiting it out is bounded.
+                EntryState::Busy => core.contended("lockfree-purge-busy"),
+                EntryState::Live => {
+                    // Claim the whole entry in one step regardless of its
+                    // reference count: `begin_teardown` insists on a
+                    // single reference, but a purged entry may carry
+                    // several other threads' parked credits — exactly the
+                    // references a safepoint cannot reach.
+                    let busy = entry::pack(
+                        entry::refcount(word),
+                        entry::tag(word),
+                        EntryState::Busy,
+                        entry::generation(word),
+                    );
+                    if slot
+                        .compare_exchange(word, busy, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        core.contended("lockfree-purge-retry");
+                        continue;
+                    }
+                    // Expire every epoch snapshot before the tags change
+                    // (same contract as `release_raw`'s force-free): the
+                    // surviving credits must revalidate and die.
+                    core.force_epoch.fetch_add(1, Ordering::Release);
+                    if self.release_tags {
+                        let mut retries = 0u32;
+                        while let Err(e) =
+                            mem.set_tag_range(TaggedPtr::from_addr(begin), end, Tag::UNTAGGED)
+                        {
+                            if !e.is_transient() || retries >= 8 {
+                                // Persistent tag-store failure. The
+                                // collector reclaims this address no
+                                // matter what we do here, so restoring
+                                // the Live word would key a dead
+                                // lifetime's entry — its tag and
+                                // refcount — to a recyclable address.
+                                // Tear the entry down anyway and count
+                                // the range left tagged; the heap's own
+                                // reclaim/vacate zeroing is the cleanup
+                                // of last resort.
+                                core.purge_tag_leaks.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            retries += 1;
+                        }
+                    }
+                    slot.store(
+                        entry::pack(0, Tag::UNTAGGED, EntryState::Free, entry::generation(word)),
+                        Ordering::Release,
+                    );
+                    core.tracked.fetch_sub(1, Ordering::Relaxed);
+                    core.purge_frees.fetch_add(1, Ordering::Relaxed);
+                    return 1;
+                }
+            }
+        }
+    }
+
+    fn begin_safepoint(&self) {
+        if let Some(core) = self.core.get() {
+            core.safepoints.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    fn end_safepoint(&self) {
+        if let Some(core) = self.core.get() {
+            core.safepoints.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
     fn rehome(&self, old: u64, new: u64) -> bool {
         if old == new {
             return false;
@@ -1015,6 +1177,8 @@ impl TagTable for AtomicEntryTable {
                 ("atomic_shared_fast_acquires", 0),
                 ("atomic_stash_hits", 0),
                 ("atomic_stash_flush_frees", 0),
+                ("atomic_purge_frees", 0),
+                ("atomic_purge_tag_leaks", 0),
                 ("atomic_slab_chunks", 0),
             ];
         };
@@ -1028,6 +1192,11 @@ impl TagTable for AtomicEntryTable {
             (
                 "atomic_stash_flush_frees",
                 core.stash_flush_frees.load(Ordering::Relaxed),
+            ),
+            ("atomic_purge_frees", core.purge_frees.load(Ordering::Relaxed)),
+            (
+                "atomic_purge_tag_leaks",
+                core.purge_tag_leaks.load(Ordering::Relaxed),
             ),
             ("atomic_slab_chunks", core.slab.allocated_chunks()),
         ]

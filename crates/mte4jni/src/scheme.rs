@@ -5,9 +5,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use art_heap::{HeapConfig, ObjectRef};
+use art_heap::{HeapConfig, ObjectRef, Safepoint, SafepointPhase};
 use jni_rt::{AcquireOutcome, JniContext, Protection, ReleaseMode, Vm};
-use mte_sim::{TaggedPtr, TcfMode};
+use mte_sim::{TaggedMemory, TaggedPtr, TcfMode};
 
 use crate::table::{Borrow, Release, ReleaseFailure, ReleaseOutcome, TableBackend, TableConfig, TagTable};
 
@@ -54,6 +54,7 @@ pub struct Mte4Jni {
     releases: AtomicU64,
     tag_frees: AtomicU64,
     rehomes: AtomicU64,
+    safepoint_frees: AtomicU64,
 }
 
 impl Mte4Jni {
@@ -65,30 +66,38 @@ impl Mte4Jni {
 
     /// Creates the scheme with an explicit configuration.
     ///
-    /// The per-thread borrow stash is forced off for the funnel's table
-    /// regardless of `config`: a stashed credit keeps a table entry
-    /// alive after the funnel has unpinned the object, breaking the
-    /// "tracked implies pinned" coupling that the sweep and the
-    /// compacting collector rely on before they reclaim or re-tag an
-    /// address. Funnel integration needs a stash flush at those
-    /// safepoints ([`TagTable::flush_stash`]) and is future work; the
-    /// stash is exercised by direct table users and the stress harness.
+    /// The per-thread borrow stash is honoured end-to-end: a stashed
+    /// release credit keeps the table entry alive (and the object
+    /// tagged) after the funnel has unpinned the object, and the
+    /// "tracked implies pinned" coupling the collectors rely on is
+    /// restored at their safepoints instead — [`Protection::on_safepoint`]
+    /// flushes this thread's credits and purges the collector's
+    /// candidates before any address is reclaimed or re-tagged.
     pub fn with_config(config: TableConfig) -> Mte4Jni {
         Mte4Jni {
             config,
-            table: TableConfig { borrow_stash: false, ..config }.build(),
+            table: config.build(),
             id: NEXT_SCHEME_ID.fetch_add(1, Ordering::Relaxed),
             acquires: AtomicU64::new(0),
             shared_acquires: AtomicU64::new(0),
             releases: AtomicU64::new(0),
             tag_frees: AtomicU64::new(0),
             rehomes: AtomicU64::new(0),
+            safepoint_frees: AtomicU64::new(0),
         }
     }
 
-    /// The active configuration.
+    /// The *effective* configuration of the built table — not
+    /// necessarily the one requested: knobs a backend does not
+    /// implement are reported as off (today that is `borrow_stash`,
+    /// which only the lock-free backend carries; the two-tier and
+    /// global-lock tables silently ignore it).
     pub fn config(&self) -> TableConfig {
-        self.config
+        TableConfig {
+            borrow_stash: self.config.borrow_stash
+                && self.config.backend == TableBackend::LockFree,
+            ..self.config
+        }
     }
 
     /// The underlying tag table.
@@ -224,6 +233,38 @@ impl Protection for Mte4Jni {
         }
     }
 
+    fn on_safepoint(&self, mem: &TaggedMemory, sp: &Safepoint<'_>) {
+        match sp.phase {
+            SafepointPhase::Sweep => {
+                // The collector thread's own parked credits first, then
+                // force-free whatever entry survives on each dead,
+                // unpinned candidate — alive only through *other*
+                // threads' credits, which no flush can reach and which
+                // self-invalidate via the generation/epoch checks.
+                self.table.flush_stash(mem);
+                let mut purged = 0u64;
+                for &(begin, end) in sp.candidates {
+                    purged += self.table.purge(mem, begin, end);
+                }
+                self.safepoint_frees.fetch_add(purged, Ordering::Relaxed);
+            }
+            SafepointPhase::CompactBegin => {
+                // Flush before raising the table's safepoint gate (the
+                // flush itself returns credits through the gated path),
+                // then purge every unpinned tracked entry so the move
+                // pass never re-tags an address the table still keys.
+                self.table.flush_stash(mem);
+                self.table.begin_safepoint();
+                let mut purged = 0u64;
+                for &(begin, end) in sp.candidates {
+                    purged += self.table.purge(mem, begin, end);
+                }
+                self.safepoint_frees.fetch_add(purged, Ordering::Relaxed);
+            }
+            SafepointPhase::CompactEnd => self.table.end_safepoint(),
+        }
+    }
+
     fn counters(&self) -> Vec<(&'static str, u64)> {
         let s = self.stats();
         let mut out = vec![
@@ -233,6 +274,16 @@ impl Protection for Mte4Jni {
             ("tag_frees", s.tag_frees),
             ("rehomes", s.rehomes),
             ("tracked_objects", s.tracked_objects as u64),
+            // The *effective* stash state (0 when the backend ignores
+            // the requested `borrow_stash`) — `runtime_doctor` and the
+            // telemetry registry surface configuration overrides here
+            // instead of in a doc comment.
+            ("borrow_stash_effective", u64::from(self.config().borrow_stash)),
+            // Entries force-freed by a GC-safepoint purge. Closes the
+            // funnel conservation law on every backend:
+            //   acquires - shared_acquires
+            //     == tag_frees + atomic_stash_flush_frees + safepoint_purge_frees
+            ("safepoint_purge_frees", self.safepoint_frees.load(Ordering::Relaxed)),
         ];
         out.extend(self.table.counters());
         out
@@ -390,8 +441,15 @@ mod tests {
             env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
         })
         .unwrap();
-        // After release the tags are zeroed: managed access (untagged) is
-        // clean even from a checking thread.
+        // The release parked a stash credit, so the tag deliberately
+        // lingers (a same-thread reacquire would redeem it with no RMW)…
+        assert_ne!(
+            vm.heap().memory().raw_tag_at(a.data_addr()).unwrap(),
+            Tag::UNTAGGED
+        );
+        // …until the next GC safepoint flushes the credit; from then on
+        // managed access (untagged) is clean even from a checking thread.
+        vm.heap().sweep();
         assert_eq!(
             vm.heap().memory().raw_tag_at(a.data_addr()).unwrap(),
             Tag::UNTAGGED
@@ -462,7 +520,14 @@ mod tests {
             }
         });
         let _ = scheme;
-        // All borrows ended: tags must be fully released.
+        // All borrows ended, but each worker's last release parked a
+        // credit, and `thread::scope` unblocks when the closures finish
+        // — the workers' TLS backstops may still be running. The
+        // compaction safepoint makes the cleanup deterministic: its
+        // purge force-frees any tracked-but-unpinned entry (racing
+        // backstops are held off by the table's safepoint gate and then
+        // see their generation die).
+        vm.heap().compact();
         assert_eq!(
             vm.heap().memory().raw_tag_at(a.data_addr()).unwrap(),
             Tag::UNTAGGED
@@ -520,12 +585,17 @@ mod tests {
             .unwrap();
         env.release_primitive_array_critical(&a, elems, ReleaseMode::CopyBack)
             .unwrap();
-        assert_eq!(vm.heap().memory().raw_tag_at(ptr.addr()).unwrap(), Tag::UNTAGGED);
+        // The release parked a stash credit: the tag lingers until a
+        // safepoint redeems it.
+        assert_ne!(vm.heap().memory().raw_tag_at(ptr.addr()).unwrap(), Tag::UNTAGGED);
         drop(a);
-        // ...and only now may the sweep reclaim the object.
+        // ...and only now may the sweep reclaim the object — its
+        // safepoint flush returns the parked credit first, so the
+        // address goes back to the allocator untracked and untagged.
         let stats = vm.heap().sweep();
         assert_eq!(stats.swept, 1);
         assert_eq!(stats.pinned, 0);
+        assert_eq!(vm.heap().memory().raw_tag_at(ptr.addr()).unwrap(), Tag::UNTAGGED);
     }
 
     #[test]
@@ -559,9 +629,11 @@ mod tests {
         );
         // Pinning kept every tracked entry in place — nothing to rehome.
         assert_eq!(scheme.stats().rehomes, 0);
-        // The ordinary release path still finds the entry and frees tags.
+        // The ordinary release path still finds the entry; the stash
+        // parks the credit, and the next safepoint flush frees the tags.
         env.release_primitive_array_critical(&held, elems, ReleaseMode::CopyBack)
             .unwrap();
+        vm.heap().sweep();
         assert_eq!(
             vm.heap().memory().raw_tag_at(held_ptr.addr()).unwrap(),
             Tag::UNTAGGED
@@ -589,7 +661,22 @@ mod tests {
         assert_eq!(s.acquires, 2);
         assert_eq!(s.shared_acquires, 1);
         assert_eq!(s.releases, 2);
-        assert_eq!(s.tag_frees, 1);
+        // Both releases parked credits: no typed free yet, the entry
+        // lives on until the safepoint flush returns the credits.
+        assert_eq!(s.tag_frees, 0);
+        assert_eq!(s.tracked_objects, 1);
+        vm.heap().sweep();
+        let s = scheme.stats();
         assert_eq!(s.tracked_objects, 0);
+        let flush_frees = scheme
+            .counters()
+            .iter()
+            .find(|(k, _)| *k == "atomic_stash_flush_frees")
+            .map(|&(_, v)| v)
+            .unwrap();
+        // The funnel-level conservation law: every fresh acquire is
+        // balanced by a typed free or a stash-flush free.
+        assert_eq!(s.acquires - s.shared_acquires, s.tag_frees + flush_frees);
+        assert_eq!(flush_frees, 1);
     }
 }

@@ -96,9 +96,20 @@ pub struct TableConfig {
     /// tagged and tracked until the credit is redeemed, evicted, or
     /// flushed ([`TagTable::flush_stash`], or automatically at thread
     /// exit). Layers that recycle addresses while entries linger (the
-    /// heap funnel's sweep/compaction) must flush at their safepoints or
-    /// disable the stash — see `Mte4Jni`, which does the latter for now.
+    /// heap funnel's sweep/compaction) flush their own thread's stash
+    /// and [`TagTable::purge`] the collector's candidates at their GC
+    /// safepoints — see `Mte4Jni::on_safepoint`, which does exactly
+    /// that.
     pub borrow_stash: bool,
+    /// Hard bound on the borrow stash's detection-latency window
+    /// (lock-free backend only): after this many parked releases on one
+    /// thread, that thread's whole stash self-flushes — tags zeroed,
+    /// entries freed — even if no GC safepoint ever runs. Inside the
+    /// credit window a same-thread dangling use of a just-released
+    /// pointer still tag-matches; this cap keeps that window bounded by
+    /// release count instead of GC cadence. `0` disables the bound
+    /// (window closes only on redeem, eviction, flush, or safepoint).
+    pub stash_expiry_parks: u32,
 }
 
 impl Default for TableConfig {
@@ -109,6 +120,7 @@ impl Default for TableConfig {
             release_tags: true,
             exclude_neighbor_tags: false,
             borrow_stash: true,
+            stash_expiry_parks: 4096,
         }
     }
 }
@@ -365,6 +377,54 @@ pub trait TagTable: Send + Sync + fmt::Debug {
     fn flush_stash(&self, _mem: &TaggedMemory) -> u64 {
         0
     }
+
+    /// Force-frees the entry tracking `[begin, end)` regardless of its
+    /// reference count, returning 1 if an entry was physically freed.
+    ///
+    /// The GC safepoint escape hatch: when the collector has decided an
+    /// unpinned object may be reclaimed or moved, any surviving table
+    /// entry for it can only be held alive by parked stash credits on
+    /// *other* threads, which no safepoint can reach (a stash is
+    /// strictly thread-local). Purging tears the entry down in place;
+    /// the owning threads' credits then self-invalidate through the
+    /// generation check when they are eventually redeemed or returned.
+    ///
+    /// The default implementation lowers onto [`release_raw`] in a loop
+    /// (correct for backends without a stash, where every reference is
+    /// held by a live caller and the entry is simply drained). Transient
+    /// memory faults are retried a bounded number of times.
+    ///
+    /// [`release_raw`]: TagTable::release_raw
+    fn purge(&self, mem: &TaggedMemory, begin: u64, end: u64) -> u64 {
+        let ptr = TaggedPtr::from_addr(begin);
+        let mut retries = 0u32;
+        loop {
+            match self.release_raw(mem, ptr, end) {
+                Ok(ReleaseOutcome::Decremented { .. }) => {}
+                Ok(ReleaseOutcome::Freed) => return 1,
+                Ok(ReleaseOutcome::NotTracked) => return 0,
+                Err(e) if e.is_transient() && retries < 8 => retries += 1,
+                Err(_) => return 0,
+            }
+        }
+    }
+
+    /// Marks the start of a stop-the-world critical section (the
+    /// compacting collector's exclusive hold). While the safepoint is
+    /// up, asynchronous credit returns that bypass the world gate — the
+    /// thread-exit `Drop` backstop — park until [`end_safepoint`], so
+    /// they can never interleave their CAS teardown and tag zeroing
+    /// with the collector's move/re-tag pass. No-op for backends
+    /// without a stash (their callers all block on the world gate).
+    ///
+    /// [`end_safepoint`]: TagTable::end_safepoint
+    fn begin_safepoint(&self) {}
+
+    /// Ends the stop-the-world critical section started by
+    /// [`begin_safepoint`], releasing any parked credit returns.
+    ///
+    /// [`begin_safepoint`]: TagTable::begin_safepoint
+    fn end_safepoint(&self) {}
 
     /// Number of objects currently tracked (for tests and reports).
     fn tracked_objects(&self) -> usize;
@@ -1046,6 +1106,39 @@ mod tests {
         assert_eq!(m.ldg(begin).unwrap(), Tag::UNTAGGED);
         assert_eq!(counter(&table, "atomic_stash_hits"), 1);
         assert_eq!(counter(&table, "atomic_stash_flush_frees"), 1);
+    }
+
+    #[test]
+    fn stash_expiry_bounds_the_credit_window_without_gc() {
+        // The count-based bound on the stash's detection-latency window
+        // (`TableConfig::stash_expiry_parks`): after that many parked
+        // releases the thread's stash self-drains, so a released
+        // object's tags are zeroed even if no GC safepoint — and no
+        // explicit flush — ever runs.
+        let table = AtomicEntryTable::from_config(&TableConfig {
+            stash_expiry_parks: 3,
+            ..TableConfig::default()
+        });
+        let m = mem();
+        let t = MteThread::with_seed("t", 24);
+        let target = TaggedPtr::from_addr(BASE + 0xF00);
+        let b = table.acquire(&m, &t, target, target.addr() + 16).unwrap();
+        let tag = b.tag();
+        assert_eq!(table.release(&m, b).unwrap(), Release::Cached); // park 1
+        assert_eq!(m.ldg(target).unwrap(), tag, "credit window still open");
+
+        // Age the window on a *different* object: parks 2 and 3 hit the
+        // bound and drain the whole stash, the idle target's demoted
+        // credit included.
+        let decoy = TaggedPtr::from_addr(BASE + 0x1F00);
+        for _ in 0..2 {
+            let b = table.acquire(&m, &t, decoy, decoy.addr() + 16).unwrap();
+            assert_eq!(table.release(&m, b).unwrap(), Release::Cached);
+        }
+        assert_eq!(table.tracked_objects(), 0, "expiry drained every credit");
+        assert_eq!(m.ldg(target).unwrap(), Tag::UNTAGGED);
+        assert_eq!(m.ldg(decoy).unwrap(), Tag::UNTAGGED);
+        assert_eq!(counter(&table, "atomic_stash_flush_frees"), 2);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Regression: thread-exit stash backstops racing an in-flight
+//! compaction.
+//!
+//! A thread's TLS stash `Drop` backstop runs at genuine thread death,
+//! outside any scheduler and outside the collector's world gate. Before
+//! the table grew its safepoint gate, a backstop could zero a tag while
+//! the compactor was re-tagging the same region under its exclusive
+//! world hold. This test keeps a compacting collector cycling while
+//! waves of short-lived threads park release credits and exit, and then
+//! asserts the quiescent state every layer agrees on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use art_heap::HeapConfig;
+use jni_rt::{NativeKind, Protection, ReleaseMode, Vm};
+use mte4jni::Mte4Jni;
+use mte_sim::{Tag, TcfMode};
+
+#[test]
+fn thread_exit_backstop_never_interleaves_with_compaction() {
+    let scheme = Arc::new(Mte4Jni::new());
+    let vm = Vm::builder()
+        .heap_config(HeapConfig::mte4jni())
+        .check_mode(TcfMode::Sync)
+        .protection(scheme.clone())
+        .build();
+    let a = {
+        let t = vm.attach_thread("setup");
+        let env = vm.env(&t);
+        env.new_int_array_from(&[3; 64]).unwrap()
+    };
+
+    // A compacting collector cycling every few hundred microseconds:
+    // each cycle takes the exclusive world hold, raises the table's
+    // safepoint gate, purges every unpinned candidate, and slides
+    // objects down (rehoming their entries).
+    let gc = vm.start_compacting_gc(Duration::from_micros(200));
+
+    // Waves of short-lived threads: each parks its final release credit
+    // in the TLS stash and exits without flushing, so the backstop runs
+    // at thread death — concurrently with whatever phase the collector
+    // happens to be in. The safepoint gate must hold the backstop's
+    // credit return (and its tag zeroing) out of the move/re-tag pass.
+    for wave in 0..16 {
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let vm = &vm;
+                let a = a.clone();
+                s.spawn(move || {
+                    let t = vm.attach_thread(format!("w{wave}-{i}"));
+                    let env = vm.env(&t);
+                    for _ in 0..8 {
+                        env.call_native("reader", NativeKind::Normal, |env| {
+                            let elems = env.get_primitive_array_critical(&a)?;
+                            let mem = env.native_mem();
+                            let mut sum = 0;
+                            for j in 0..64 {
+                                sum += elems.read_i32(&mem, j)?;
+                            }
+                            assert_eq!(sum, 3 * 64);
+                            env.release_primitive_array_critical(
+                                &a,
+                                elems,
+                                ReleaseMode::CopyBack,
+                            )
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+    }
+
+    let report = gc.stop();
+    assert!(report.cycles > 0, "the collector actually ran");
+    assert!(report.faults.is_empty(), "GC scans never fault under MTE4JNI");
+
+    // One final safepoint from the observing thread: `thread::scope`
+    // does not wait for TLS destructors, so the last wave's backstops
+    // may still be in flight — the compaction's purge either retires
+    // their entries first (the backstops then see their generation die)
+    // or waits until they have drained.
+    vm.heap().compact();
+    assert_eq!(scheme.stats().tracked_objects, 0, "no stale entries survive");
+    assert_eq!(
+        vm.heap().memory().raw_tag_at(a.data_addr()).unwrap(),
+        Tag::UNTAGGED
+    );
+
+    // The funnel conservation law holds across every backstop/purge race.
+    let stats = scheme.stats();
+    let counter = |name: &str| {
+        scheme
+            .counters()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    assert_eq!(
+        stats.acquires - stats.shared_acquires,
+        stats.tag_frees
+            + counter("atomic_stash_flush_frees")
+            + counter("safepoint_purge_frees"),
+        "funnel conservation law"
+    );
+}

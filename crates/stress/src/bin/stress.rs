@@ -105,7 +105,7 @@ USAGE: stress [OPTIONS]
   --self-check      also verify the harness catches the broken tables
   --schedule-replay N  re-derive and run only schedule index N from the
                     master seed, printing its full step trace
-                    (--replay is a deprecated alias)
+                    (--replay is a deprecated alias; removed in v8)
   --trace-out FILE  with --schedule-replay and a single --scheme: also
                     capture the runtime's JNI *event* trace to FILE
                     (inspect with `cargo run --example runtime_doctor -- FILE`).
@@ -122,8 +122,12 @@ See README section 'Record & replay'.
 ";
 
 fn parse_args() -> Result<Options, String> {
+    parse_args_from(std::env::args().skip(1))
+}
+
+fn parse_args_from(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
     let mut o = Options::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
         let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
         let v = v.trim();
@@ -175,12 +179,17 @@ fn parse_args() -> Result<Options, String> {
             "--lifecycle" => o.lifecycle = true,
             "--containment" => o.containment = true,
             "--self-check" => o.self_check = true,
-            "--schedule-replay" => {
-                o.schedule_replay = Some(num(&mut args, "--schedule-replay")?)
-            }
-            "--replay" => {
-                eprintln!("note: --replay is deprecated; use --schedule-replay");
-                o.schedule_replay = Some(num(&mut args, "--replay")?);
+            // One arm for both spellings: they must stay
+            // indistinguishable (including in STRESS.json) until the
+            // alias is dropped.
+            flag @ ("--schedule-replay" | "--replay") => {
+                if flag == "--replay" {
+                    eprintln!(
+                        "note: --replay is deprecated and will be removed in v8; \
+                         use --schedule-replay"
+                    );
+                }
+                o.schedule_replay = Some(num(&mut args, flag)?);
             }
             "--trace-out" => o.trace_out = Some(args.next().ok_or("--trace-out needs a value")?),
             "--json" => o.json_dir = Some(args.next().ok_or("--json needs a value")?),
@@ -558,4 +567,33 @@ fn json_report(
     }
     root.insert("ok", ok);
     root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> impl IntoIterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_owned)
+    }
+
+    #[test]
+    fn replay_alias_parses_identically_to_schedule_replay() {
+        let canonical =
+            parse_args_from(args("--seed 0xBEEF --lifecycle --schedule-replay 7")).unwrap();
+        let alias = parse_args_from(args("--seed 0xBEEF --lifecycle --replay 7")).unwrap();
+        assert_eq!(canonical.schedule_replay, Some(7));
+        assert_eq!(alias.schedule_replay, canonical.schedule_replay);
+        assert_eq!(alias.seed, canonical.seed);
+        assert_eq!(alias.lifecycle, canonical.lifecycle);
+        // Both spellings must produce byte-identical STRESS.json.
+        let render = |o: &Options| json_report(o, &[], &[], true).to_pretty_string();
+        assert_eq!(render(&alias), render(&canonical));
+    }
+
+    #[test]
+    fn replay_alias_still_validates_its_value() {
+        assert!(parse_args_from(args("--replay")).is_err());
+        assert!(parse_args_from(args("--replay nope")).is_err());
+    }
 }

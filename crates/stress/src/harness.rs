@@ -401,6 +401,33 @@ fn run_table_schedule(
     }
 }
 
+/// The funnel-level conservation law: every entry a fresh (non-shared)
+/// acquire creates is freed exactly once — by a typed release
+/// (`tag_frees`), a stash flush or eviction (`atomic_stash_flush_frees`),
+/// or a GC-safepoint purge (`safepoint_purge_frees`). Returns the
+/// violation message if the books do not balance.
+fn funnel_conservation_violation(scheme: &Mte4Jni) -> Option<String> {
+    let s = scheme.stats();
+    let counter = |name: &str| {
+        scheme
+            .counters()
+            .into_iter()
+            .find(|(k, _)| *k == name)
+            .map_or(0, |(_, v)| v)
+    };
+    let flush_frees = counter("atomic_stash_flush_frees");
+    let purge_frees = counter("safepoint_purge_frees");
+    if s.acquires - s.shared_acquires != s.tag_frees + flush_frees + purge_frees {
+        Some(format!(
+            "oracle: funnel conservation broken: {} acquires - {} shared != \
+             {} tag frees + {} stash-flush frees + {} safepoint purges",
+            s.acquires, s.shared_acquires, s.tag_frees, flush_frees, purge_frees
+        ))
+    } else {
+        None
+    }
+}
+
 /// Runs one seeded **object-lifecycle** schedule: each worker repeatedly
 /// allocates an array, acquires it through the scheme, drops the last
 /// Java handle, runs a sweep (which must spare the dead-but-borrowed
@@ -417,7 +444,8 @@ pub fn run_lifecycle_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -
         base: BASE,
         size: MEM_SIZE,
     };
-    let (vm, tracked): (Vm, Box<dyn Fn() -> usize>) = match kind {
+    type LifecycleVm = (Vm, Box<dyn Fn() -> usize>, Option<Arc<Mte4Jni>>);
+    let (vm, tracked, mte): LifecycleVm = match kind {
         SchemeKind::Guarded => {
             let p = Arc::new(GuardedCopy::new());
             let vm = Vm::builder()
@@ -427,7 +455,7 @@ pub fn run_lifecycle_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -
                 })
                 .protection(Arc::clone(&p) as Arc<dyn Protection>)
                 .build();
-            (vm, Box::new(move || p.tracked_shadows()))
+            (vm, Box::new(move || p.tracked_shadows()), None)
         }
         _ => {
             let p = Arc::new(Mte4Jni::with_config(TableConfig {
@@ -442,7 +470,8 @@ pub fn run_lifecycle_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -
                 .check_mode(TcfMode::Sync)
                 .protection(Arc::clone(&p) as Arc<dyn Protection>)
                 .build();
-            (vm, Box::new(move || p.table().tracked_objects()))
+            let probe = Arc::clone(&p);
+            (vm, Box::new(move || probe.table().tracked_objects()), Some(p))
         }
     };
     let tallies = Arc::new(Tallies::default());
@@ -464,6 +493,13 @@ pub fn run_lifecycle_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -
         .map(|(t, msg)| format!("t{t}: {msg}"))
         .collect();
     if report.clean() {
+        // Run a GC safepoint first: the sweep flushes this thread's
+        // stash and purges any entry kept alive only by a worker's
+        // parked credit (a racing TLS-exit backstop either wins the
+        // return or observes the purge — both drain to zero), so the
+        // quiescence checks below see the post-safepoint state the
+        // "tracked ⇒ pinned" invariant is defined at.
+        let _ = vm.heap().sweep();
         let left = tracked();
         if left != 0 {
             violations.push(format!("oracle: {left} scheme entries leaked after quiescence"));
@@ -481,11 +517,19 @@ pub fn run_lifecycle_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -
                 hs.pins_total, hs.unpins_total
             ));
         }
+        // Funnel-level conservation law: every fresh acquire's entry is
+        // eventually freed by a typed release, a stash flush, or a
+        // GC-safepoint purge. Shared acquires reuse an entry and free
+        // nothing.
+        if let Some(scheme) = &mte {
+            if let Some(v) = funnel_conservation_violation(scheme) {
+                violations.push(v);
+            }
+        }
         // No tag aliasing on recycled addresses: blocks reclaimed during
         // the schedule must come back untagged, or a fresh object at the
         // same address would appear borrowed (and fault checking threads)
         // through no act of its own.
-        let _ = vm.heap().sweep();
         let oracle = vm.attach_thread("lifecycle-oracle");
         for _ in 0..cfg.objects.max(4) {
             match vm.env(&oracle).new_int_array(16) {
@@ -668,12 +712,19 @@ pub fn run_containment_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig)
         .collect();
     if report.clean() {
         // Containment oracle: the VM survived the schedule, and every
-        // contained fault left it balanced.
+        // contained fault left it balanced. The sweep safepoint runs
+        // first: worker releases (and containment force-releases) park
+        // stash credits, and the purge retires any entry a worker's
+        // still-racing TLS-exit backstop holds.
+        let _ = vm.heap().sweep();
         let tracked = scheme.table().tracked_objects();
         if tracked != 0 {
             violations.push(format!(
                 "oracle: {tracked} table entries stale after contained faults"
             ));
+        }
+        if let Some(v) = funnel_conservation_violation(&scheme) {
+            violations.push(v);
         }
         let shadows = fallback.tracked_shadows();
         if shadows != 0 {
@@ -697,8 +748,8 @@ pub fn run_containment_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig)
             ));
         }
         // Every force-released borrow must have zeroed its tags: fresh
-        // allocations on recycled addresses come back untagged.
-        let _ = vm.heap().sweep();
+        // allocations on recycled addresses (reclaimed by the safepoint
+        // sweep above) come back untagged.
         let oracle = vm.attach_thread("containment-oracle");
         for _ in 0..cfg.objects.max(4) {
             match vm.env(&oracle).new_int_array(16) {

@@ -17,10 +17,17 @@ pub enum Scheme {
     NoProtection,
     /// ART CheckJNI's guarded copy.
     GuardedCopy,
-    /// MTE4JNI in the synchronous error-checking mode.
+    /// MTE4JNI in the synchronous error-checking mode (lock-free table,
+    /// the library default).
     Mte4JniSync,
-    /// MTE4JNI in the asynchronous error-checking mode.
+    /// MTE4JNI in the asynchronous error-checking mode (lock-free
+    /// table).
     Mte4JniAsync,
+    /// MTE4JNI (sync) with the paper's §4.3 two-tier hash tables — the
+    /// paper-faithful ablation against the lock-free default.
+    Mte4JniSyncTwoTier,
+    /// MTE4JNI (async) with the two-tier hash tables.
+    Mte4JniAsyncTwoTier,
     /// MTE4JNI (sync) with the naive global lock instead of the two-tier
     /// scheme.
     Mte4JniSyncGlobalLock,
@@ -40,13 +47,15 @@ impl Scheme {
         Scheme::Mte4JniAsync,
     ];
 
-    /// All schemes, including the Figure 6 lock ablations and the
+    /// All schemes, including the Figure 6 table ablations and the
     /// related-work allocation-tagging comparison point.
-    pub const ALL: [Scheme; 7] = [
+    pub const ALL: [Scheme; 9] = [
         Scheme::NoProtection,
         Scheme::GuardedCopy,
         Scheme::Mte4JniSync,
         Scheme::Mte4JniAsync,
+        Scheme::Mte4JniSyncTwoTier,
+        Scheme::Mte4JniAsyncTwoTier,
         Scheme::Mte4JniSyncGlobalLock,
         Scheme::Mte4JniAsyncGlobalLock,
         Scheme::AllocTaggingSync,
@@ -59,6 +68,8 @@ impl Scheme {
             Scheme::GuardedCopy => "Guarded_Copy",
             Scheme::Mte4JniSync => "MTE4JNI+Sync",
             Scheme::Mte4JniAsync => "MTE4JNI+Async",
+            Scheme::Mte4JniSyncTwoTier => "MTE4JNI+Sync+two_tier",
+            Scheme::Mte4JniAsyncTwoTier => "MTE4JNI+Async+two_tier",
             Scheme::Mte4JniSyncGlobalLock => "MTE4JNI+Sync+global_lock",
             Scheme::Mte4JniAsyncGlobalLock => "MTE4JNI+Async+global_lock",
             Scheme::AllocTaggingSync => "AllocTag+Sync",
@@ -79,9 +90,10 @@ impl Scheme {
     /// Builds the VM with an explicit hash-table count (used by the `k`
     /// sweep ablation; ignored by non-MTE schemes).
     pub fn build_vm_with_tables(self, table_count: usize) -> Vm {
-        // The evaluation schemes pin the paper's two-tier table so the
-        // figures keep measuring what §5.1 describes; the library default
-        // (lock-free) is benchmarked separately by the scaling harness.
+        // The headline MTE4JNI schemes run the library-default lock-free
+        // table; the `TwoTier` variants keep the paper's §4.3 hash
+        // tables as the paper-faithful ablation, and `GlobalLock` keeps
+        // the naive baseline.
         let mte = |mode: TcfMode, backend: TableBackend| {
             Vm::builder()
                 .heap_config(HeapConfig::mte4jni())
@@ -102,8 +114,10 @@ impl Scheme {
                 .heap_config(HeapConfig::stock_art())
                 .protection(Arc::new(GuardedCopy::new()))
                 .build(),
-            Scheme::Mte4JniSync => mte(TcfMode::Sync, TableBackend::TwoTier),
-            Scheme::Mte4JniAsync => mte(TcfMode::Async, TableBackend::TwoTier),
+            Scheme::Mte4JniSync => mte(TcfMode::Sync, TableBackend::LockFree),
+            Scheme::Mte4JniAsync => mte(TcfMode::Async, TableBackend::LockFree),
+            Scheme::Mte4JniSyncTwoTier => mte(TcfMode::Sync, TableBackend::TwoTier),
+            Scheme::Mte4JniAsyncTwoTier => mte(TcfMode::Async, TableBackend::TwoTier),
             Scheme::Mte4JniSyncGlobalLock => mte(TcfMode::Sync, TableBackend::Global),
             Scheme::Mte4JniAsyncGlobalLock => mte(TcfMode::Async, TableBackend::Global),
             Scheme::AllocTaggingSync => Vm::builder()
@@ -147,9 +161,10 @@ mod tests {
         assert!(!Scheme::NoProtection.is_mte());
         assert!(!Scheme::GuardedCopy.is_mte());
         assert!(Scheme::Mte4JniSync.is_mte());
+        assert!(Scheme::Mte4JniSyncTwoTier.is_mte());
         assert!(Scheme::Mte4JniAsyncGlobalLock.is_mte());
         assert_eq!(Scheme::MAIN.len(), 4);
-        assert_eq!(Scheme::ALL.len(), 7);
+        assert_eq!(Scheme::ALL.len(), 9);
         assert!(Scheme::AllocTaggingSync.is_mte());
     }
 

@@ -147,6 +147,9 @@ proptest! {
             Ok(())
         })
         .expect("balanced borrows are correct");
+        // The final release parked a stash credit (the tag deliberately
+        // lingers); quiescence is defined at a safepoint, so run one.
+        vm.heap().sweep();
         prop_assert_eq!(
             vm.heap().memory().raw_tag_at(a.data_addr()).unwrap(),
             Tag::UNTAGGED
