@@ -74,11 +74,11 @@ echo "== bench smoke: tag-table thread-scaling gate =="
 # Like the throughput stage this runs release and ahead of the long
 # stress gates (thermal drift).
 cargo run --offline -q --release -p bench --bin scaling -- \
-    --quick --pairs 20000 --json "$out" >/dev/null
-test -s "$out/BENCH_scaling.json"
+    --quick --pairs 20000 --json . >/dev/null
+test -s BENCH_scaling.json
 scaling_baseline="crates/bench/baselines/BENCH_scaling.baseline.json"
 if command -v python3 >/dev/null 2>&1; then
-    python3 - "$out/BENCH_scaling.json" "$scaling_baseline" <<'PY'
+    python3 - BENCH_scaling.json "$scaling_baseline" "$(nproc)" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 base = json.load(open(sys.argv[2]))
@@ -98,14 +98,23 @@ for key, row in cur.items():
         f"{row['lock_free']:,.0f} < {row['two_tier_k16']:,.0f}"
     )
 speedup = doc["summary"]["contended_16_speedup"]
-# Acceptance target is 10x on contended multicore hardware; a
+ncpu = int(sys.argv[3])
+# Acceptance target is 10x on contended multicore hardware. A
 # single-core CI host serializes the contention two-tier loses to, so
-# the enforceable floor here is 3x (measured ~5-6x; see DESIGN.md §13).
-assert speedup >= 3.0, f"contended-16 speedup below 3x: {speedup:.2f}"
-print(f"scaling gate: contended-16 lock_free {speedup:.1f}x over two_tier")
+# it keeps the historical 3x floor (measured ~5-6x; see DESIGN.md §13);
+# with real parallelism (nproc >= 2) the CAS fast path pulls further
+# ahead of the mutex ladder and the ratchet tightens to 6x on the way
+# to the 10x target. The measured ratio is recorded in the committed
+# BENCH_scaling.json either way.
+floor = 3.0 if ncpu < 2 else 6.0
+assert speedup >= floor, (
+    f"contended-16 speedup below {floor:.0f}x (nproc={ncpu}): {speedup:.2f}"
+)
+print(f"scaling gate: contended-16 lock_free {speedup:.1f}x over two_tier "
+      f"(floor {floor:.0f}x, nproc={ncpu})")
 PY
 else
-    grep -q '"contended_16_speedup"' "$out/BENCH_scaling.json"
+    grep -q '"contended_16_speedup"' BENCH_scaling.json
     echo "scaling report present (python3 unavailable; gate skipped)"
 fi
 
@@ -150,6 +159,51 @@ PY
 else
     grep -q '"lock-free sync"' BENCH_fig6.json
     echo "fig6 report present (python3 unavailable; gate skipped)"
+fi
+
+echo "== bench smoke: multi-tenant serving gate =="
+# The serving layer's regression gate (DESIGN.md §16): quick fleet run
+# over every scheme at 1/4/16 tenants plus the noisy-neighbor rows,
+# compared against the committed baseline. The binary itself asserts
+# fleet quiescence and neighbor isolation after every measurement, so
+# reaching the gate already implies soundness. Per-row req/s on a
+# loaded single-core host swings ~±25% run to run, so the throughput
+# gate holds the *fleet peak* (stable within ~10%) to ≤ 20% regression;
+# the noisy-neighbor p99 ratios are min-of-repeats on both sides of the
+# same arrival seed and gated at the 1.5x acceptance bound.
+cargo run --offline -q --release -p bench --bin serving -- \
+    --quick --json . >/dev/null
+test -s BENCH_serving.json
+serving_baseline="crates/bench/baselines/BENCH_serving.baseline.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_serving.json "$serving_baseline" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+assert doc["bench"] == "serving"
+def keys(d):
+    return {(r["scheme"], r["tenants"], r["noisy"]) for r in d["rows"]}
+assert keys(doc) == keys(base), "serving row set drifted from the baseline"
+peak, ref = doc["summary"]["peak_req_s"], base["summary"]["peak_req_s"]
+assert peak >= 0.8 * ref, (
+    f"fleet peak regressed: {peak:,.0f} req/s < 80% of baseline {ref:,.0f}"
+)
+rows = {(r["scheme"], r["tenants"], r["noisy"]): r for r in doc["rows"]}
+for scheme in ("lock-free", "two-tier", "global"):
+    noisy = rows[(scheme, 4, True)]
+    assert noisy["t0_health"] == "quarantined", noisy
+    assert noisy["contained_faults_t0"] > 0, noisy
+ratios = {k: v for k, v in doc["summary"].items() if k.startswith("noisy_p99_ratio_")}
+assert ratios, "summary carries no noisy p99 ratios"
+for key, ratio in ratios.items():
+    assert ratio <= 1.5, f"{key} above the 1.5x acceptance bound: {ratio:.2f}"
+print("serving gate: peak %.0f req/s, %s" % (
+    peak, ", ".join(f"{k.removeprefix('noisy_p99_ratio_')}={v:.2f}x"
+                    for k, v in sorted(ratios.items()))))
+PY
+else
+    grep -q '"peak_req_s"' BENCH_serving.json
+    echo "serving report present (python3 unavailable; gate skipped)"
 fi
 
 echo "== deterministic stress (fixed seed, lock-free table) =="
@@ -233,6 +287,47 @@ cargo run --offline -q -p stress --bin stress -- \
     "${containment_flags[@]}" --json "$out/contain2" >/dev/null
 cmp "$out/contain1/STRESS.json" "$out/contain2/STRESS.json"
 echo "containment STRESS.json bit-reproducible across runs"
+
+echo "== serving isolation: fixed-seed stress gate =="
+# The multi-tenant isolation oracle (DESIGN.md §16) under the
+# deterministic scheduler: every schedule runs a 3-tenant fleet with
+# tenant 0 on the mixed containment fault plan plus deliberate
+# out-of-bounds traffic, one scheduled worker per tenant. The binary
+# exits nonzero unless every *other* tenant finishes everything it
+# admitted with zero contained faults and the whole fleet passes the
+# quiescence oracle (balanced pins, no stale entries, no leaked
+# shadows). Bit-reproducible like the other stress gates.
+serving_flags=(--serving --seed 0x5E --schedules 200
+    --fault-irg-ppm 2000 --fault-ldg-ppm 2000 --fault-stg-ppm 2000
+    --fault-alloc-ppm 2000 --fault-spurious-ppm 2000)
+cargo run --offline -q -p stress --bin stress -- \
+    "${serving_flags[@]}" --json "$out/serving1"
+test -s "$out/serving1/STRESS.json"
+grep -q '"workload": "serving"' "$out/serving1/STRESS.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/serving1/STRESS.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+plan = doc["params"]["fault_plan"]
+assert all(plan[k] >= 2000 for k in plan), plan
+for scheme in doc["schemes"]:
+    assert scheme["clean"] and not scheme["violations"], scheme
+    if scheme["scheme"] != "guarded":
+        assert scheme["contained_faults"] > 0, scheme
+        assert scheme["degraded_quarantine"] > 0, scheme
+print("serving isolation gate:", ", ".join(
+    "%s contained=%d quarantined=%d" % (
+        s["scheme"], s["contained_faults"], s["degraded_quarantine"])
+    for s in doc["schemes"]))
+PY
+else
+    grep -q '"contained_faults"' "$out/serving1/STRESS.json"
+    echo "serving report present (python3 unavailable; gate skipped)"
+fi
+cargo run --offline -q -p stress --bin stress -- \
+    "${serving_flags[@]}" --json "$out/serving2" >/dev/null
+cmp "$out/serving1/STRESS.json" "$out/serving2/STRESS.json"
+echo "serving STRESS.json bit-reproducible across runs"
 
 echo "== bench smoke: compaction + pinning =="
 # Quick fragmentation-under-churn run (sweep-only vs mark-compact around

@@ -369,6 +369,20 @@ impl<'a> JniEnv<'a> {
         released
     }
 
+    /// Force-releases every borrow still open on this environment with
+    /// `JNI_ABORT` semantics, through the same retry funnel a contained
+    /// fault uses, and resets the critical-section depth. This is the
+    /// teardown path for a tenant evicted mid-flight or a thread
+    /// detached inside a critical section: after it returns, the pin
+    /// ledger, tag tables, and refcounts are balanced again and the
+    /// heap can be swept or dropped safely. Returns the number of
+    /// borrows reclaimed.
+    pub fn force_release_borrows(&self) -> u32 {
+        let released = self.release_leaked_borrows(0);
+        self.critical_depth.set(0);
+        released
+    }
+
     pub(crate) fn note_guard_drop(&self, ptr: TaggedPtr, interface: JniInterface, object: u64) {
         telemetry::record_rare(|| Event::GuardDrop { interface });
         self.ledger.note_guard_drop(ptr, interface, object);
@@ -894,6 +908,20 @@ impl<'a> JniEnv<'a> {
         let _frame = mte.push_frame("LogdWrite+180", "liblog.so");
         mte.syscall("getuid")?;
         Ok(())
+    }
+}
+
+impl Drop for JniEnv<'_> {
+    fn drop(&mut self) {
+        // An environment dropped with live borrows — a tenant evicted
+        // mid-flight, or a thread detached inside a critical section —
+        // must push them through the release funnel while the heap is
+        // still alive, or pins and tag-table entries leak permanently.
+        // Explicit callers use `force_release_borrows`; this is the
+        // RAII backstop that makes teardown ordering safe by default.
+        if !self.borrows.borrow().is_empty() {
+            self.force_release_borrows();
+        }
     }
 }
 

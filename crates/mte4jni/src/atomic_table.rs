@@ -421,7 +421,14 @@ impl StashStore {
     /// older lifetime on either side: the stale credits are dead and
     /// their hits fold into the shared counter). A full cold table
     /// evicts its coldest entry physically to make room.
-    fn demote_hot(&self, mem: &TaggedMemory) {
+    ///
+    /// The hot credit may belong to a *different* table than the caller
+    /// (one thread serving several VMs interleaves their releases), so
+    /// the eviction drain must use the evicted entry's own memory via
+    /// its core — a caller-supplied region would make the tag zeroing
+    /// fail persistently for out-of-range addresses and spin the
+    /// scheduled retry loop forever.
+    fn demote_hot(&self) {
         let Some((table_id, weak, entry)) = self.take_hot() else {
             return;
         };
@@ -469,7 +476,9 @@ impl StashStore {
                 .map(|(i, _)| i)
                 .expect("stash is non-empty");
             let mut evicted = table.entries.swap_remove(coldest);
-            core.drain_entry(mem, &mut evicted, true);
+            if let Some(mem) = core.mem.upgrade() {
+                core.drain_entry(&mem, &mut evicted, true);
+            }
         }
         table.entries.push(entry);
     }
@@ -700,7 +709,7 @@ impl AtomicEntryTable {
     /// untracked or stale borrows keep taking the physical path (and
     /// its error reporting).
     #[inline]
-    fn stash_try_cache(&self, core: &Arc<Core>, mem: &TaggedMemory, borrow: &Borrow) -> bool {
+    fn stash_try_cache(&self, core: &Arc<Core>, borrow: &Borrow) -> bool {
         let addr = borrow.addr();
         STASH.with(|stash| {
             // Hot path: the same object releasing again on this thread
@@ -731,7 +740,7 @@ impl AtomicEntryTable {
             // A different object (or lifetime) takes the hot seat; the
             // previous occupant moves to the cold store — evicting
             // physically only when its table is full.
-            stash.demote_hot(mem);
+            stash.demote_hot();
             stash.fill_hot(self.id, core, borrow, epoch);
             true
         })
@@ -864,7 +873,7 @@ impl TagTable for AtomicEntryTable {
         let Some(core) = self.core.get() else {
             return Err(ReleaseError::new(borrow, ReleaseFailure::NotTracked));
         };
-        if self.borrow_stash && self.stash_try_cache(core, mem, &borrow) {
+        if self.borrow_stash && self.stash_try_cache(core, &borrow) {
             // The credit window's hard bound: after `stash_expiry`
             // parked releases the thread's whole stash drains, so a
             // dangling pointer's detection latency is capped by release

@@ -1,0 +1,185 @@
+//! Per-tenant admission control: bounded in-flight queue and a
+//! native-memory budget, shedding load instead of blocking neighbors.
+//!
+//! Every admitted request holds a [`Permit`] for its lifetime; the
+//! permit count is the tenant's in-flight depth. A full queue, an
+//! exhausted native-memory budget, or a quarantined/evicted tenant
+//! rejects the request with a typed [`Rejected`] — the caller sheds it
+//! and moves on, so one slow or sick tenant can never occupy the shared
+//! worker pool beyond its queue bound.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::health::Health;
+
+/// Why a request was shed at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The tenant's bounded in-flight queue is at capacity.
+    QueueFull {
+        /// In-flight depth observed at rejection.
+        depth: usize,
+        /// The tenant's configured capacity.
+        capacity: usize,
+    },
+    /// The tenant's native-memory budget is exhausted.
+    Budget {
+        /// Native bytes in use at rejection.
+        bytes_in_use: usize,
+        /// The tenant's configured budget.
+        budget: usize,
+    },
+    /// The tenant is quarantined or evicted; all traffic sheds.
+    TenantQuarantined,
+}
+
+impl Rejected {
+    /// Stable counter/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rejected::QueueFull { .. } => "queue_full",
+            Rejected::Budget { .. } => "budget",
+            Rejected::TenantQuarantined => "tenant_quarantined",
+        }
+    }
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { depth, capacity } => {
+                write!(f, "queue full ({depth}/{capacity} in flight)")
+            }
+            Rejected::Budget { bytes_in_use, budget } => {
+                write!(f, "native-memory budget exhausted ({bytes_in_use}/{budget} bytes)")
+            }
+            Rejected::TenantQuarantined => f.write_str("tenant quarantined"),
+        }
+    }
+}
+
+/// One tenant's admission state.
+#[derive(Debug)]
+pub struct Admission {
+    capacity: usize,
+    budget_bytes: usize,
+    depth: AtomicUsize,
+}
+
+/// An admitted request's slot in the tenant queue; dropping it releases
+/// the slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    depth: &'a AtomicUsize,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.depth.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Admission {
+    /// Admission control with an in-flight `capacity` and a
+    /// native-memory budget in bytes (`usize::MAX` = unlimited).
+    pub fn new(capacity: usize, budget_bytes: usize) -> Admission {
+        Admission {
+            capacity: capacity.max(1),
+            budget_bytes,
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current in-flight depth.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Admits one request or sheds it. Checks are ordered cheapest
+    /// first and health takes precedence: a quarantined tenant sheds
+    /// everything regardless of queue or budget headroom.
+    pub fn try_admit(&self, health: Health, bytes_in_use: usize) -> Result<Permit<'_>, Rejected> {
+        if health.sheds_all() {
+            return Err(Rejected::TenantQuarantined);
+        }
+        if bytes_in_use >= self.budget_bytes {
+            return Err(Rejected::Budget {
+                bytes_in_use,
+                budget: self.budget_bytes,
+            });
+        }
+        // CAS loop rather than blind fetch_add so a rejected request
+        // never transiently overshoots the bound other workers observe.
+        let mut depth = self.depth.load(Ordering::Acquire);
+        loop {
+            if depth >= self.capacity {
+                return Err(Rejected::QueueFull {
+                    depth,
+                    capacity: self.capacity,
+                });
+            }
+            match self.depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(Permit { depth: &self.depth }),
+                Err(seen) => depth = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_bound_is_enforced_and_released() {
+        let a = Admission::new(2, usize::MAX);
+        let p1 = a.try_admit(Health::Healthy, 0).unwrap();
+        let _p2 = a.try_admit(Health::Healthy, 0).unwrap();
+        assert_eq!(a.depth(), 2);
+        match a.try_admit(Health::Healthy, 0) {
+            Err(Rejected::QueueFull { depth: 2, capacity: 2 }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        drop(p1);
+        assert_eq!(a.depth(), 1);
+        assert!(a.try_admit(Health::Healthy, 0).is_ok());
+    }
+
+    #[test]
+    fn budget_sheds_before_the_queue() {
+        let a = Admission::new(8, 1024);
+        let _held = a.try_admit(Health::Healthy, 1023).unwrap();
+        match a.try_admit(Health::Degraded, 1024) {
+            Err(Rejected::Budget { bytes_in_use: 1024, budget: 1024 }) => {}
+            other => panic!("expected Budget, got {other:?}"),
+        }
+        // Shed requests hold no slot.
+        assert_eq!(a.depth(), 1);
+    }
+
+    #[test]
+    fn quarantined_tenants_shed_everything() {
+        let a = Admission::new(8, usize::MAX);
+        for health in [Health::Quarantined, Health::Evicted] {
+            assert!(matches!(
+                a.try_admit(health, 0),
+                Err(Rejected::TenantQuarantined)
+            ));
+        }
+        // Degraded tenants still serve.
+        assert!(a.try_admit(Health::Degraded, 0).is_ok());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Rejected::QueueFull { depth: 1, capacity: 1 }.label(), "queue_full");
+        assert_eq!(Rejected::Budget { bytes_in_use: 1, budget: 1 }.label(), "budget");
+        assert_eq!(Rejected::TenantQuarantined.label(), "tenant_quarantined");
+    }
+}

@@ -1,0 +1,210 @@
+//! The per-tenant health state machine.
+//!
+//! Health is a monotonic latch over four states: a tenant can only get
+//! sicker (`Healthy → Degraded → Quarantined → Evicted`) — recovery
+//! would mean re-admitting a VM whose containment history the fleet no
+//! longer trusts, which is an operator decision, not an automatic one.
+//!
+//! The inputs are the VM's own containment counters
+//! ([`jni_rt::ContainmentStats`]): contained tag-check faults and
+//! tombstones escalate through `Degraded` into `Quarantined`;
+//! `TagExhausted` single-acquire degradations and per-method quarantine
+//! routing mark the tenant `Degraded` but — by design — **never** push
+//! it past that on their own: running on the guarded-copy fallback is a
+//! correct (slower) mode, not a fault. `Evicted` is reached only
+//! through an explicit eviction threshold or [`HealthTracker::evict`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use jni_rt::ContainmentStats;
+
+/// A tenant's health state, worst first wins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    /// No containment events at all.
+    Healthy,
+    /// Running, but some requests degraded (contained faults below the
+    /// quarantine threshold, `TagExhausted` fallbacks, or per-method
+    /// quarantine routing).
+    Degraded,
+    /// Fault pressure crossed the quarantine thresholds: admission
+    /// sheds every new request for this tenant.
+    Quarantined,
+    /// Removed from the fleet; its VM is being (or has been) torn down.
+    Evicted,
+}
+
+impl Health {
+    /// Display label (stable; used in JSON rollups).
+    pub fn label(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Quarantined => "quarantined",
+            Health::Evicted => "evicted",
+        }
+    }
+
+    fn from_u8(v: u8) -> Health {
+        match v {
+            0 => Health::Healthy,
+            1 => Health::Degraded,
+            2 => Health::Quarantined,
+            _ => Health::Evicted,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Health::Healthy => 0,
+            Health::Degraded => 1,
+            Health::Quarantined => 2,
+            Health::Evicted => 3,
+        }
+    }
+
+    /// Whether admission control sheds all traffic in this state.
+    pub fn sheds_all(self) -> bool {
+        self >= Health::Quarantined
+    }
+}
+
+/// Thresholds mapping containment counters to health states.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthPolicy {
+    /// Contained faults at which the tenant leaves `Healthy`.
+    pub degrade_after_contained: u64,
+    /// Contained faults at which the tenant is quarantined.
+    pub quarantine_after_contained: u64,
+    /// Tombstones at which the tenant is quarantined.
+    pub quarantine_after_tombstones: u64,
+    /// Contained faults at which the tenant is evicted outright
+    /// (`u64::MAX` = never automatically; eviction is an operator or
+    /// end-of-run action).
+    pub evict_after_contained: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            degrade_after_contained: 1,
+            quarantine_after_contained: 4,
+            quarantine_after_tombstones: 4,
+            evict_after_contained: u64::MAX,
+        }
+    }
+}
+
+/// The monotonic health latch for one tenant.
+#[derive(Debug)]
+pub struct HealthTracker {
+    state: AtomicU8,
+    policy: HealthPolicy,
+}
+
+impl HealthTracker {
+    /// A healthy tenant under `policy`.
+    pub fn new(policy: HealthPolicy) -> HealthTracker {
+        HealthTracker {
+            state: AtomicU8::new(Health::Healthy.as_u8()),
+            policy,
+        }
+    }
+
+    /// Current state.
+    pub fn current(&self) -> Health {
+        Health::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Folds the VM's containment counters into the latch and returns
+    /// the (possibly escalated) state. Concurrent observers race
+    /// benignly: `fetch_max` keeps the latch monotonic.
+    pub fn observe(&self, stats: &ContainmentStats) -> Health {
+        let p = &self.policy;
+        let target = if stats.contained_faults >= p.evict_after_contained {
+            Health::Evicted
+        } else if stats.contained_faults >= p.quarantine_after_contained
+            || stats.tombstones >= p.quarantine_after_tombstones
+        {
+            Health::Quarantined
+        } else if stats.contained_faults >= p.degrade_after_contained
+            || stats.degraded_tag_exhaustion > 0
+            || stats.degraded_quarantine > 0
+            || stats.quarantined_methods > 0
+        {
+            // TagExhausted fallbacks and per-method quarantine routing
+            // are correct degraded operation — they never escalate a
+            // tenant past Degraded by themselves.
+            Health::Degraded
+        } else {
+            Health::Healthy
+        };
+        let prev = self.state.fetch_max(target.as_u8(), Ordering::AcqRel);
+        Health::from_u8(prev.max(target.as_u8()))
+    }
+
+    /// Latches `Evicted` (terminal).
+    pub fn evict(&self) {
+        self.state
+            .fetch_max(Health::Evicted.as_u8(), Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ContainmentStats {
+        ContainmentStats::default()
+    }
+
+    #[test]
+    fn health_is_a_monotonic_latch() {
+        let t = HealthTracker::new(HealthPolicy::default());
+        assert_eq!(t.current(), Health::Healthy);
+        let mut s = stats();
+        s.contained_faults = 1;
+        assert_eq!(t.observe(&s), Health::Degraded);
+        // Counters going "quiet" again does not heal the tenant.
+        assert_eq!(t.observe(&stats()), Health::Degraded);
+        s.contained_faults = 4;
+        assert_eq!(t.observe(&s), Health::Quarantined);
+        assert!(t.current().sheds_all());
+        t.evict();
+        assert_eq!(t.current(), Health::Evicted);
+    }
+
+    #[test]
+    fn tag_exhaustion_caps_at_degraded() {
+        let t = HealthTracker::new(HealthPolicy::default());
+        let mut s = stats();
+        s.degraded_tag_exhaustion = 1_000_000;
+        assert_eq!(t.observe(&s), Health::Degraded);
+        s.degraded_quarantine = 1_000_000;
+        s.quarantined_methods = 50;
+        assert_eq!(t.observe(&s), Health::Degraded);
+        assert!(!t.current().sheds_all());
+    }
+
+    #[test]
+    fn tombstones_quarantine_independently_of_fault_count() {
+        let t = HealthTracker::new(HealthPolicy {
+            quarantine_after_tombstones: 2,
+            ..HealthPolicy::default()
+        });
+        let mut s = stats();
+        s.tombstones = 2;
+        assert_eq!(t.observe(&s), Health::Quarantined);
+    }
+
+    #[test]
+    fn eviction_threshold_fires() {
+        let t = HealthTracker::new(HealthPolicy {
+            evict_after_contained: 10,
+            ..HealthPolicy::default()
+        });
+        let mut s = stats();
+        s.contained_faults = 10;
+        assert_eq!(t.observe(&s), Health::Evicted);
+    }
+}

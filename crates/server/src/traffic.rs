@@ -1,0 +1,298 @@
+//! The deterministic open-loop traffic generator.
+//!
+//! Arrivals are generated up front from one seed: the whole fleet's
+//! request stream — which tenant each arrival lands on, what kind of
+//! work it carries, and the per-request injection/behavior seeds — is a
+//! pure function of `(TrafficConfig, tenant count)`. The worker pool
+//! consumes the stream open-loop (arrivals do not wait for completions;
+//! a slow tenant's surplus is shed by admission control, not queued
+//! without bound).
+//!
+//! Request kinds mirror the repo's three workload sources:
+//!
+//! * **Micro** — the containment-stress churn unit: allocate a small
+//!   array, enter a native frame, stream over it, optionally go out of
+//!   bounds (the noisy tenant's fault driver), release.
+//! * **Kernel** — a GeekBench-style kernel from `crates/workloads`.
+//! * **Replay** — a golden trace from the PR 7 corpus re-driven on the
+//!   tenant's backend via `trace::replay`.
+
+use trace::{Trace, TraceError};
+
+/// Splitmix-style mixer shared by every deterministic draw in this
+/// crate (same constants as the stress harness, so seeds compose).
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
+    let mut x = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One ppm draw: true with probability `ppm / 1_000_000`.
+fn draw(seed: u64, salt: u64, ppm: u32) -> bool {
+    mix(seed, salt) % 1_000_000 < u64::from(ppm)
+}
+
+/// A golden trace from the committed corpus (`crates/trace/corpus/`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corpus {
+    /// The Asset Compression workload recording.
+    AssetCompression,
+    /// The out-of-bounds containment scenario.
+    OobContain,
+    /// The spurious-injection scenario.
+    SpuriousInject,
+}
+
+impl Corpus {
+    /// All corpus traces, in replay-cost order.
+    pub const ALL: [Corpus; 3] = [
+        Corpus::OobContain,
+        Corpus::SpuriousInject,
+        Corpus::AssetCompression,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Corpus::AssetCompression => "asset_compression",
+            Corpus::OobContain => "oob_contain",
+            Corpus::SpuriousInject => "spurious_inject",
+        }
+    }
+
+    /// The committed trace bytes.
+    pub fn bytes(self) -> &'static [u8] {
+        match self {
+            Corpus::AssetCompression => {
+                include_bytes!("../../trace/corpus/asset_compression.trc")
+            }
+            Corpus::OobContain => include_bytes!("../../trace/corpus/oob_contain.trc"),
+            Corpus::SpuriousInject => include_bytes!("../../trace/corpus/spurious_inject.trc"),
+        }
+    }
+
+    /// Decodes the committed trace.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt committed corpus (a repo integrity failure, not a
+    /// runtime state).
+    pub fn decode(self) -> Result<Trace, TraceError> {
+        Trace::decode(self.bytes())
+    }
+}
+
+/// Micro-request native method names; repeated out-of-bounds hits on
+/// one name drive the VM's per-method quarantine, exactly like the
+/// containment stress workers.
+pub const MICRO_METHODS: [&str; 2] = ["serve_churn", "serve_scan"];
+
+/// The serving kernel subset: cheap representatives of the one-shot
+/// and intensive access classes, so a request stays microseconds, not
+/// milliseconds.
+pub const SERVING_KERNELS: [&str; 4] =
+    ["File Compression", "Photo Filter", "Navigation", "Text Processing"];
+
+/// What one request asks the tenant VM to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Array-churn unit of work.
+    Micro {
+        /// Whether the native frame writes out of bounds.
+        oob: bool,
+        /// Native method the frame is attributed to.
+        method: &'static str,
+    },
+    /// A `crates/workloads` kernel at the given scale.
+    Kernel {
+        /// Workload name (a [`SERVING_KERNELS`] entry).
+        workload: &'static str,
+        /// Kernel scale factor.
+        scale: u32,
+    },
+    /// Replay a corpus trace on the tenant's backend.
+    Replay {
+        /// Which golden trace.
+        corpus: Corpus,
+    },
+}
+
+/// One arrival in the fleet's request stream.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Target tenant.
+    pub tenant: u32,
+    /// Per-tenant sequence number (0-based).
+    pub index: u64,
+    /// Per-request seed: drives the noisy tenant's injection RNG and
+    /// any in-request randomness, independent of which worker thread
+    /// executes it.
+    pub seed: u64,
+    /// The work itself.
+    pub kind: RequestKind,
+}
+
+/// Generator knobs. Rates are parts-per-million of requests.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Requests generated per tenant.
+    pub per_tenant: u64,
+    /// Fraction of requests that run a kernel instead of a micro unit.
+    pub kernel_ppm: u32,
+    /// Fraction of requests that replay a corpus trace.
+    pub replay_ppm: u32,
+    /// The tenant whose micro requests go out of bounds (the noisy
+    /// neighbor), if any.
+    pub noisy_tenant: Option<u32>,
+    /// Out-of-bounds rate for the noisy tenant's micro requests.
+    pub noisy_oob_ppm: u32,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            seed: 0x5EED_5E4F,
+            per_tenant: 200,
+            kernel_ppm: 40_000,
+            replay_ppm: 2_000,
+            noisy_tenant: None,
+            noisy_oob_ppm: 333_333,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// The request kind and behavior for `(tenant, index)` — exposed so
+    /// the deterministic stress harness can drive per-tenant streams
+    /// without materializing the merged arrival order.
+    pub fn request(&self, tenant: u32, index: u64) -> Request {
+        let salt = (u64::from(tenant) << 40) ^ index;
+        let seed = mix(self.seed, salt ^ 0x0A11_5EED);
+        let kind = if draw(self.seed, salt ^ 0x4E9A, self.replay_ppm) {
+            let corpus = Corpus::ALL[(mix(self.seed, salt ^ 0xC0_4155) % 3) as usize];
+            RequestKind::Replay { corpus }
+        } else if draw(self.seed, salt ^ 0x7E44, self.kernel_ppm) {
+            let workload = SERVING_KERNELS
+                [(mix(self.seed, salt ^ 0x13_37) % SERVING_KERNELS.len() as u64) as usize];
+            RequestKind::Kernel { workload, scale: 1 }
+        } else {
+            let oob = self.noisy_tenant == Some(tenant)
+                && draw(self.seed, salt ^ 0x0B_AD, self.noisy_oob_ppm);
+            let method =
+                MICRO_METHODS[(mix(self.seed, salt ^ 0x9E7B) % MICRO_METHODS.len() as u64) as usize];
+            RequestKind::Micro { oob, method }
+        };
+        Request { tenant, index, seed, kind }
+    }
+
+    /// Generates the merged open-loop arrival stream for `tenants`
+    /// tenants: each tenant contributes exactly `per_tenant` requests,
+    /// interleaved by a seeded weighted merge (arrival order is a pure
+    /// function of the seed).
+    pub fn generate(&self, tenants: u32) -> Vec<Request> {
+        let n = tenants as usize;
+        let mut remaining: Vec<u64> = vec![self.per_tenant; n];
+        let mut issued: Vec<u64> = vec![0; n];
+        let mut total: u64 = self.per_tenant * tenants as u64;
+        let mut out = Vec::with_capacity(total as usize);
+        let mut step = 0u64;
+        while total > 0 {
+            // Weighted draw over tenants by their remaining quota: the
+            // stream stays interleaved end to end instead of draining
+            // tenants one after another.
+            let mut pick = mix(self.seed, 0xA441 ^ step) % total;
+            let mut tenant = 0usize;
+            for (t, &rem) in remaining.iter().enumerate() {
+                if pick < rem {
+                    tenant = t;
+                    break;
+                }
+                pick -= rem;
+            }
+            remaining[tenant] -= 1;
+            total -= 1;
+            let index = issued[tenant];
+            issued[tenant] += 1;
+            out.push(self.request(tenant as u32, index));
+            step += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_exact() {
+        let cfg = TrafficConfig { per_tenant: 50, ..TrafficConfig::default() };
+        let a = cfg.generate(4);
+        let b = cfg.generate(4);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.tenant, x.index, x.seed, x.kind), (y.tenant, y.index, y.seed, y.kind));
+        }
+        // Exactly per_tenant requests per tenant, indices sequential.
+        for t in 0..4u32 {
+            let idx: Vec<u64> = a.iter().filter(|r| r.tenant == t).map(|r| r.index).collect();
+            assert_eq!(idx, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn only_the_noisy_tenant_goes_out_of_bounds() {
+        let cfg = TrafficConfig {
+            per_tenant: 400,
+            noisy_tenant: Some(0),
+            noisy_oob_ppm: 500_000,
+            ..TrafficConfig::default()
+        };
+        let stream = cfg.generate(3);
+        let oob = |t: u32| {
+            stream
+                .iter()
+                .filter(|r| r.tenant == t)
+                .filter(|r| matches!(r.kind, RequestKind::Micro { oob: true, .. }))
+                .count()
+        };
+        assert!(oob(0) > 50, "noisy tenant must go oob often: {}", oob(0));
+        assert_eq!(oob(1), 0);
+        assert_eq!(oob(2), 0);
+    }
+
+    #[test]
+    fn mix_includes_kernels_and_replays() {
+        let cfg = TrafficConfig {
+            per_tenant: 2000,
+            kernel_ppm: 100_000,
+            replay_ppm: 20_000,
+            ..TrafficConfig::default()
+        };
+        let stream = cfg.generate(1);
+        let kernels = stream.iter().filter(|r| matches!(r.kind, RequestKind::Kernel { .. })).count();
+        let replays = stream.iter().filter(|r| matches!(r.kind, RequestKind::Replay { .. })).count();
+        assert!(kernels > 100, "kernels: {kernels}");
+        assert!(replays > 10, "replays: {replays}");
+    }
+
+    #[test]
+    fn corpus_traces_decode() {
+        for c in Corpus::ALL {
+            let t = c.decode().unwrap_or_else(|e| panic!("{}: {e:?}", c.label()));
+            assert!(!t.events.is_empty(), "{} is empty", c.label());
+        }
+    }
+
+    #[test]
+    fn per_request_view_matches_the_stream() {
+        let cfg = TrafficConfig { per_tenant: 30, ..TrafficConfig::default() };
+        for r in cfg.generate(2) {
+            let direct = cfg.request(r.tenant, r.index);
+            assert_eq!((direct.seed, direct.kind), (r.seed, r.kind));
+        }
+    }
+}

@@ -15,8 +15,8 @@ use std::process::ExitCode;
 
 use mte_sim::inject::FaultPlan;
 use stress::harness::{
-    run_containment_schedule, run_lifecycle_schedule, run_schedule, ScheduleResult, SchemeKind,
-    StressConfig,
+    run_containment_schedule, run_lifecycle_schedule, run_schedule, run_serving_schedule,
+    ScheduleResult, SchemeKind, StressConfig,
 };
 use stress::sched::trace_hash;
 use telemetry::json::JsonValue;
@@ -27,6 +27,7 @@ struct Options {
     scheme: Option<SchemeKind>,
     lifecycle: bool,
     containment: bool,
+    serving: bool,
     self_check: bool,
     schedule_replay: Option<u64>,
     trace_out: Option<String>,
@@ -42,6 +43,7 @@ impl Default for Options {
             scheme: None,
             lifecycle: false,
             containment: false,
+            serving: false,
             self_check: false,
             schedule_replay: None,
             trace_out: None,
@@ -59,7 +61,9 @@ impl Options {
     /// object-lifecycle (acquire → drop handle → sweep → release)
     /// regression schedule, or the fault-containment schedule.
     fn run(&self, kind: SchemeKind, seed: u64) -> ScheduleResult {
-        if self.containment {
+        if self.serving {
+            run_serving_schedule(kind, seed, &self.cfg)
+        } else if self.containment {
             run_containment_schedule(kind, seed, &self.cfg)
         } else if self.lifecycle {
             run_lifecycle_schedule(kind, seed, &self.cfg)
@@ -69,7 +73,9 @@ impl Options {
     }
 
     fn workload(&self) -> &'static str {
-        if self.containment {
+        if self.serving {
+            "serving"
+        } else if self.containment {
             "containment"
         } else if self.lifecycle {
             "lifecycle"
@@ -102,10 +108,14 @@ USAGE: stress [OPTIONS]
   --lifecycle       run the object-lifecycle (pin-aware sweep) schedules
   --containment     run the fault-containment (FaultPolicy::Contain)
                     schedules; lock-free, two-tier and global only
+  --serving         run the multi-tenant serving schedules: a 3-tenant
+                    fleet per schedule, tenant 0 noisy (fault plan +
+                    out-of-bounds traffic), oracle checks neighbor
+                    isolation and per-tenant quiescence
   --self-check      also verify the harness catches the broken tables
   --schedule-replay N  re-derive and run only schedule index N from the
                     master seed, printing its full step trace
-                    (--replay is a deprecated alias; removed in v8)
+                    (--replay was removed in v8)
   --trace-out FILE  with --schedule-replay and a single --scheme: also
                     capture the runtime's JNI *event* trace to FILE
                     (inspect with `cargo run --example runtime_doctor -- FILE`).
@@ -178,18 +188,18 @@ fn parse_args_from(args: impl IntoIterator<Item = String>) -> Result<Options, St
             }
             "--lifecycle" => o.lifecycle = true,
             "--containment" => o.containment = true,
+            "--serving" => o.serving = true,
             "--self-check" => o.self_check = true,
-            // One arm for both spellings: they must stay
-            // indistinguishable (including in STRESS.json) until the
-            // alias is dropped.
-            flag @ ("--schedule-replay" | "--replay") => {
-                if flag == "--replay" {
-                    eprintln!(
-                        "note: --replay is deprecated and will be removed in v8; \
-                         use --schedule-replay"
-                    );
-                }
-                o.schedule_replay = Some(num(&mut args, flag)?);
+            "--schedule-replay" => {
+                o.schedule_replay = Some(num(&mut args, "--schedule-replay")?);
+            }
+            "--replay" => {
+                return Err(
+                    "--replay was removed in v8; use --schedule-replay \
+                     (the trace crate's `trace replay` re-drives recorded \
+                     event-log files)"
+                        .to_owned(),
+                );
             }
             "--trace-out" => o.trace_out = Some(args.next().ok_or("--trace-out needs a value")?),
             "--json" => o.json_dir = Some(args.next().ok_or("--json needs a value")?),
@@ -425,11 +435,15 @@ fn main() -> ExitCode {
             if out.clean { "clean" } else { "VIOLATION" },
             out.trace_hash,
         );
-        if o.containment {
+        if o.containment || o.serving {
             println!(
-                "[{}] containment: {} contained faults, {} quarantine degradations, \
+                "[{}] {}: {} contained faults, {} quarantine degradations, \
                  {} tag-exhaustion degradations",
-                out.scheme, out.contained_faults, out.degraded_quarantine, out.degraded_exhaust,
+                out.scheme,
+                o.workload(),
+                out.contained_faults,
+                out.degraded_quarantine,
+                out.degraded_exhaust,
             );
         }
         ok &= out.clean;
@@ -525,7 +539,7 @@ fn json_report(
             s.insert("trace_hash", format!("{:#018x}", out.trace_hash));
             s.insert("steps_total", out.steps_total);
             s.insert("injected_faults", out.injected_faults);
-            if o.containment {
+            if o.containment || o.serving {
                 s.insert("contained_faults", out.contained_faults);
                 s.insert("degraded_quarantine", out.degraded_quarantine);
                 s.insert("degraded_tag_exhaustion", out.degraded_exhaust);
@@ -578,22 +592,30 @@ mod tests {
     }
 
     #[test]
-    fn replay_alias_parses_identically_to_schedule_replay() {
-        let canonical =
-            parse_args_from(args("--seed 0xBEEF --lifecycle --schedule-replay 7")).unwrap();
-        let alias = parse_args_from(args("--seed 0xBEEF --lifecycle --replay 7")).unwrap();
-        assert_eq!(canonical.schedule_replay, Some(7));
-        assert_eq!(alias.schedule_replay, canonical.schedule_replay);
-        assert_eq!(alias.seed, canonical.seed);
-        assert_eq!(alias.lifecycle, canonical.lifecycle);
-        // Both spellings must produce byte-identical STRESS.json.
-        let render = |o: &Options| json_report(o, &[], &[], true).to_pretty_string();
-        assert_eq!(render(&alias), render(&canonical));
+    fn schedule_replay_still_parses() {
+        let o = parse_args_from(args("--seed 0xBEEF --lifecycle --schedule-replay 7")).unwrap();
+        assert_eq!(o.schedule_replay, Some(7));
+        assert_eq!(o.seed, 0xBEEF);
+        assert!(o.lifecycle);
     }
 
     #[test]
-    fn replay_alias_still_validates_its_value() {
-        assert!(parse_args_from(args("--replay")).is_err());
-        assert!(parse_args_from(args("--replay nope")).is_err());
+    fn removed_replay_alias_errors_with_a_pointer_to_the_new_name() {
+        for cmdline in ["--replay 7", "--replay", "--seed 0xBEEF --replay 7"] {
+            let err = match parse_args_from(args(cmdline)) {
+                Err(e) => e,
+                Ok(_) => panic!("{cmdline}: removed alias was accepted"),
+            };
+            assert!(err.contains("--replay was removed"), "{cmdline}: {err}");
+            assert!(err.contains("--schedule-replay"), "{cmdline}: {err}");
+        }
+    }
+
+    #[test]
+    fn serving_flag_selects_the_serving_workload() {
+        let o = parse_args_from(args("--serving --schedules 5")).unwrap();
+        assert!(o.serving);
+        assert_eq!(o.workload(), "serving");
+        assert_eq!(o.schedules, 5);
     }
 }

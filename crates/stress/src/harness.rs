@@ -966,3 +966,141 @@ fn run_guarded_schedule(seed: u64, cfg: &StressConfig) -> ScheduleResult {
         degraded_exhaust: 0,
     }
 }
+
+// ----------------------------------------------------------------------
+// Serving workload (multi-tenant isolation)
+// ----------------------------------------------------------------------
+
+/// How many tenants a serving schedule hosts (tenant 0 is the noisy
+/// neighbor; the rest must come out clean).
+pub const SERVING_TENANTS: u32 = 3;
+
+/// Serving workload: a [`SERVING_TENANTS`]-tenant fleet of `kind` VMs
+/// under one deterministic schedule — one scheduled worker per tenant
+/// drives that tenant's seeded request stream through the full serving
+/// funnel (admission, bounded retry, health latch). Tenant 0 runs with
+/// the configured fault plan armed *and* out-of-bounds traffic mixed
+/// in; the oracle checks the isolation invariant: every other tenant
+/// finishes everything it admitted with zero contained faults, balanced
+/// pin books, and zero stale table entries, no matter what tenant 0
+/// does. Same `(kind, seed, cfg)` ⇒ identical trace and counts.
+pub fn run_serving_schedule(kind: SchemeKind, seed: u64, cfg: &StressConfig) -> ScheduleResult {
+    use server::{Tenant, TenantConfig, TenantScheme, TrafficConfig};
+
+    let scheme = match kind {
+        SchemeKind::TwoTier => TenantScheme::TwoTier,
+        #[cfg(feature = "mutation")]
+        SchemeKind::BrokenTwoTier => TenantScheme::TwoTier,
+        SchemeKind::Global => TenantScheme::Global,
+        #[cfg(feature = "mutation")]
+        SchemeKind::BrokenGlobal => TenantScheme::Global,
+        SchemeKind::Guarded => TenantScheme::Guarded,
+        _ => TenantScheme::LockFree,
+    };
+    // Enough traffic per tenant for containment, quarantine and
+    // shedding to all happen inside one schedule, scaled by the same
+    // knob as the other workloads.
+    let per_tenant = (cfg.rounds as u64) * 8;
+    let tenants: Vec<Tenant> = (0..SERVING_TENANTS)
+        .map(|id| {
+            let mut tc = TenantConfig::new(id);
+            tc.scheme = scheme;
+            if id == 0 && cfg.fault_plan.is_active() {
+                tc.fault_plan = Some(cfg.fault_plan);
+            }
+            Tenant::new(tc)
+        })
+        .collect();
+    let traffic = TrafficConfig {
+        seed,
+        per_tenant,
+        // Micro requests only: kernels and trace replays are serving
+        // features, not schedule-exploration features, and keeping the
+        // unit of work small keeps hundreds of schedules cheap.
+        kernel_ppm: 0,
+        replay_ppm: 0,
+        noisy_tenant: Some(0),
+        noisy_oob_ppm: 250_000,
+    };
+
+    let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = tenants
+        .iter()
+        .map(|tenant| {
+            Box::new(move || {
+                let id = tenant.config().id;
+                for i in 0..per_tenant {
+                    let req = traffic.request(id, i);
+                    // Shed requests are part of the workload: the
+                    // worker moves on, exactly like the shared pool.
+                    let _ = tenant.serve(&req);
+                    yield_point("serve-next");
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+
+    let report = sched::run(seed, cfg.max_steps, bodies);
+    let mut violations: Vec<String> = report
+        .panics
+        .iter()
+        .map(|(t, msg)| format!("t{t}: {msg}"))
+        .collect();
+    if report.clean() {
+        // The isolation invariant: whatever happened to tenant 0, the
+        // neighbors served everything they admitted, fault-free.
+        for tenant in &tenants[1..] {
+            let id = tenant.config().id;
+            let s = tenant.stats();
+            if s.contained_faults != 0 {
+                violations.push(format!(
+                    "isolation: tenant {id} took {} contained faults from a neighbor's traffic",
+                    s.contained_faults
+                ));
+            }
+            if s.completed != s.admitted {
+                violations.push(format!(
+                    "isolation: tenant {id} completed {} of {} admitted requests",
+                    s.completed, s.admitted
+                ));
+            }
+            if tenant.failed() != 0 {
+                violations.push(format!(
+                    "isolation: tenant {id} failed {} requests",
+                    tenant.failed()
+                ));
+            }
+            if s.shed_quarantined != 0 {
+                violations.push(format!(
+                    "isolation: healthy tenant {id} shed {} requests as quarantined",
+                    s.shed_quarantined
+                ));
+            }
+        }
+        // Per-tenant quiescence: stale entries, funnel conservation,
+        // leaked shadows/bytes, pin balance — for every tenant,
+        // including the noisy one (containment must leave even the
+        // faulted VM balanced).
+        for tenant in &tenants {
+            violations.extend(tenant.quiesce());
+        }
+    }
+
+    let noisy = &tenants[0];
+    let cs = noisy.containment_stats();
+    let (fresh, freed) = tenants
+        .iter()
+        .filter_map(|t| t.scheme().map(|s| s.stats()))
+        .fold((0, 0), |(a, f), s| {
+            (a + s.acquires - s.shared_acquires, f + s.tag_frees)
+        });
+    ScheduleResult {
+        report,
+        violations,
+        fresh_acquires: fresh,
+        freed,
+        injected: noisy.injected_faults(),
+        contained: cs.contained_faults,
+        degraded_quarantine: cs.degraded_quarantine,
+        degraded_exhaust: cs.degraded_tag_exhaustion,
+    }
+}

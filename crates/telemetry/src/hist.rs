@@ -58,6 +58,8 @@ pub enum LatencyOp {
     Trampoline,
     /// A stop-the-world compacting GC pass.
     GcPause,
+    /// A whole serving-layer request (admission through completion).
+    Request,
 }
 
 impl LatencyOp {
@@ -68,6 +70,7 @@ impl LatencyOp {
             LatencyOp::Release => "release",
             LatencyOp::Trampoline => "trampoline",
             LatencyOp::GcPause => "gc_pause",
+            LatencyOp::Request => "request",
         }
     }
 }

@@ -31,6 +31,7 @@
 
 mod counters;
 mod event;
+pub mod fleet;
 mod hist;
 mod interface;
 pub mod json;
